@@ -1,0 +1,164 @@
+// Package simprof_test benchmarks the regeneration of every table and
+// figure in the paper's evaluation (run with `go test -bench=. -benchmem`).
+// Each benchmark rebuilds the relevant part of the experiment suite from
+// scratch at the Quick scale, so the reported time is the full cost of
+// reproducing that artifact: synthesizing inputs, executing the
+// workload(s) on the simulated machine, profiling, phase formation and
+// the figure's own analysis. The companion `cmd/expreport` prints the
+// actual figure contents at the default scale.
+package simprof_test
+
+import (
+	"testing"
+
+	"simprof/internal/experiments"
+)
+
+// newSuite builds a fresh Quick-scale suite with nothing cached.
+func newSuite(seed uint64) *experiments.Suite {
+	cfg := experiments.Quick()
+	cfg.Seed = seed
+	return experiments.NewSuite(cfg)
+}
+
+func BenchmarkTableI_Workloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(uint64(i) + 1)
+		rows, err := s.TableI()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 6 {
+			b.Fatalf("rows=%d", len(rows))
+		}
+	}
+}
+
+func BenchmarkFig6_CoV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(uint64(i) + 1)
+		rows, err := s.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 12 {
+			b.Fatalf("rows=%d", len(rows))
+		}
+	}
+}
+
+func BenchmarkFig7_SamplingError(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(uint64(i) + 1)
+		rows, err := s.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg := experiments.Averages(rows)
+		if avg.SimProf <= 0 {
+			b.Fatal("degenerate SimProf error")
+		}
+	}
+}
+
+func BenchmarkFig8_SampleSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(uint64(i) + 1)
+		if _, err := s.Fig8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9_PhaseCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(uint64(i) + 1)
+		if _, err := s.Fig9(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10_PhaseTypes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(uint64(i) + 1)
+		if _, err := s.Fig10(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11_Allocation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(uint64(i) + 1)
+		if _, err := s.Fig11(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableII_Inputs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(uint64(i) + 1)
+		if got := len(s.TableII()); got != 8 {
+			b.Fatalf("inputs=%d", got)
+		}
+	}
+}
+
+func BenchmarkFig12_SensitivityReduction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(uint64(i) + 1)
+		if _, err := s.Fig12(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13_SensitivePhases(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(uint64(i) + 1)
+		if _, err := s.Fig13(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig14_WordCountSpark(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(uint64(i) + 1)
+		if _, err := s.WordCountAnatomy("spark"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig15_WordCountHadoop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(uint64(i) + 1)
+		if _, err := s.WordCountAnatomy("hadoop"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_ProfilingParameters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(uint64(i) + 1)
+		if _, err := s.AblationUnitSize(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.AblationSnapshotRate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_CombinedSampling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(uint64(i) + 1)
+		if _, err := s.AblationCombined(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

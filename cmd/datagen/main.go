@@ -1,0 +1,212 @@
+// Command datagen materializes the synthetic inputs used by the
+// benchmark suite (the role BigDataBench's data synthesizer plays in the
+// paper):
+//
+//	datagen text  -size 64MB -vocab 600000 -out corpus.txt
+//	datagen kv    -records 1000000 -out records.tsv
+//	datagen graph -name google -scale 16 -out edges.txt
+//	datagen tableII -scale 14 -dir inputs/
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"simprof/internal/synth"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "text":
+		err = cmdText(os.Args[2:])
+	case "kv":
+		err = cmdKV(os.Args[2:])
+	case "graph":
+		err = cmdGraph(os.Args[2:])
+	case "tableII":
+		err = cmdTableII(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: datagen <text|kv|graph|tableII> [flags]`)
+}
+
+// parseSize understands "64MB", "1GB", "4096".
+func parseSize(s string) (int64, error) {
+	mult := int64(1)
+	upper := strings.ToUpper(strings.TrimSpace(s))
+	switch {
+	case strings.HasSuffix(upper, "GB"):
+		mult, upper = 1<<30, strings.TrimSuffix(upper, "GB")
+	case strings.HasSuffix(upper, "MB"):
+		mult, upper = 1<<20, strings.TrimSuffix(upper, "MB")
+	case strings.HasSuffix(upper, "KB"):
+		mult, upper = 1<<10, strings.TrimSuffix(upper, "KB")
+	}
+	v, err := strconv.ParseInt(upper, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return v * mult, nil
+}
+
+func cmdText(args []string) error {
+	fs := flag.NewFlagSet("text", flag.ExitOnError)
+	size := fs.String("size", "16MB", "corpus size")
+	vocab := fs.Int("vocab", 600_000, "vocabulary size")
+	zipf := fs.Float64("zipf", 1.1, "Zipf exponent")
+	seed := fs.Uint64("seed", 1, "random seed")
+	out := fs.String("out", "", "output file (default stdout)")
+	fs.Parse(args)
+	bytes, err := parseSize(*size)
+	if err != nil {
+		return err
+	}
+	spec := synth.TextSpec{Name: "text", SizeBytes: bytes, Vocab: *vocab, ZipfS: *zipf, AvgWordLen: 6, Seed: *seed}
+	w, closer, err := output(*out)
+	if err != nil {
+		return err
+	}
+	defer closer()
+	n, words, err := spec.Generate(w)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d bytes, %d words\n", n, words)
+	return nil
+}
+
+func cmdKV(args []string) error {
+	fs := flag.NewFlagSet("kv", flag.ExitOnError)
+	records := fs.Int64("records", 100_000, "number of records")
+	keyBytes := fs.Int("key", 10, "key bytes")
+	valBytes := fs.Int("val", 90, "value bytes")
+	seed := fs.Uint64("seed", 1, "random seed")
+	out := fs.String("out", "", "output file (default stdout)")
+	fs.Parse(args)
+	spec := synth.KVSpec{Name: "kv", Records: *records, KeyBytes: *keyBytes, ValBytes: *valBytes, Seed: *seed}
+	w, closer, err := output(*out)
+	if err != nil {
+		return err
+	}
+	defer closer()
+	n, err := spec.Generate(w)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d bytes\n", n)
+	return nil
+}
+
+func cmdGraph(args []string) error {
+	fs := flag.NewFlagSet("graph", flag.ExitOnError)
+	name := fs.String("name", "google", "Table II input name, or 'custom'")
+	scale := fs.Int("scale", 14, "Kronecker scale (2^scale vertices)")
+	edgeFactor := fs.Float64("edgefactor", 16, "edges per vertex (custom only)")
+	seed := fs.Uint64("seed", 1, "random seed")
+	out := fs.String("out", "", "output edge list (default stdout)")
+	fs.Parse(args)
+
+	var spec synth.KroneckerSpec
+	if *name == "custom" {
+		spec = synth.KroneckerSpec{
+			Name: "custom", Scale: *scale, EdgeFactor: *edgeFactor,
+			A: 0.57, B: 0.19, C: 0.19, D: 0.05, Seed: *seed,
+		}
+	} else {
+		found := false
+		for _, in := range synth.TableII(*scale, *seed) {
+			if in.Spec.Name == *name {
+				spec, found = in.Spec, true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown graph %q (see 'datagen tableII')", *name)
+		}
+	}
+	g, err := spec.Generate()
+	if err != nil {
+		return err
+	}
+	w, closer, err := output(*out)
+	if err != nil {
+		return err
+	}
+	defer closer()
+	for _, e := range g.Edges {
+		fmt.Fprintf(w, "%d\t%d\n", e[0], e[1])
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d vertices, %d edges, max out-degree %d, degree CoV %.2f\n",
+		g.Name, g.N, len(g.Edges), g.MaxDeg, g.DegreeCoV())
+	return nil
+}
+
+func cmdTableII(args []string) error {
+	fs := flag.NewFlagSet("tableII", flag.ExitOnError)
+	scale := fs.Int("scale", 14, "Kronecker scale")
+	seed := fs.Uint64("seed", 1, "random seed")
+	dir := fs.String("dir", "", "write each input to <dir>/<name>.txt (default: list only)")
+	fs.Parse(args)
+	for _, in := range synth.TableII(*scale, *seed) {
+		role := "reference"
+		if in.Training {
+			role = "training"
+		}
+		fmt.Printf("%-10s %-24s %s (2^%d vertices, %d edges)\n",
+			in.Spec.Name, in.Kind, role, in.Spec.Scale, in.Spec.Edges())
+		if *dir != "" {
+			g, err := in.Spec.Generate()
+			if err != nil {
+				return err
+			}
+			path := filepath.Join(*dir, in.Spec.Name+".txt")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			w := bufio.NewWriter(f)
+			for _, e := range g.Edges {
+				fmt.Fprintf(w, "%d\t%d\n", e[0], e[1])
+			}
+			w.Flush()
+			f.Close()
+		}
+	}
+	return nil
+}
+
+// output opens the destination (buffered) or wires stdout.
+func output(path string) (w *bufio.Writer, closer func(), err error) {
+	if path == "" {
+		w = bufio.NewWriter(os.Stdout)
+		return w, func() { w.Flush() }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	w = bufio.NewWriter(f)
+	return w, func() { w.Flush(); f.Close() }, nil
+}

@@ -1,0 +1,331 @@
+// Command simprof drives the SimProf pipeline from the shell:
+//
+//	simprof profile -bench wc -framework spark -out wc_sp.gob
+//	    profile a workload on the simulated machine and save the trace
+//	simprof phases -trace wc_sp.gob
+//	    form phases and print the phase table
+//	simprof sample -trace wc_sp.gob -n 20
+//	    select simulation points by stratified random sampling
+//	simprof plan -trace wc_sp.gob -err 0.05
+//	    compute the sample size needed for a target error bound
+//	simprof compare -trace wc_sp.gob -n 20
+//	    run all four sampling approaches and report their errors
+//	simprof sensitivity -bench cc -framework spark -graphscale 19
+//	    run the Table II input-sensitivity study for a graph workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"simprof/internal/core"
+	"simprof/internal/phase"
+	"simprof/internal/report"
+	"simprof/internal/sampling"
+	"simprof/internal/synth"
+	"simprof/internal/trace"
+	"simprof/internal/workloads"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "profile":
+		err = cmdProfile(os.Args[2:])
+	case "phases":
+		err = cmdPhases(os.Args[2:])
+	case "sample":
+		err = cmdSample(os.Args[2:])
+	case "plan":
+		err = cmdPlan(os.Args[2:])
+	case "compare":
+		err = cmdCompare(os.Args[2:])
+	case "sensitivity":
+		err = cmdSensitivity(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "simprof: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simprof: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: simprof <command> [flags]
+
+commands:
+  profile      profile a workload and write the trace to a file
+  phases       form phases from a trace and print the phase table
+  sample       select simulation points (stratified random sampling)
+  plan         sample size needed for a target error bound
+  compare      error of SECOND/SRS/CODE/SimProf on a trace
+  sensitivity  input-sensitivity study for cc/rank (Table II inputs)
+
+run 'simprof <command> -h' for the command's flags`)
+}
+
+// workloadFlags registers the common workload-scale flags.
+func workloadFlags(fs *flag.FlagSet) (*string, *string, *uint64, *workloads.Options) {
+	bench := fs.String("bench", "wc", "benchmark: "+strings.Join(workloads.Benchmarks(), " "))
+	fw := fs.String("framework", "spark", "framework: spark or hadoop")
+	seed := fs.Uint64("seed", 42, "random seed")
+	opts := &workloads.Options{}
+	fs.IntVar(&opts.Cores, "cores", 4, "simulated cores / executor threads")
+	fs.Int64Var(&opts.TextBytes, "textbytes", 0, "text corpus size (wc/grep/bayes)")
+	fs.Int64Var(&opts.SortBytes, "sortbytes", 0, "sort input size")
+	fs.IntVar(&opts.GraphScale, "graphscale", 0, "Kronecker scale for cc/rank")
+	return bench, fw, seed, opts
+}
+
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	bench, fw, seed, opts := workloadFlags(fs)
+	out := fs.String("out", "", "output trace file (gob; .json for JSON)")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("profile: -out is required")
+	}
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	in, err := workloads.DefaultInput(*bench, *opts)
+	if err != nil {
+		return err
+	}
+	tr, err := core.ProfileWorkload(*bench, *fw, in, *opts, cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(*out, ".json") {
+		err = tr.EncodeJSON(f)
+	} else {
+		err = tr.EncodeGob(f)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d sampling units (%dM instructions each), oracle CPI %.3f → %s\n",
+		tr.Name(), len(tr.Units), tr.UnitInstr/1_000_000, tr.OracleCPI(), *out)
+	return nil
+}
+
+func loadTrace(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		return trace.DecodeJSON(f)
+	}
+	return trace.DecodeGob(f)
+}
+
+func formPhases(path string, seed uint64) (*trace.Trace, *phase.Phases, error) {
+	tr, err := loadTrace(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	ph, err := core.FormPhases(tr, cfg)
+	return tr, ph, err
+}
+
+func cmdPhases(args []string) error {
+	fs := flag.NewFlagSet("phases", flag.ExitOnError)
+	path := fs.String("trace", "", "trace file from 'simprof profile'")
+	seed := fs.Uint64("seed", 42, "random seed")
+	fs.Parse(args)
+	if *path == "" {
+		return fmt.Errorf("phases: -trace is required")
+	}
+	tr, ph, err := formPhases(*path, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d units → %d phases (silhouette %.2f)\n\n",
+		tr.Name(), len(tr.Units), ph.K, ph.Silhouette)
+	t := report.NewTable("", "Phase", "Units", "Weight", "Mean CPI", "CPI CoV", "LLC MPKI", "Type", "Dominant method")
+	weights := ph.Weights()
+	sizes := ph.Sizes()
+	counters := ph.CounterProfile()
+	for h := 0; h < ph.K; h++ {
+		dom := ""
+		if ms := ph.DominantMethods(h, 1); len(ms) > 0 {
+			dom = ms[0]
+		}
+		t.RowS(fmt.Sprint(h), fmt.Sprint(sizes[h]), fmt.Sprintf("%.1f%%", 100*weights[h]),
+			fmt.Sprintf("%.2f", counters[h].CPI.Mean), fmt.Sprintf("%.3f", counters[h].CPI.CoV),
+			fmt.Sprintf("%.2f", counters[h].LLCMPKI),
+			ph.DominantKind(h).String(), dom)
+	}
+	t.Render(os.Stdout)
+	cov := ph.CoV()
+	fmt.Printf("CoV of CPI: population %.3f, weighted %.3f, max %.3f\n",
+		cov.Population, cov.Weighted, cov.Max)
+	return nil
+}
+
+func cmdSample(args []string) error {
+	fs := flag.NewFlagSet("sample", flag.ExitOnError)
+	path := fs.String("trace", "", "trace file")
+	n := fs.Int("n", 20, "number of simulation points")
+	conf := fs.Float64("confidence", 0.997, "confidence level for the interval")
+	seed := fs.Uint64("seed", 42, "random seed")
+	fs.Parse(args)
+	if *path == "" {
+		return fmt.Errorf("sample: -trace is required")
+	}
+	tr, ph, err := formPhases(*path, *seed)
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	sp, err := core.SelectPoints(ph, *n, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d simulation points across %d phases\n", tr.Name(), sp.Size(), ph.K)
+	fmt.Printf("allocation (Eq. 1): %v\n", sp.Alloc)
+	fmt.Printf("estimated CPI: %s   (oracle %.4f, error %.2f%%)\n",
+		sp.CI(*conf), tr.OracleCPI(), 100*sp.Err(tr))
+	fmt.Printf("bootstrap CI:  %s   (distribution-free cross-check)\n",
+		sp.BootstrapCI(*conf, 2000, *seed))
+	fmt.Printf("simulation point unit ids: %v\n", sp.UnitIDs)
+	return nil
+}
+
+func cmdPlan(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	path := fs.String("trace", "", "trace file")
+	errTarget := fs.Float64("err", 0.05, "target relative CPI error")
+	conf := fs.Float64("confidence", 0.997, "confidence level")
+	seed := fs.Uint64("seed", 42, "random seed")
+	fs.Parse(args)
+	if *path == "" {
+		return fmt.Errorf("plan: -trace is required")
+	}
+	tr, ph, err := formPhases(*path, *seed)
+	if err != nil {
+		return err
+	}
+	nReq, err := sampling.RequiredSampleSize(ph, *errTarget, *conf)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d of %d units needed for ±%.0f%% CPI at %.1f%% confidence\n",
+		tr.Name(), nReq, len(tr.Units), 100**errTarget, 100**conf)
+	return nil
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	path := fs.String("trace", "", "trace file")
+	n := fs.Int("n", 20, "sample size for SRS/SimProf")
+	seed := fs.Uint64("seed", 42, "random seed")
+	fs.Parse(args)
+	if *path == "" {
+		return fmt.Errorf("compare: -trace is required")
+	}
+	tr, ph, err := formPhases(*path, *seed)
+	if err != nil {
+		return err
+	}
+	sec, err := sampling.Second(tr, sampling.DefaultSecond())
+	if err != nil {
+		return err
+	}
+	srs, err := sampling.SRS(tr, *n, *seed)
+	if err != nil {
+		return err
+	}
+	code, err := sampling.Code(ph)
+	if err != nil {
+		return err
+	}
+	sp, err := sampling.SimProf(ph, *n, *seed)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(fmt.Sprintf("%s — CPI estimates (oracle %.4f)", tr.Name(), tr.OracleCPI()),
+		"Approach", "Points", "Est CPI", "Error")
+	for _, s := range []sampling.Sample{sec, srs, code, sp.Sample} {
+		t.RowS(s.Method, fmt.Sprint(s.Size()), fmt.Sprintf("%.4f", s.EstCPI),
+			fmt.Sprintf("%.2f%%", 100*s.Err(tr)))
+	}
+	t.Render(os.Stdout)
+	return nil
+}
+
+func cmdSensitivity(args []string) error {
+	fs := flag.NewFlagSet("sensitivity", flag.ExitOnError)
+	bench := fs.String("bench", "cc", "graph benchmark: cc or rank")
+	fw := fs.String("framework", "spark", "framework: spark or hadoop")
+	scale := fs.Int("graphscale", 19, "Kronecker scale of the Table II inputs")
+	seed := fs.Uint64("seed", 42, "random seed")
+	fs.Parse(args)
+	if *bench != "cc" && *bench != "rank" {
+		return fmt.Errorf("sensitivity: -bench must be cc or rank")
+	}
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	opts := workloads.Options{}.WithDefaults()
+	inputs := synth.TableIIStats(*scale, *seed+99)
+	train, refs := inputs[0], inputs[1:]
+	fmt.Printf("training on %s, testing %d reference inputs...\n", train.Name, len(refs))
+	tr, err := core.ProfileWorkload(*bench, *fw, train, opts, cfg)
+	if err != nil {
+		return err
+	}
+	ph, err := core.FormPhases(tr, cfg)
+	if err != nil {
+		return err
+	}
+	rep, err := core.InputSensitivity(*bench, *fw, ph, refs, opts, cfg)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(fmt.Sprintf("%s — input sensitivity (threshold %.0f%%)", tr.Name(), 100*rep.Threshold),
+		"Phase", "Train CPI", "Sensitive", "Triggering inputs", "Dominant method")
+	for h := 0; h < ph.K; h++ {
+		var trig []string
+		for _, ir := range rep.Inputs {
+			if ir.Sensitive[h] {
+				trig = append(trig, ir.Input)
+			}
+		}
+		dom := ""
+		if ms := ph.DominantMethods(h, 1); len(ms) > 0 {
+			dom = ms[0]
+		}
+		t.RowS(fmt.Sprint(h), fmt.Sprintf("%.2f", rep.Train.Mean[h]),
+			fmt.Sprint(rep.Sensitive[h]), strings.Join(trig, ","), dom)
+	}
+	t.Render(os.Stdout)
+	sens, insens := rep.Counts()
+	sp, err := core.SelectPoints(ph, 20, cfg)
+	if err != nil {
+		return err
+	}
+	kept := rep.SensitivePointFraction(ph, sp.UnitIDs)
+	fmt.Printf("%d sensitive, %d insensitive phases; %.0f%% of simulation points can be skipped per reference input\n",
+		sens, insens, 100*(1-kept))
+	return nil
+}

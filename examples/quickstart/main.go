@@ -1,0 +1,65 @@
+// Quickstart: profile WordCount on the simulated Spark engine, form
+// phases, and pick 20 simulation points with a confidence interval —
+// the whole SimProf pipeline in ~40 lines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"simprof/internal/core"
+	"simprof/internal/workloads"
+)
+
+func main() {
+	cfg := core.DefaultConfig()
+	cfg.Seed = 7
+
+	// 1. Build the workload and profile it on the simulated machine.
+	//    (This is where the paper attaches JVMTI + perf_event to a real
+	//    Spark executor; here the whole cluster is simulated.)
+	opts := workloads.Options{TextBytes: 128 << 20}.WithDefaults()
+	input, err := workloads.DefaultInput("wc", opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := core.ProfileWorkload("wc", "spark", input, opts, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profiled %s: %d sampling units of %dM instructions\n",
+		tr.Name(), len(tr.Units), tr.UnitInstr/1_000_000)
+
+	// 2. Phase formation: vectorize call-stack snapshots, select the
+	//    IPC-correlated methods, cluster with k-means + silhouette.
+	ph, err := core.FormPhases(tr, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("formed %d phases (weights %v)\n", ph.K, percent(ph.Weights()))
+	for h := 0; h < ph.K; h++ {
+		fmt.Printf("  phase %d: %s, dominated by %v\n",
+			h, ph.DominantKind(h), ph.DominantMethods(h, 2))
+	}
+
+	// 3. Stratified random sampling with optimal allocation (Eq. 1).
+	points, err := core.SelectPoints(ph, 20, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("selected %d simulation points, allocation %v\n", points.Size(), points.Alloc)
+	fmt.Printf("estimated CPI %s — oracle is %.4f (%.2f%% error)\n",
+		points.CI(0.997), tr.OracleCPI(), 100*points.Err(tr))
+	fmt.Println("simulate only these units in your detailed simulator:")
+	fmt.Println(" ", points.UnitIDs)
+}
+
+func percent(ws []float64) []string {
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = fmt.Sprintf("%.1f%%", 100*w)
+	}
+	return out
+}

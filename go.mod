@@ -1,0 +1,3 @@
+module simprof
+
+go 1.24

@@ -1,0 +1,189 @@
+// Package cachesim implements a faithful set-associative LRU cache
+// simulator and a small library of memory access-stream generators. It
+// plays two roles in the SimProf reproduction:
+//
+//  1. it is the ground truth against which internal/cpu's fast analytic
+//     miss-rate model is calibrated and tested, and
+//  2. it backs the ablation benchmarks that quantify what the analytic
+//     shortcut costs in fidelity.
+package cachesim
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	SizeBytes int    // total capacity
+	LineBytes int    // cache line size (power of two)
+	Ways      int    // associativity
+	Policy    Policy // replacement policy (default LRU)
+}
+
+// Validate checks structural invariants of the configuration.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cachesim: non-positive geometry %+v", c)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cachesim: line size %d not a power of two", c.LineBytes)
+	}
+	lines := c.SizeBytes / c.LineBytes
+	if lines*c.LineBytes != c.SizeBytes {
+		return fmt.Errorf("cachesim: size %d not a multiple of line %d", c.SizeBytes, c.LineBytes)
+	}
+	if lines%c.Ways != 0 {
+		return fmt.Errorf("cachesim: %d lines not divisible by %d ways", lines, c.Ways)
+	}
+	return nil
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int { return c.SizeBytes / c.LineBytes / c.Ways }
+
+// Stats accumulates access outcomes.
+type Stats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+// MissRate returns Misses/Accesses (0 for no accesses).
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is a single set-associative cache level with a configurable
+// replacement policy.
+type Cache struct {
+	cfg      Config
+	sets     int
+	setShift uint
+	setMask  uint64
+	tags     []uint64 // sets × ways
+	valid    []bool
+	age      []uint64 // LRU stamps
+	insert   []uint64 // FIFO insertion stamps
+	rrpv     []uint8  // SRRIP re-reference predictions
+	rngState uint64   // RandomRepl state
+	clock    uint64
+	stats    Stats
+}
+
+// New builds a cache; it panics on an invalid configuration (a
+// programming error in the caller).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.Sets()
+	shift := uint(0)
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	c := &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		setShift: shift,
+		setMask:  uint64(sets - 1),
+		tags:     make([]uint64, sets*cfg.Ways),
+		valid:    make([]bool, sets*cfg.Ways),
+		age:      make([]uint64, sets*cfg.Ways),
+		insert:   make([]uint64, sets*cfg.Ways),
+		rrpv:     make([]uint8, sets*cfg.Ways),
+		rngState: 0x853c49e6748fea9b,
+	}
+	if sets&(sets-1) != 0 {
+		// Non-power-of-two set counts use modulo indexing instead of the
+		// mask; flag with setMask = 0.
+		c.setMask = 0
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns the access statistics so far.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Reset clears contents and statistics (a cold cache).
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.age[i] = 0
+		c.insert[i] = 0
+		c.rrpv[i] = 0
+		c.tags[i] = 0
+	}
+	c.clock = 0
+	c.stats = Stats{}
+}
+
+// Access touches the byte address addr and reports whether it hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.stats.Accesses++
+	c.clock++
+	line := addr >> c.setShift
+	var set uint64
+	if c.setMask != 0 {
+		set = line & c.setMask
+	} else {
+		set = line % uint64(c.sets)
+	}
+	tag := line
+	base := int(set) * c.cfg.Ways
+	victim := -1
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == tag {
+			c.touch(i)
+			return true
+		}
+		if !c.valid[i] && victim < 0 {
+			victim = i
+		}
+	}
+	c.stats.Misses++
+	if victim < 0 {
+		victim = c.victimFor(base)
+	}
+	c.valid[victim] = true
+	c.tags[victim] = tag
+	c.install(victim)
+	return false
+}
+
+// Hierarchy chains cache levels: an access that misses level i is
+// forwarded to level i+1.
+type Hierarchy struct {
+	Levels []*Cache
+}
+
+// NewHierarchy builds a hierarchy from level configs (L1 first).
+func NewHierarchy(cfgs ...Config) *Hierarchy {
+	h := &Hierarchy{}
+	for _, cfg := range cfgs {
+		h.Levels = append(h.Levels, New(cfg))
+	}
+	return h
+}
+
+// Access walks the hierarchy and returns the deepest level that was
+// accessed (0-based); len(Levels) means the access missed everywhere
+// (went to memory).
+func (h *Hierarchy) Access(addr uint64) int {
+	for i, c := range h.Levels {
+		if c.Access(addr) {
+			return i
+		}
+	}
+	return len(h.Levels)
+}
+
+// Reset cold-starts every level.
+func (h *Hierarchy) Reset() {
+	for _, c := range h.Levels {
+		c.Reset()
+	}
+}

@@ -1,0 +1,208 @@
+package cachesim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func l1() Config  { return Config{SizeBytes: 32 << 10, LineBytes: 64, Ways: 8} }
+func llc() Config { return Config{SizeBytes: 1 << 20, LineBytes: 64, Ways: 16} }
+
+func TestConfigValidate(t *testing.T) {
+	if err := l1().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{SizeBytes: 0, LineBytes: 64, Ways: 8},
+		{SizeBytes: 1024, LineBytes: 48, Ways: 2},   // non-pow2 line
+		{SizeBytes: 1000, LineBytes: 64, Ways: 2},   // size not multiple of line
+		{SizeBytes: 64 * 9, LineBytes: 64, Ways: 2}, // lines not divisible by ways
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d validated: %+v", i, c)
+		}
+	}
+	if got := l1().Sets(); got != 64 {
+		t.Fatalf("Sets=%d want 64", got)
+	}
+}
+
+func TestColdMissesThenHits(t *testing.T) {
+	c := New(l1())
+	if c.Access(0x1000) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0x1000) {
+		t.Fatal("second access missed")
+	}
+	if !c.Access(0x1000 + 63) {
+		t.Fatal("same-line access missed")
+	}
+	if c.Access(0x1000 + 64) {
+		t.Fatal("next line hit while cold")
+	}
+	st := c.Stats()
+	if st.Accesses != 4 || st.Misses != 2 {
+		t.Fatalf("stats=%+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Direct-mapped-ish: 2 ways, 2 sets, 64B lines → 256B cache.
+	c := New(Config{SizeBytes: 256, LineBytes: 64, Ways: 2})
+	// Three lines mapping to set 0: addresses 0, 128, 256 (stride = sets*line = 128).
+	c.Access(0)
+	c.Access(128)
+	c.Access(0) // refresh 0 → LRU is 128
+	c.Access(256)
+	if !c.Access(0) {
+		t.Fatal("line 0 should have survived (was MRU)")
+	}
+	if c.Access(128) {
+		t.Fatal("line 128 should have been evicted (was LRU)")
+	}
+}
+
+func TestWorkingSetFitsMeansNoCapacityMisses(t *testing.T) {
+	c := New(l1())
+	s := &SequentialStream{Size: 16 << 10, Stride: 64}
+	// First sweep: compulsory misses only; later sweeps: all hits.
+	for i := 0; i < 256; i++ {
+		c.Access(s.Next())
+	}
+	before := c.Stats().Misses
+	for sweep := 0; sweep < 4; sweep++ {
+		for i := 0; i < 256; i++ {
+			c.Access(s.Next())
+		}
+	}
+	if c.Stats().Misses != before {
+		t.Fatalf("resident working set still missing: %d → %d", before, c.Stats().Misses)
+	}
+}
+
+func TestWorkingSetExceedsCapacityThrashes(t *testing.T) {
+	c := New(l1())
+	// 64KB working set in a 32KB cache with a sequential sweep → LRU
+	// pathological: ~100% miss rate after warmup.
+	s := &SequentialStream{Size: 64 << 10, Stride: 64}
+	for i := 0; i < 1024; i++ {
+		c.Access(s.Next()) // warm
+	}
+	warm := c.Stats()
+	for i := 0; i < 4096; i++ {
+		c.Access(s.Next())
+	}
+	st := c.Stats()
+	missRate := float64(st.Misses-warm.Misses) / float64(st.Accesses-warm.Accesses)
+	if missRate < 0.95 {
+		t.Fatalf("cyclic over-capacity sweep miss rate=%v want ≈1", missRate)
+	}
+}
+
+func TestRandomStreamMissRateTracksWorkingSet(t *testing.T) {
+	small := New(llc())
+	big := New(llc())
+	// Working set half the LLC → low miss rate; 8× LLC → high.
+	Drive(&Hierarchy{Levels: []*Cache{small}}, NewRandomStream(0, 512<<10, 1), 200000)
+	Drive(&Hierarchy{Levels: []*Cache{big}}, NewRandomStream(0, 8<<20, 2), 200000)
+	if small.Stats().MissRate() > 0.15 {
+		t.Fatalf("fits-in-cache random miss rate=%v", small.Stats().MissRate())
+	}
+	if big.Stats().MissRate() < 0.75 {
+		t.Fatalf("8x-capacity random miss rate=%v", big.Stats().MissRate())
+	}
+}
+
+func TestHierarchyForwarding(t *testing.T) {
+	h := NewHierarchy(l1(), llc())
+	lvl := h.Access(0x40000)
+	if lvl != 2 {
+		t.Fatalf("cold access depth=%d want 2 (memory)", lvl)
+	}
+	if got := h.Access(0x40000); got != 0 {
+		t.Fatalf("warm access depth=%d want 0 (L1 hit)", got)
+	}
+	h.Reset()
+	if got := h.Access(0x40000); got != 2 {
+		t.Fatalf("after reset depth=%d want 2", got)
+	}
+}
+
+func TestDriveCounts(t *testing.T) {
+	h := NewHierarchy(l1(), llc())
+	s := &SequentialStream{Size: 4 << 10, Stride: 64}
+	out := Drive(h, s, 1000)
+	if len(out) != 3 {
+		t.Fatalf("Drive output len=%d", len(out))
+	}
+	// 64 lines compulsory-missed in both levels, everything else L1 hits.
+	if out[0] != 64 || out[1] != 64 || out[2] != 64 {
+		t.Fatalf("Drive counts=%v want [64 64 64]", out)
+	}
+}
+
+func TestSawtoothOscillates(t *testing.T) {
+	s := &SawtoothStream{Size: 1 << 20, MinSize: 4 << 10, Stride: 64}
+	c := New(l1())
+	// The stream revisits small partitions (cache-resident → hits) and
+	// large ones (thrash → misses); both regimes must appear.
+	windowMisses := make([]float64, 0, 64)
+	for w := 0; w < 64; w++ {
+		before := c.Stats()
+		for i := 0; i < 4096; i++ {
+			c.Access(s.Next())
+		}
+		after := c.Stats()
+		windowMisses = append(windowMisses,
+			float64(after.Misses-before.Misses)/float64(after.Accesses-before.Accesses))
+	}
+	lo, hi := 1.0, 0.0
+	for _, m := range windowMisses {
+		if m < lo {
+			lo = m
+		}
+		if m > hi {
+			hi = m
+		}
+	}
+	if hi-lo < 0.3 {
+		t.Fatalf("sawtooth miss rate range [%v,%v] too narrow", lo, hi)
+	}
+}
+
+func TestStridedStream(t *testing.T) {
+	s := &StridedStream{Size: 1 << 16, Stride: 4096}
+	seen := map[uint64]bool{}
+	for i := 0; i < 16; i++ {
+		seen[s.Next()] = true
+	}
+	if len(seen) != 16 {
+		t.Fatalf("strided stream repeated addresses early: %d unique", len(seen))
+	}
+}
+
+func TestCacheNeverNegativeAndBounded(t *testing.T) {
+	f := func(seed uint64) bool {
+		c := New(Config{SizeBytes: 4096, LineBytes: 64, Ways: 4})
+		s := NewRandomStream(0, 1<<16, seed)
+		for i := 0; i < 2000; i++ {
+			c.Access(s.Next())
+		}
+		st := c.Stats()
+		return st.Misses <= st.Accesses && st.Accesses == 2000
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with bad config should panic")
+		}
+	}()
+	New(Config{SizeBytes: -1, LineBytes: 64, Ways: 1})
+}

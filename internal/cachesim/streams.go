@@ -1,0 +1,124 @@
+package cachesim
+
+import (
+	"math/rand/v2"
+
+	"simprof/internal/stats"
+)
+
+// Stream generates a memory address stream. Next returns the next byte
+// address to access.
+type Stream interface {
+	Next() uint64
+}
+
+// SequentialStream walks a region linearly with a fixed stride,
+// wrapping at the end — the pattern of a scan over an input split.
+type SequentialStream struct {
+	Base   uint64
+	Size   uint64 // region size in bytes
+	Stride uint64 // bytes per access (e.g. 8 for a word scan)
+	pos    uint64
+}
+
+// Next returns the next sequential address.
+func (s *SequentialStream) Next() uint64 {
+	a := s.Base + s.pos
+	s.pos += s.Stride
+	if s.pos >= s.Size {
+		s.pos = 0
+	}
+	return a
+}
+
+// RandomStream accesses uniformly random addresses within a working set —
+// the pattern of hash-map probes in a reduce operation.
+type RandomStream struct {
+	Base uint64
+	Size uint64
+	rng  *rand.Rand
+}
+
+// NewRandomStream builds a random stream over [base, base+size).
+func NewRandomStream(base, size uint64, seed uint64) *RandomStream {
+	return &RandomStream{Base: base, Size: size, rng: stats.NewRNG(seed)}
+}
+
+// Next returns a uniformly random address in the working set.
+func (s *RandomStream) Next() uint64 {
+	return s.Base + uint64(s.rng.Int64N(int64(s.Size)))
+}
+
+// StridedStream accesses with a large fixed stride (column walks,
+// pointer-chasing with regular layout).
+type StridedStream struct {
+	Base   uint64
+	Size   uint64
+	Stride uint64
+	pos    uint64
+}
+
+// Next returns the next strided address.
+func (s *StridedStream) Next() uint64 {
+	a := s.Base + s.pos
+	s.pos += s.Stride
+	if s.pos >= s.Size {
+		s.pos = (s.pos + 64) % s.Stride // shift phase each sweep
+	}
+	return a
+}
+
+// SawtoothStream models quicksort-like recursion. Quicksort touches all N
+// elements once per recursion level, so execution time divides evenly
+// across levels while the partition (working-set) size halves each level:
+// the stream spends Size/Stride accesses per level, sweeping a region of
+// Size>>level bytes repeatedly, then descends; below MinSize it restarts.
+// The effective working set therefore oscillates between cache-resident
+// and thrashing — the high intra-phase CPI variance the paper attributes
+// to sorting (§III-B.1 "data access pattern").
+type SawtoothStream struct {
+	Base    uint64
+	Size    uint64 // level-0 partition size (whole array)
+	MinSize uint64 // smallest partition before restarting
+	Stride  uint64
+	level   uint64
+	pos     uint64
+	spent   uint64 // bytes swept at the current level
+}
+
+// Next returns the next address of the sawtooth sweep.
+func (s *SawtoothStream) Next() uint64 {
+	cur := s.Size >> s.level
+	if cur < s.MinSize {
+		s.level, s.pos, s.spent = 0, 0, 0
+		cur = s.Size
+	}
+	a := s.Base + s.pos
+	s.pos += s.Stride
+	if s.pos >= cur {
+		s.pos = 0
+	}
+	s.spent += s.Stride
+	if s.spent >= s.Size {
+		s.level++
+		s.pos, s.spent = 0, 0
+	}
+	return a
+}
+
+// Drive pushes n accesses from the stream through the hierarchy and
+// returns per-level miss counts (index i = level i misses; the last
+// entry counts accesses that reached memory).
+func Drive(h *Hierarchy, s Stream, n int) []uint64 {
+	out := make([]uint64, len(h.Levels)+1)
+	for i := 0; i < n; i++ {
+		lvl := h.Access(s.Next())
+		for l := 1; l <= lvl; l++ {
+			out[l-1]++
+		}
+		if lvl == len(h.Levels) {
+			out[len(h.Levels)]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+// Package calibrate validates the fast analytic cache model in
+// internal/cpu against the exact set-associative simulator in
+// internal/cachesim, and provides the fitting routines used to choose
+// the analytic constants. The machine model's credibility rests on this
+// agreement: every engine segment is priced by the analytic curves, so
+// their deviation from exact simulation bounds the whole substrate's
+// cache-behaviour error.
+package calibrate
+
+import (
+	"fmt"
+	"math"
+
+	"simprof/internal/cachesim"
+	"simprof/internal/cpu"
+)
+
+// Point is one (pattern, working set) comparison between the exact and
+// the analytic miss rates.
+type Point struct {
+	Pattern    cpu.PatternKind
+	WorkingSet uint64
+	Exact      float64
+	Analytic   float64
+}
+
+// AbsErr returns |Exact − Analytic|.
+func (p Point) AbsErr() float64 { return math.Abs(p.Exact - p.Analytic) }
+
+// Report summarizes a validation sweep.
+type Report struct {
+	Points     []Point
+	MeanAbsErr float64
+	MaxAbsErr  float64
+}
+
+// Options sizes the validation sweep.
+type Options struct {
+	// Accesses per measurement after warm-up (default 200k).
+	Accesses int
+	// Warmup accesses before measuring (default 60k).
+	Warmup int
+	// WorkingSets to sweep; default covers 1/8× to 16× the cache.
+	WorkingSets []uint64
+	Seed        uint64
+}
+
+func (o Options) withDefaults(capacity uint64) Options {
+	if o.Accesses <= 0 {
+		o.Accesses = 200_000
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 60_000
+	}
+	if len(o.WorkingSets) == 0 {
+		for f := capacity / 8; f <= capacity*16; f *= 2 {
+			o.WorkingSets = append(o.WorkingSets, f)
+		}
+	}
+	return o
+}
+
+// streamFor builds the exact-simulator stream matching a pattern.
+func streamFor(p cpu.PatternKind, ws uint64, seed uint64) (cachesim.Stream, error) {
+	switch p {
+	case cpu.PatternSequential:
+		return &cachesim.SequentialStream{Size: ws, Stride: 8}, nil
+	case cpu.PatternRandom:
+		return cachesim.NewRandomStream(0, ws, seed), nil
+	case cpu.PatternStrided:
+		return &cachesim.StridedStream{Size: ws, Stride: 4096}, nil
+	default:
+		return nil, fmt.Errorf("calibrate: no stream for pattern %v", p)
+	}
+}
+
+// measureExact runs the stream through a fresh exact cache and returns
+// the steady-state miss rate.
+func measureExact(cfg cachesim.Config, s cachesim.Stream, o Options) float64 {
+	c := cachesim.New(cfg)
+	for i := 0; i < o.Warmup; i++ {
+		c.Access(s.Next())
+	}
+	warm := c.Stats()
+	for i := 0; i < o.Accesses; i++ {
+		c.Access(s.Next())
+	}
+	st := c.Stats()
+	return float64(st.Misses-warm.Misses) / float64(st.Accesses-warm.Accesses)
+}
+
+// ValidateMissModel sweeps the given patterns and working sets and
+// compares the analytic model of spec against exact simulation of the
+// equivalent geometry.
+func ValidateMissModel(spec cpu.CacheSpec, ways int, patterns []cpu.PatternKind, opts Options) (Report, error) {
+	o := opts.withDefaults(spec.SizeBytes)
+	csCfg := cachesim.Config{
+		SizeBytes: int(spec.SizeBytes),
+		LineBytes: int(spec.LineBytes),
+		Ways:      ways,
+	}
+	if err := csCfg.Validate(); err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	for _, p := range patterns {
+		for i, ws := range o.WorkingSets {
+			s, err := streamFor(p, ws, o.Seed+uint64(i))
+			if err != nil {
+				return Report{}, err
+			}
+			pt := Point{
+				Pattern:    p,
+				WorkingSet: ws,
+				Exact:      measureExact(csCfg, s, o),
+				Analytic:   spec.MissRate(cpu.Access{Kind: p, WorkingSet: ws, Refs: 0.3}),
+			}
+			rep.Points = append(rep.Points, pt)
+		}
+	}
+	for _, pt := range rep.Points {
+		rep.MeanAbsErr += pt.AbsErr() / float64(len(rep.Points))
+		if e := pt.AbsErr(); e > rep.MaxAbsErr {
+			rep.MaxAbsErr = e
+		}
+	}
+	return rep, nil
+}
+
+// FitSequentialStride recovers the element stride that best explains an
+// exact cache's miss rate under an over-capacity sequential sweep — the
+// constant the analytic model hard-codes as 8 bytes (miss rate =
+// stride/line for cyclic LRU thrashing). Grid search over candidate
+// strides, least squares across working sets.
+func FitSequentialStride(cfg cachesim.Config, trueStride uint64, opts Options) (uint64, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	o := opts.withDefaults(uint64(cfg.SizeBytes))
+	// Measure exact miss rates with the true stride on over-capacity sweeps.
+	var measured []float64
+	var sweeps []uint64
+	for _, ws := range o.WorkingSets {
+		if ws <= uint64(cfg.SizeBytes)*2 {
+			continue // only the thrashing regime identifies the stride
+		}
+		s := &cachesim.SequentialStream{Size: ws, Stride: trueStride}
+		measured = append(measured, measureExact(cfg, s, o))
+		sweeps = append(sweeps, ws)
+	}
+	if len(measured) == 0 {
+		return 0, fmt.Errorf("calibrate: no over-capacity working sets in sweep")
+	}
+	best, bestErr := uint64(0), math.Inf(1)
+	for stride := uint64(1); stride <= uint64(cfg.LineBytes); stride *= 2 {
+		var sse float64
+		predicted := float64(stride) / float64(cfg.LineBytes)
+		for _, m := range measured {
+			d := m - predicted
+			sse += d * d
+		}
+		if sse < bestErr {
+			best, bestErr = stride, sse
+		}
+	}
+	return best, nil
+}
+
+// FitResidual measures the true resident-working-set miss rate of the
+// exact simulator (conflict misses under random probing at a given
+// occupancy) — the basis of the analytic model's occupancy-scaled
+// residual term.
+func FitResidual(cfg cachesim.Config, occupancy float64, opts Options) (float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	if occupancy <= 0 || occupancy > 1 {
+		return 0, fmt.Errorf("calibrate: occupancy %v out of (0,1]", occupancy)
+	}
+	o := opts.withDefaults(uint64(cfg.SizeBytes))
+	ws := uint64(float64(cfg.SizeBytes) * occupancy)
+	s := cachesim.NewRandomStream(0, ws, o.Seed+1)
+	return measureExact(cfg, s, o), nil
+}

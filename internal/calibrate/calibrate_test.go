@@ -1,0 +1,100 @@
+package calibrate
+
+import (
+	"testing"
+
+	"simprof/internal/cachesim"
+	"simprof/internal/cpu"
+)
+
+func TestValidateMissModelAgreement(t *testing.T) {
+	spec := cpu.CacheSpec{SizeBytes: 256 << 10, LineBytes: 64}
+	rep, err := ValidateMissModel(spec, 8,
+		[]cpu.PatternKind{cpu.PatternSequential, cpu.PatternRandom}, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) == 0 {
+		t.Fatal("no sweep points")
+	}
+	// The analytic curves must track the exact simulator closely: this
+	// bound is what DESIGN.md's "calibrated against the exact
+	// simulator" means quantitatively.
+	if rep.MeanAbsErr > 0.04 {
+		t.Fatalf("mean abs miss-rate error %.4f too high", rep.MeanAbsErr)
+	}
+	if rep.MaxAbsErr > 0.12 {
+		t.Fatalf("max abs miss-rate error %.4f too high", rep.MaxAbsErr)
+	}
+	for _, p := range rep.Points {
+		if p.Exact < 0 || p.Exact > 1 || p.Analytic < 0 || p.Analytic > 1 {
+			t.Fatalf("rates out of range: %+v", p)
+		}
+	}
+}
+
+func TestValidateStridedPattern(t *testing.T) {
+	spec := cpu.CacheSpec{SizeBytes: 64 << 10, LineBytes: 64}
+	rep, err := ValidateMissModel(spec, 4, []cpu.PatternKind{cpu.PatternStrided}, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strided over-capacity: both must be ≈1.
+	for _, p := range rep.Points {
+		if p.WorkingSet > 2*spec.SizeBytes && p.Exact < 0.9 {
+			t.Fatalf("exact strided miss %.3f at ws=%d; expected ≈1", p.Exact, p.WorkingSet)
+		}
+	}
+}
+
+func TestValidateUnknownPattern(t *testing.T) {
+	spec := cpu.CacheSpec{SizeBytes: 64 << 10, LineBytes: 64}
+	if _, err := ValidateMissModel(spec, 4, []cpu.PatternKind{cpu.PatternSawtooth}, Options{}); err == nil {
+		t.Fatal("sawtooth has no direct stream; should error")
+	}
+}
+
+func TestFitSequentialStrideRecoversTruth(t *testing.T) {
+	cfg := cachesim.Config{SizeBytes: 64 << 10, LineBytes: 64, Ways: 8}
+	for _, truth := range []uint64{4, 8, 16, 32} {
+		got, err := FitSequentialStride(cfg, truth, Options{Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != truth {
+			t.Errorf("stride %d: fitted %d", truth, got)
+		}
+	}
+}
+
+func TestFitResidualGrowsWithOccupancy(t *testing.T) {
+	cfg := cachesim.Config{SizeBytes: 128 << 10, LineBytes: 64, Ways: 8}
+	low, err := FitResidual(cfg, 0.25, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := FitResidual(cfg, 0.95, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low > high {
+		t.Fatalf("residual should grow with occupancy: %.4f vs %.4f", low, high)
+	}
+	if high > 0.05 {
+		t.Fatalf("resident residual %.4f implausibly high", high)
+	}
+	if _, err := FitResidual(cfg, 1.5, Options{}); err == nil {
+		t.Fatal("occupancy > 1 should fail")
+	}
+}
+
+func BenchmarkValidateMissModel(b *testing.B) {
+	spec := cpu.CacheSpec{SizeBytes: 256 << 10, LineBytes: 64}
+	for i := 0; i < b.N; i++ {
+		if _, err := ValidateMissModel(spec, 8,
+			[]cpu.PatternKind{cpu.PatternSequential, cpu.PatternRandom},
+			Options{Accesses: 50_000, Warmup: 20_000, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

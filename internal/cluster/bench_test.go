@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"testing"
+
+	"simprof/internal/stats"
+)
+
+// benchPoints builds n points in d dimensions around k true centers —
+// the shape of phase-formation inputs (N sampling units × top-K method
+// dimensions).
+func benchPoints(n, d, k int, seed uint64) [][]float64 {
+	rng := stats.NewRNG(seed)
+	centers := make([][]float64, k)
+	for c := range centers {
+		centers[c] = make([]float64, d)
+		for j := range centers[c] {
+			centers[c][j] = rng.Float64() * 20
+		}
+	}
+	pts := make([][]float64, n)
+	for i := range pts {
+		c := centers[i%k]
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = c[j] + rng.NormFloat64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func BenchmarkKMeans_1000x100(b *testing.B) {
+	pts := benchPoints(1000, 100, 6, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KMeans(pts, 6, Options{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChooseK is the full phase-formation k sweep (k ∈ [1,20] with
+// the silhouette scoring), the dominant cost of SimProf's analysis.
+func BenchmarkChooseK_1000x100(b *testing.B) {
+	pts := benchPoints(1000, 100, 6, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ChooseK(pts, ChooseKOptions{KMeans: Options{Seed: uint64(i)}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSilhouetteExactVsSimplified quantifies why phase formation
+// uses the centroid-based silhouette: the exact form is O(n²·d).
+func BenchmarkSilhouetteExact(b *testing.B) {
+	pts := benchPoints(500, 100, 4, 3)
+	res, _ := KMeans(pts, 4, Options{Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Silhouette(pts, res.Assign, 4)
+	}
+}
+
+func BenchmarkSilhouetteSimplified(b *testing.B) {
+	pts := benchPoints(500, 100, 4, 3)
+	res, _ := KMeans(pts, 4, Options{Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SimplifiedSilhouette(pts, res.Centers, res.Assign)
+	}
+}

@@ -1,0 +1,100 @@
+package cluster
+
+import "fmt"
+
+// KSelection records the outcome of the k sweep used by phase formation.
+type KSelection struct {
+	K          int       // chosen number of clusters
+	Best       Result    // clustering at the chosen k
+	Scores     []float64 // silhouette score per k (index 0 ↔ k=1)
+	BestScore  float64   // highest silhouette over the sweep
+	ChosenScor float64   // silhouette at the chosen k
+}
+
+// ChooseKOptions configures ChooseK.
+type ChooseKOptions struct {
+	MaxK      int     // upper bound of the sweep (paper: 20)
+	Threshold float64 // fraction of the best score that still qualifies (default 0.93; paper: 0.90)
+	MinScore  float64 // below this best score the data has no cluster structure → k=1 (default 0.20)
+	KMeans    Options
+}
+
+func (o ChooseKOptions) withDefaults() ChooseKOptions {
+	if o.MaxK <= 0 {
+		o.MaxK = 20
+	}
+	if o.Threshold <= 0 {
+		o.Threshold = 0.93
+	}
+	if o.MinScore <= 0 {
+		o.MinScore = 0.20
+	}
+	return o
+}
+
+// ChooseK scores every k in [1, MaxK] with the simplified silhouette and
+// returns the smallest k whose score is at least Threshold × the best
+// score (the paper's rule). k=1 is the degenerate "single phase" answer:
+// it is chosen when the best silhouette over k ≥ 2 is below MinScore,
+// i.e. when the units do not separate (e.g. grep on Spark, which runs a
+// single filter stage).
+func ChooseK(points [][]float64, opts ChooseKOptions) (KSelection, error) {
+	o := opts.withDefaults()
+	n := len(points)
+	if n == 0 {
+		return KSelection{}, fmt.Errorf("cluster: ChooseK with no points")
+	}
+	maxK := o.MaxK
+	// Small populations cannot support many clusters: below ~20 points
+	// per cluster the silhouette sweep overfits sampling noise, so the
+	// sweep is capped accordingly.
+	if cap := n / 20; maxK > cap {
+		maxK = cap
+	}
+	if maxK < 2 {
+		maxK = 2
+	}
+	if maxK > n {
+		maxK = n
+	}
+	sel := KSelection{Scores: make([]float64, maxK)}
+	results := make([]Result, maxK+1)
+	// k = 1 scores 0 by definition (silhouette undefined).
+	sel.Scores[0] = 0
+	for k := 2; k <= maxK; k++ {
+		kmOpts := o.KMeans
+		kmOpts.Seed = o.KMeans.Seed + uint64(k)*101
+		res, err := KMeans(points, k, kmOpts)
+		if err != nil {
+			return KSelection{}, err
+		}
+		results[k] = res
+		sel.Scores[k-1] = SimplifiedSilhouette(points, res.Centers, res.Assign)
+	}
+	best := 0.0
+	for _, s := range sel.Scores {
+		if s > best {
+			best = s
+		}
+	}
+	sel.BestScore = best
+	if best < o.MinScore {
+		// No cluster structure: one phase covering everything.
+		one, err := KMeans(points, 1, o.KMeans)
+		if err != nil {
+			return KSelection{}, err
+		}
+		sel.K, sel.Best, sel.ChosenScor = 1, one, 0
+		return sel, nil
+	}
+	for k := 2; k <= maxK; k++ {
+		if sel.Scores[k-1] >= o.Threshold*best {
+			sel.K = k
+			sel.Best = results[k]
+			sel.ChosenScor = sel.Scores[k-1]
+			return sel, nil
+		}
+	}
+	// Unreachable: the argmax always satisfies the threshold.
+	return sel, fmt.Errorf("cluster: no k satisfied threshold")
+}

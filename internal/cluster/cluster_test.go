@@ -1,0 +1,235 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"simprof/internal/stats"
+)
+
+// threeBlobs returns well-separated clusters around (0,0), (10,0), (0,10).
+func threeBlobs(perBlob int, seed uint64) ([][]float64, []int) {
+	rng := stats.NewRNG(seed)
+	centers := [][2]float64{{0, 0}, {10, 0}, {0, 10}}
+	var pts [][]float64
+	var truth []int
+	for c, ctr := range centers {
+		for i := 0; i < perBlob; i++ {
+			pts = append(pts, []float64{ctr[0] + rng.NormFloat64()*0.5, ctr[1] + rng.NormFloat64()*0.5})
+			truth = append(truth, c)
+		}
+	}
+	return pts, truth
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	pts, truth := threeBlobs(40, 3)
+	res, err := KMeans(pts, 3, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clustering should be a relabeling of the truth: same-blob points
+	// share an assignment, different blobs differ.
+	label := map[int]int{}
+	for i, c := range res.Assign {
+		if prev, ok := label[truth[i]]; ok {
+			if prev != c {
+				t.Fatalf("blob %d split across clusters", truth[i])
+			}
+		} else {
+			label[truth[i]] = c
+		}
+	}
+	if len(label) != 3 {
+		t.Fatalf("blobs merged: %v", label)
+	}
+}
+
+func TestKMeansInvariants(t *testing.T) {
+	pts, _ := threeBlobs(30, 11)
+	res, err := KMeans(pts, 4, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 4 || len(res.Centers) != 4 || len(res.Assign) != len(pts) {
+		t.Fatalf("shape wrong: %+v", res)
+	}
+	total := 0
+	for _, s := range res.Sizes {
+		total += s
+	}
+	if total != len(pts) {
+		t.Fatalf("sizes sum %d want %d", total, len(pts))
+	}
+	// Every point is assigned to its nearest center.
+	for i, p := range pts {
+		c, _ := NearestCenter(p, res.Centers)
+		if c != res.Assign[i] {
+			t.Fatalf("point %d assigned %d but nearest is %d", i, res.Assign[i], c)
+		}
+	}
+}
+
+func TestKMeansEdgeCases(t *testing.T) {
+	if _, err := KMeans(nil, 3, Options{}); err == nil {
+		t.Fatal("no points should error")
+	}
+	if _, err := KMeans([][]float64{{1}}, 0, Options{}); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	if _, err := KMeans([][]float64{{1, 2}, {1}}, 1, Options{}); err == nil {
+		t.Fatal("ragged dims should error")
+	}
+	// k > n clamps.
+	res, err := KMeans([][]float64{{1}, {2}}, 5, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 2 {
+		t.Fatalf("K=%d want clamp to 2", res.K)
+	}
+	// Identical points: inertia 0, single effective center value.
+	same := [][]float64{{3, 3}, {3, 3}, {3, 3}, {3, 3}}
+	res, err = KMeans(same, 2, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia != 0 {
+		t.Fatalf("identical points inertia=%v", res.Inertia)
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	pts, _ := threeBlobs(25, 7)
+	a, _ := KMeans(pts, 3, Options{Seed: 99})
+	b, _ := KMeans(pts, 3, Options{Seed: 99})
+	if a.Inertia != b.Inertia {
+		t.Fatal("same seed, different inertia")
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same seed, different assignment")
+		}
+	}
+}
+
+func TestSilhouetteSeparatedVsOverlapping(t *testing.T) {
+	pts, _ := threeBlobs(20, 13)
+	res, _ := KMeans(pts, 3, Options{Seed: 2})
+	sep := Silhouette(pts, res.Assign, 3)
+	if sep < 0.7 {
+		t.Fatalf("separated blobs silhouette=%v want >0.7", sep)
+	}
+	simp := SimplifiedSilhouette(pts, res.Centers, res.Assign)
+	if math.Abs(simp-sep) > 0.15 {
+		t.Fatalf("simplified %v far from exact %v", simp, sep)
+	}
+	// Random labels on one blob: silhouette near or below 0.
+	rng := stats.NewRNG(4)
+	var blob [][]float64
+	for i := 0; i < 60; i++ {
+		blob = append(blob, []float64{rng.NormFloat64(), rng.NormFloat64()})
+	}
+	assign := make([]int, len(blob))
+	for i := range assign {
+		assign[i] = rng.IntN(3)
+	}
+	if s := Silhouette(blob, assign, 3); s > 0.2 {
+		t.Fatalf("random labels silhouette=%v want ≤0.2", s)
+	}
+}
+
+func TestSilhouetteBounds(t *testing.T) {
+	f := func(seed uint64, kRaw uint8) bool {
+		rng := stats.NewRNG(seed)
+		n := 20 + int(seed%30)
+		k := int(kRaw%4) + 2
+		pts := make([][]float64, n)
+		assign := make([]int, n)
+		for i := range pts {
+			pts[i] = []float64{rng.Float64() * 10, rng.Float64() * 10}
+			assign[i] = rng.IntN(k)
+		}
+		s := Silhouette(pts, assign, k)
+		return s >= -1.0000001 && s <= 1.0000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSilhouetteDegenerate(t *testing.T) {
+	if s := Silhouette(nil, nil, 3); s != 0 {
+		t.Fatalf("empty silhouette=%v", s)
+	}
+	if s := Silhouette([][]float64{{1}, {2}}, []int{0, 0}, 1); s != 0 {
+		t.Fatalf("k=1 silhouette=%v", s)
+	}
+	// All identical points → 0 contributions.
+	pts := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	if s := Silhouette(pts, []int{0, 0, 1, 1}, 2); s != 0 {
+		t.Fatalf("identical points silhouette=%v", s)
+	}
+}
+
+func TestChooseKFindsThreeBlobs(t *testing.T) {
+	pts, _ := threeBlobs(30, 21)
+	sel, err := ChooseK(pts, ChooseKOptions{MaxK: 8, KMeans: Options{Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.K != 3 {
+		t.Fatalf("ChooseK=%d want 3 (scores=%v)", sel.K, sel.Scores)
+	}
+	if sel.Best.K != 3 || len(sel.Best.Assign) != len(pts) {
+		t.Fatalf("Best result inconsistent: %+v", sel.Best)
+	}
+}
+
+func TestChooseKNoStructureGivesOne(t *testing.T) {
+	// Identical points: no structure at all → k=1 (grep_sp behaviour).
+	pts := make([][]float64, 50)
+	for i := range pts {
+		pts[i] = []float64{5, 5, 5}
+	}
+	sel, err := ChooseK(pts, ChooseKOptions{MaxK: 6, KMeans: Options{Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.K != 1 {
+		t.Fatalf("identical points ChooseK=%d want 1", sel.K)
+	}
+}
+
+func TestChooseKPrefersSmallestWithinThreshold(t *testing.T) {
+	// Two blobs: k=2 is best; any k' > 2 within 90% must not be chosen
+	// because 2 comes first.
+	rng := stats.NewRNG(31)
+	var pts [][]float64
+	for i := 0; i < 40; i++ {
+		pts = append(pts, []float64{rng.NormFloat64() * 0.3, 0})
+		pts = append(pts, []float64{20 + rng.NormFloat64()*0.3, 0})
+	}
+	sel, err := ChooseK(pts, ChooseKOptions{MaxK: 10, KMeans: Options{Seed: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.K != 2 {
+		t.Fatalf("ChooseK=%d want 2", sel.K)
+	}
+}
+
+func TestChooseKEmpty(t *testing.T) {
+	if _, err := ChooseK(nil, ChooseKOptions{}); err == nil {
+		t.Fatal("empty ChooseK should error")
+	}
+}
+
+func TestNearestCenter(t *testing.T) {
+	centers := [][]float64{{0, 0}, {10, 10}}
+	c, d := NearestCenter([]float64{1, 1}, centers)
+	if c != 0 || d != 2 {
+		t.Fatalf("NearestCenter=(%d,%v)", c, d)
+	}
+}

@@ -1,0 +1,207 @@
+// Package cluster implements the clustering layer of SimProf's phase
+// formation: k-means with k-means++ seeding, silhouette scoring (both the
+// exact pairwise form and the centroid-based simplified form), and the
+// paper's k-selection rule (smallest k within 90% of the best silhouette
+// among k ∈ [1, 20]).
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"simprof/internal/stats"
+)
+
+// Result is the outcome of one k-means run.
+type Result struct {
+	K       int
+	Centers [][]float64 // K × D centroids
+	Assign  []int       // per-point cluster index
+	Sizes   []int       // points per cluster
+	Inertia float64     // Σ squared distance to assigned center
+	Iters   int
+}
+
+// Options controls KMeans.
+type Options struct {
+	MaxIter  int    // maximum Lloyd iterations (default 100)
+	Restarts int    // independent restarts, best inertia wins (default 4)
+	Seed     uint64 // RNG seed (deterministic)
+	Tol      float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 100
+	}
+	if o.Restarts <= 0 {
+		o.Restarts = 4
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+	return o
+}
+
+// SqDist returns the squared Euclidean distance between two vectors.
+func SqDist(a, b []float64) float64 {
+	var s float64
+	for i, av := range a {
+		d := av - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Dist returns the Euclidean distance between two vectors.
+func Dist(a, b []float64) float64 { return math.Sqrt(SqDist(a, b)) }
+
+// NearestCenter returns the index of the center closest to p and the
+// squared distance to it.
+func NearestCenter(p []float64, centers [][]float64) (int, float64) {
+	best, bestD := -1, math.Inf(1)
+	for c, center := range centers {
+		if d := SqDist(p, center); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best, bestD
+}
+
+// KMeans clusters points (N × D, row-major) into k clusters using Lloyd's
+// algorithm with k-means++ seeding. It returns an error for invalid
+// input; k larger than N is clamped to N.
+func KMeans(points [][]float64, k int, opts Options) (Result, error) {
+	n := len(points)
+	if n == 0 {
+		return Result{}, fmt.Errorf("cluster: no points")
+	}
+	if k <= 0 {
+		return Result{}, fmt.Errorf("cluster: k=%d must be positive", k)
+	}
+	d := len(points[0])
+	for i, p := range points {
+		if len(p) != d {
+			return Result{}, fmt.Errorf("cluster: point %d has dim %d, want %d", i, len(p), d)
+		}
+	}
+	if k > n {
+		k = n
+	}
+	o := opts.withDefaults()
+
+	best := Result{Inertia: math.Inf(1)}
+	for r := 0; r < o.Restarts; r++ {
+		rng := stats.NewRNG(stats.SplitSeed(o.Seed, uint64(r)))
+		res := lloyd(points, k, rng, o)
+		if res.Inertia < best.Inertia {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+func lloyd(points [][]float64, k int, rng *rand.Rand, o Options) Result {
+	n, d := len(points), len(points[0])
+	centers := seedPlusPlus(points, k, rng)
+	assign := make([]int, n)
+	sizes := make([]int, k)
+	prev := math.Inf(1)
+	var inertia float64
+	var iter int
+	for iter = 0; iter < o.MaxIter; iter++ {
+		// Assignment step.
+		inertia = 0
+		for i := range sizes {
+			sizes[i] = 0
+		}
+		for i, p := range points {
+			c, dist := NearestCenter(p, centers)
+			assign[i] = c
+			sizes[c]++
+			inertia += dist
+		}
+		// Update step.
+		next := make([][]float64, k)
+		for c := range next {
+			next[c] = make([]float64, d)
+		}
+		for i, p := range points {
+			c := assign[i]
+			for j, v := range p {
+				next[c][j] += v
+			}
+		}
+		for c := range next {
+			if sizes[c] == 0 {
+				// Re-seed an empty cluster at the point farthest from
+				// its center — standard k-means repair.
+				far, farD := 0, -1.0
+				for i, p := range points {
+					if dd := SqDist(p, centers[assign[i]]); dd > farD {
+						far, farD = i, dd
+					}
+				}
+				copy(next[c], points[far])
+				continue
+			}
+			inv := 1 / float64(sizes[c])
+			for j := range next[c] {
+				next[c][j] *= inv
+			}
+		}
+		centers = next
+		if math.Abs(prev-inertia) <= o.Tol*(1+prev) {
+			break
+		}
+		prev = inertia
+	}
+	// Final assignment pass so Assign/Sizes/Inertia are consistent with
+	// the returned (post-update) centers.
+	inertia = 0
+	for i := range sizes {
+		sizes[i] = 0
+	}
+	for i, p := range points {
+		c, dist := NearestCenter(p, centers)
+		assign[i] = c
+		sizes[c]++
+		inertia += dist
+	}
+	return Result{K: k, Centers: centers, Assign: assign, Sizes: sizes, Inertia: inertia, Iters: iter + 1}
+}
+
+// seedPlusPlus picks k initial centers with the k-means++ D² weighting.
+func seedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	n := len(points)
+	centers := make([][]float64, 0, k)
+	first := rng.IntN(n)
+	centers = append(centers, append([]float64(nil), points[first]...))
+	d2 := make([]float64, n)
+	for len(centers) < k {
+		var total float64
+		for i, p := range points {
+			_, dd := NearestCenter(p, centers)
+			d2[i] = dd
+			total += dd
+		}
+		var pick int
+		if total == 0 {
+			pick = rng.IntN(n) // all points identical to some center
+		} else {
+			u := rng.Float64() * total
+			var acc float64
+			pick = n - 1
+			for i, w := range d2 {
+				acc += w
+				if acc >= u {
+					pick = i
+					break
+				}
+			}
+		}
+		centers = append(centers, append([]float64(nil), points[pick]...))
+	}
+	return centers
+}

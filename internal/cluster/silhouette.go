@@ -1,0 +1,89 @@
+package cluster
+
+import "math"
+
+// Silhouette returns the exact mean silhouette coefficient of the
+// clustering: for each point, a = mean distance to its own cluster's
+// other members, b = lowest mean distance to another cluster, and
+// s = (b-a)/max(a,b). Points in singleton clusters contribute 0 (the
+// sklearn convention). The result is in [-1, 1]; it is 0 when every
+// cluster is a singleton and NaN-free by construction. O(n²·d): use
+// SimplifiedSilhouette for large inputs.
+func Silhouette(points [][]float64, assign []int, k int) float64 {
+	n := len(points)
+	if n == 0 || k < 2 {
+		return 0
+	}
+	sizes := make([]int, k)
+	for _, c := range assign {
+		sizes[c]++
+	}
+	var total float64
+	sum := make([]float64, k)
+	for i, p := range points {
+		for c := range sum {
+			sum[c] = 0
+		}
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			sum[assign[j]] += Dist(p, q)
+		}
+		ci := assign[i]
+		if sizes[ci] <= 1 {
+			continue // silhouette of a singleton is defined as 0
+		}
+		a := sum[ci] / float64(sizes[ci]-1)
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == ci || sizes[c] == 0 {
+				continue
+			}
+			if m := sum[c] / float64(sizes[c]); m < b {
+				b = m
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		if m := math.Max(a, b); m > 0 {
+			total += (b - a) / m
+		}
+	}
+	return total / float64(n)
+}
+
+// SimplifiedSilhouette is the centroid-based silhouette: a = distance to
+// the assigned centroid, b = distance to the nearest other centroid.
+// It tracks the exact silhouette closely for compact clusters and runs in
+// O(n·k·d), which keeps the k-sweep over thousands of 100-dimensional
+// sampling units cheap. Degenerate clusterings (all points on their
+// centroid, no second centroid) score 0.
+func SimplifiedSilhouette(points [][]float64, centers [][]float64, assign []int) float64 {
+	n := len(points)
+	k := len(centers)
+	if n == 0 || k < 2 {
+		return 0
+	}
+	var total float64
+	for i, p := range points {
+		a := Dist(p, centers[assign[i]])
+		b := math.Inf(1)
+		for c := range centers {
+			if c == assign[i] {
+				continue
+			}
+			if d := Dist(p, centers[c]); d < b {
+				b = d
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		if m := math.Max(a, b); m > 0 {
+			total += (b - a) / m
+		}
+	}
+	return total / float64(n)
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+
+	"simprof/internal/sampling"
+	"simprof/internal/synth"
+	"simprof/internal/workloads"
+)
+
+// smallOpts keeps the integration runs fast.
+func smallOpts() workloads.Options {
+	return workloads.Options{
+		Cores: 4, TextBytes: 48 << 20, SortBytes: 64 << 20,
+		GraphScale: 15, GraphEdgeFactor: 12,
+		SparkIterations: 5, HadoopIterations: 2,
+	}
+}
+
+func TestProfileWorkloadEndToEnd(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 3
+	in, err := workloads.DefaultInput("wc", smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ProfileWorkload("wc", "spark", in, smallOpts(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name() != "wc_sp" {
+		t.Fatalf("Name=%q", tr.Name())
+	}
+	if len(tr.Units) < 50 {
+		t.Fatalf("only %d units", len(tr.Units))
+	}
+	if tr.OracleCPI() < 0.3 || tr.OracleCPI() > 10 {
+		t.Fatalf("implausible oracle CPI %v", tr.OracleCPI())
+	}
+}
+
+func TestFullPipelineSimProfBeatsSRS(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 4
+	in, _ := workloads.DefaultInput("wc", smallOpts())
+	tr, err := ProfileWorkload("wc", "hadoop", in, smallOpts(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph, err := FormPhases(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.K < 2 {
+		t.Fatalf("wc_hp should have several phases, got %d", ph.K)
+	}
+	cov := ph.CoV()
+	if cov.Weighted >= cov.Population {
+		t.Fatalf("phase formation failed: weighted CoV %v ≥ population %v",
+			cov.Weighted, cov.Population)
+	}
+	// Mean error over repeated draws: stratified must beat SRS.
+	var srsErr, spErr float64
+	const reps = 15
+	for r := 0; r < reps; r++ {
+		s, err := sampling.SRS(tr, 20, uint64(1000+r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srsErr += s.Err(tr)
+		cfg2 := cfg
+		cfg2.Seed = uint64(2000 + r)
+		sp, err := SelectPoints(ph, 20, cfg2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spErr += sp.Err(tr)
+	}
+	if spErr >= srsErr {
+		t.Fatalf("SimProf mean error %v not below SRS %v", spErr/reps, srsErr/reps)
+	}
+}
+
+func TestProfileDeterminism(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 6
+	in, _ := workloads.DefaultInput("grep", smallOpts())
+	a, err := ProfileWorkload("grep", "spark", in, smallOpts(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ProfileWorkload("grep", "spark", in, smallOpts(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Units) != len(b.Units) {
+		t.Fatal("unit counts differ across identical runs")
+	}
+	for i := range a.Units {
+		if a.Units[i].Counters != b.Units[i].Counters {
+			t.Fatalf("unit %d counters differ", i)
+		}
+	}
+}
+
+func TestInputSensitivityEndToEnd(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 8
+	opts := smallOpts()
+	// Scale 19 puts the vertex indexes near the LLC boundary, where
+	// structural (skew) differences between inputs become visible.
+	inputs := synth.TableIIStats(19, 5)
+	train := inputs[0]
+	refs := []synth.InputStats{inputs[1], inputs[len(inputs)-1]} // facebook + road
+	tr, err := ProfileWorkload("cc", "spark", train, opts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph, err := FormPhases(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := InputSensitivity("cc", "spark", ph, refs, opts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sens, insens := rep.Counts()
+	if sens+insens != ph.K {
+		t.Fatalf("counts %d+%d != K=%d", sens, insens, ph.K)
+	}
+	if sens == 0 {
+		t.Fatal("graph workload with road vs web inputs should have sensitive phases")
+	}
+	if insens == 0 {
+		t.Fatal("sequential scan phases should be input-insensitive")
+	}
+}
+
+func TestProfileWorkloadErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	in, _ := workloads.DefaultInput("wc", smallOpts())
+	if _, err := ProfileWorkload("nope", "spark", in, smallOpts(), cfg); err == nil {
+		t.Fatal("unknown benchmark should fail")
+	}
+}

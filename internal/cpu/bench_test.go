@@ -1,0 +1,51 @@
+package cpu
+
+import (
+	"testing"
+
+	"simprof/internal/model"
+)
+
+// BenchmarkAnalyticMissModel is the counterpart of cachesim's
+// BenchmarkExactCacheAccess: one analytic evaluation replaces millions
+// of exact accesses per segment (the ablation DESIGN.md calls out).
+func BenchmarkAnalyticMissModel(b *testing.B) {
+	h := DefaultHierarchy()
+	a := Access{Kind: PatternRandom, WorkingSet: 8 << 20, Refs: 0.04}
+	for i := 0; i < b.N; i++ {
+		m := h.Misses(a, 0.7)
+		_ = h.StallCPI(a, m)
+	}
+}
+
+// BenchmarkMachineRun measures whole-machine execution throughput in
+// segments per second (each segment stands for ~1M instructions).
+func BenchmarkMachineRun(b *testing.B) {
+	stack := model.Stack{0, 1, 2}
+	mkThreads := func() []*Thread {
+		var threads []*Thread
+		for t := 0; t < 4; t++ {
+			th := &Thread{ID: t}
+			for s := 0; s < 2000; s++ {
+				th.Segments = append(th.Segments, Segment{
+					Stack: stack, Instr: 1_000_000, BaseCPI: 0.6,
+					Access: Access{Kind: PatternRandom, WorkingSet: 4 << 20, Refs: 0.04},
+				})
+			}
+			threads = append(threads, th)
+		}
+		return threads
+	}
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := NewMachine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Run(mkThreads()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(8000*b.N)/b.Elapsed().Seconds(), "segments/s")
+}

@@ -1,0 +1,440 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+
+	"simprof/internal/cachesim"
+	"simprof/internal/model"
+	"simprof/internal/stats"
+)
+
+func seqAccess(ws uint64) Access {
+	return Access{Kind: PatternSequential, WorkingSet: ws, Refs: 0.3}
+}
+
+func randAccess(ws uint64) Access {
+	return Access{Kind: PatternRandom, WorkingSet: ws, Refs: 0.3}
+}
+
+func TestMissRateMonotoneInWorkingSet(t *testing.T) {
+	spec := CacheSpec{256 << 10, 64}
+	prev := -1.0
+	for ws := uint64(16 << 10); ws <= 64<<20; ws *= 2 {
+		mr := spec.MissRate(randAccess(ws))
+		if mr < prev-1e-12 {
+			t.Fatalf("miss rate decreased at ws=%d: %v < %v", ws, mr, prev)
+		}
+		prev = mr
+	}
+	if spec.MissRate(randAccess(16<<10)) > 0.01 {
+		t.Fatal("resident working set should have ~0 miss rate")
+	}
+	if spec.MissRate(randAccess(64<<20)) < 0.9 {
+		t.Fatal("huge working set should have ~1 miss rate")
+	}
+}
+
+func TestMissRatePatternShapes(t *testing.T) {
+	spec := CacheSpec{32 << 10, 64}
+	big := uint64(1 << 20)
+	if got := spec.MissRate(seqAccess(big)); math.Abs(got-0.125) > 1e-9 {
+		t.Fatalf("sequential over-capacity miss=%v want 0.125 (8B/64B)", got)
+	}
+	if got := spec.MissRate(Access{Kind: PatternStrided, WorkingSet: big, Refs: 0.3}); got != 1 {
+		t.Fatalf("strided over-capacity miss=%v want 1", got)
+	}
+	if got := spec.MissRate(Access{Kind: PatternNone}); got != 0 {
+		t.Fatalf("no-pattern miss=%v want 0", got)
+	}
+}
+
+func TestSawtoothDepthShrinksWorkingSet(t *testing.T) {
+	a := Access{Kind: PatternSawtooth, WorkingSet: 64 << 20, Refs: 0.3}
+	a.Depth = 0
+	top := a.EffectiveWorkingSet()
+	a.Depth = 1
+	bottom := a.EffectiveWorkingSet()
+	if top != 64<<20 {
+		t.Fatalf("depth 0 ws=%d", top)
+	}
+	if bottom >= top || bottom < 1<<12 {
+		t.Fatalf("depth 1 ws=%d", bottom)
+	}
+}
+
+// TestAnalyticModelMatchesExactSimulator calibrates the analytic miss
+// model against the set-associative LRU simulator on the three core
+// patterns. We only require regime agreement (resident ≈ 0, thrashing
+// close), not per-point equality.
+func TestAnalyticModelMatchesExactSimulator(t *testing.T) {
+	spec := CacheSpec{256 << 10, 64}
+	exact := func(s cachesim.Stream) float64 {
+		c := cachesim.New(cachesim.Config{SizeBytes: 256 << 10, LineBytes: 64, Ways: 8})
+		for i := 0; i < 60000; i++ { // warm
+			c.Access(s.Next())
+		}
+		warm := c.Stats()
+		for i := 0; i < 200000; i++ {
+			c.Access(s.Next())
+		}
+		st := c.Stats()
+		return float64(st.Misses-warm.Misses) / float64(st.Accesses-warm.Accesses)
+	}
+	cases := []struct {
+		name   string
+		stream cachesim.Stream
+		access Access
+		tol    float64
+	}{
+		{"seq-resident", &cachesim.SequentialStream{Size: 64 << 10, Stride: 8}, seqAccess(64 << 10), 0.01},
+		{"seq-thrash", &cachesim.SequentialStream{Size: 4 << 20, Stride: 8}, seqAccess(4 << 20), 0.02},
+		{"rand-resident", cachesim.NewRandomStream(0, 128<<10, 3), randAccess(128 << 10), 0.01},
+		{"rand-2x", cachesim.NewRandomStream(0, 512<<10, 4), randAccess(512 << 10), 0.06},
+		{"rand-8x", cachesim.NewRandomStream(0, 2<<20, 5), randAccess(2 << 20), 0.06},
+	}
+	for _, c := range cases {
+		got := spec.MissRate(c.access)
+		want := exact(c.stream)
+		if math.Abs(got-want) > c.tol {
+			t.Errorf("%s: analytic=%v exact=%v (tol %v)", c.name, got, want, c.tol)
+		}
+	}
+}
+
+func TestHierarchyMonotoneAndStall(t *testing.T) {
+	h := DefaultHierarchy()
+	m := h.Misses(randAccess(1<<20), 1)
+	if m.L1 < m.L2 || m.L2 < m.LLC {
+		t.Fatalf("global miss rates not monotone: %+v", m)
+	}
+	// 1MB fits the LLC: stalls should come from L2/LLC only.
+	if m.LLC > 0.01 {
+		t.Fatalf("1MB working set LLC miss=%v", m.LLC)
+	}
+	stall := h.StallCPI(randAccess(1<<20), m)
+	if stall <= 0 {
+		t.Fatal("expected positive stall CPI")
+	}
+	// Shrinking the LLC share turns LLC hits into memory misses.
+	mShared := h.Misses(randAccess(8<<20), 0.25)
+	mAlone := h.Misses(randAccess(8<<20), 1)
+	if mShared.LLC <= mAlone.LLC {
+		t.Fatalf("contention did not raise LLC misses: %v <= %v", mShared.LLC, mAlone.LLC)
+	}
+}
+
+func TestMemIntensityBounds(t *testing.T) {
+	h := DefaultHierarchy()
+	lo := h.MemIntensity(seqAccess(4<<10), 0.5)
+	hi := h.MemIntensity(randAccess(256<<20), 0.5)
+	if lo < 0 || hi > 1 {
+		t.Fatalf("intensity out of bounds: %v %v", lo, hi)
+	}
+	if hi <= lo {
+		t.Fatalf("memory-bound intensity %v not above compute-bound %v", hi, lo)
+	}
+}
+
+// buildThread makes a thread of n identical segments.
+func buildThread(id int, n int, instr uint64, base float64, a Access, stack model.Stack) *Thread {
+	t := &Thread{ID: id, Name: "exec"}
+	for i := 0; i < n; i++ {
+		t.Segments = append(t.Segments, Segment{Stack: stack, Instr: instr, BaseCPI: base, Access: a, StageID: 0})
+	}
+	return t
+}
+
+func TestMachineRunBasics(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MigrationRate = 0
+	cfg.NoiseCoV = 0
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack := model.Stack{0, 1}
+	th := buildThread(0, 10, 1_000_000, 0.6, seqAccess(4<<10), stack)
+	res, err := m.Run([]*Thread{th})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Threads) != 1 || len(res.Threads[0].Exec) != 10 {
+		t.Fatalf("exec records: %+v", len(res.Threads[0].Exec))
+	}
+	for _, rec := range res.Threads[0].Exec {
+		// Resident sequential: CPI ≈ base.
+		if math.Abs(rec.CPI-0.6) > 0.01 {
+			t.Fatalf("CPI=%v want ≈0.6", rec.CPI)
+		}
+	}
+	if res.TotalCycles == 0 {
+		t.Fatal("TotalCycles not set")
+	}
+	// Start cycles are monotone within the thread.
+	var prev uint64
+	for _, rec := range res.Threads[0].Exec {
+		if rec.StartCycle < prev {
+			t.Fatal("start cycles not monotone")
+		}
+		prev = rec.StartCycle + rec.Cycles
+	}
+}
+
+func TestMachineMemoryBoundSlower(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MigrationRate, cfg.NoiseCoV = 0, 0
+	m, _ := NewMachine(cfg)
+	fast := buildThread(0, 5, 1_000_000, 0.6, seqAccess(4<<10), model.Stack{0})
+	slow := buildThread(1, 5, 1_000_000, 0.6, randAccess(64<<20), model.Stack{0})
+	res, err := m.Run([]*Thread{fast, slow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Threads[1].Exec[0].CPI < 3*res.Threads[0].Exec[0].CPI {
+		t.Fatalf("memory-bound CPI %v not ≫ compute CPI %v",
+			res.Threads[1].Exec[0].CPI, res.Threads[0].Exec[0].CPI)
+	}
+	if res.Threads[1].Exec[0].LLCMisses == 0 {
+		t.Fatal("memory-bound segment recorded no LLC misses")
+	}
+}
+
+func TestMachineInterference(t *testing.T) {
+	// One LLC-heavy thread per core raises everyone's CPI versus
+	// running alone.
+	cfg := DefaultConfig()
+	cfg.Cores = 2
+	cfg.MigrationRate, cfg.NoiseCoV = 0, 0
+	alone, _ := NewMachine(cfg)
+	a := buildThread(0, 50, 1_000_000, 0.6, randAccess(8<<20), model.Stack{0})
+	resAlone, _ := alone.Run([]*Thread{a})
+
+	together, _ := NewMachine(cfg)
+	a2 := buildThread(0, 50, 1_000_000, 0.6, randAccess(8<<20), model.Stack{0})
+	b2 := buildThread(1, 50, 1_000_000, 0.6, randAccess(8<<20), model.Stack{0})
+	resTogether, _ := together.Run([]*Thread{a2, b2})
+
+	cpiAlone := meanCPI(resAlone.Threads[0].Exec)
+	cpiTogether := meanCPI(resTogether.Threads[0].Exec)
+	if cpiTogether <= cpiAlone*1.02 {
+		t.Fatalf("interference absent: together %v vs alone %v", cpiTogether, cpiAlone)
+	}
+}
+
+func meanCPI(recs []SegExec) float64 {
+	var s float64
+	for _, r := range recs {
+		s += r.CPI
+	}
+	return s / float64(len(recs))
+}
+
+func TestMachineMigrationsCauseCPISpikes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cores = 4
+	cfg.MigrationRate = 0.05
+	cfg.NoiseCoV = 0
+	m, _ := NewMachine(cfg)
+	var threads []*Thread
+	for i := 0; i < 4; i++ {
+		threads = append(threads, buildThread(i, 200, 1_000_000, 0.6, seqAccess(4<<10), model.Stack{0}))
+	}
+	res, err := m.Run(threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations == 0 {
+		t.Fatal("no migrations at rate 0.05 over 800 segments")
+	}
+	spikes := 0
+	total := 0
+	for _, te := range res.Threads {
+		for _, rec := range te.Exec {
+			total++
+			if rec.CPI > 0.7 {
+				spikes++
+			}
+		}
+	}
+	if spikes == 0 {
+		t.Fatal("migrations produced no CPI spikes")
+	}
+	if total != 800 {
+		t.Fatalf("segments lost: executed %d want 800", total)
+	}
+}
+
+func TestMachineDeterminism(t *testing.T) {
+	run := func() Result {
+		cfg := DefaultConfig()
+		cfg.Seed = 77
+		m, _ := NewMachine(cfg)
+		var threads []*Thread
+		for i := 0; i < 3; i++ {
+			threads = append(threads, buildThread(i, 40, 500_000, 0.7, randAccess(1<<20), model.Stack{0}))
+		}
+		res, _ := m.Run(threads)
+		return res
+	}
+	a, b := run(), run()
+	if a.TotalCycles != b.TotalCycles || a.Migrations != b.Migrations {
+		t.Fatalf("nondeterministic run: %v/%v vs %v/%v",
+			a.TotalCycles, a.Migrations, b.TotalCycles, b.Migrations)
+	}
+	for i := range a.Threads {
+		for j := range a.Threads[i].Exec {
+			if a.Threads[i].Exec[j].Cycles != b.Threads[i].Exec[j].Cycles {
+				t.Fatalf("thread %d seg %d cycles differ", i, j)
+			}
+		}
+	}
+}
+
+func TestMachineErrors(t *testing.T) {
+	if _, err := NewMachine(Config{Cores: 0}); err == nil {
+		t.Fatal("Cores=0 should fail")
+	}
+	if _, err := NewMachine(Config{Cores: 1, MigrationRate: 2}); err == nil {
+		t.Fatal("MigrationRate>1 should fail")
+	}
+	m, _ := NewMachine(DefaultConfig())
+	if _, err := m.Run(nil); err == nil {
+		t.Fatal("empty Run should fail")
+	}
+}
+
+func TestMoreThreadsThanCores(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cores = 2
+	cfg.MigrationRate = 0
+	m, _ := NewMachine(cfg)
+	var threads []*Thread
+	for i := 0; i < 7; i++ {
+		threads = append(threads, buildThread(i, 10, 100_000, 0.5, seqAccess(4<<10), model.Stack{0}))
+	}
+	res, err := m.Run(threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, te := range res.Threads {
+		total += len(te.Exec)
+		if te.Core < 0 || te.Core >= 2 {
+			t.Fatalf("bad core %d", te.Core)
+		}
+	}
+	if total != 70 {
+		t.Fatalf("executed %d segments want 70", total)
+	}
+}
+
+func TestLogNormalNoiseChangesCPIButNotCorrectness(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MigrationRate = 0
+	cfg.NoiseCoV = 0.1
+	m, _ := NewMachine(cfg)
+	th := buildThread(0, 300, 1_000_000, 0.6, seqAccess(4<<10), model.Stack{0})
+	res, _ := m.Run([]*Thread{th})
+	var cpis []float64
+	for _, rec := range res.Threads[0].Exec {
+		cpis = append(cpis, rec.CPI)
+	}
+	s := stats.Summarize(cpis)
+	if s.CoV < 0.05 || s.CoV > 0.2 {
+		t.Fatalf("noise CoV=%v want ≈0.1", s.CoV)
+	}
+	if math.Abs(s.Mean-0.6) > 0.05 {
+		t.Fatalf("noisy mean CPI=%v want ≈0.6", s.Mean)
+	}
+}
+
+func TestMultiNodeIsolatesLLCContention(t *testing.T) {
+	// Two LLC-heavy threads: on one node they interfere; on two nodes
+	// (one core each) they do not.
+	run := func(nodes int) float64 {
+		cfg := DefaultConfig()
+		cfg.Cores, cfg.Nodes = 2, nodes
+		cfg.MigrationRate, cfg.NoiseCoV = 0, 0
+		m, err := NewMachine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := buildThread(0, 50, 1_000_000, 0.6, randAccess(8<<20), model.Stack{0})
+		b := buildThread(1, 50, 1_000_000, 0.6, randAccess(8<<20), model.Stack{0})
+		res, err := m.Run([]*Thread{a, b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return meanCPI(res.Threads[0].Exec)
+	}
+	shared := run(1)
+	isolated := run(2)
+	if isolated >= shared {
+		t.Fatalf("separate nodes should remove contention: %v vs %v", isolated, shared)
+	}
+}
+
+func TestMultiNodeMigrationsStayOnNode(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cores, cfg.Nodes = 4, 2
+	cfg.MigrationRate = 0.2
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var threads []*Thread
+	for i := 0; i < 4; i++ {
+		threads = append(threads, buildThread(i, 100, 500_000, 0.6, seqAccess(4<<10), model.Stack{0}))
+	}
+	res, err := m.Run(threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations == 0 {
+		t.Fatal("no migrations happened")
+	}
+	for ti, te := range res.Threads {
+		startNode := te.Core / 2
+		for _, rec := range te.Exec {
+			if rec.Core/2 != startNode {
+				t.Fatalf("thread %d migrated across nodes: core %d from node %d",
+					ti, rec.Core, startNode)
+			}
+		}
+	}
+}
+
+func TestMultiNodeValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cores, cfg.Nodes = 5, 2
+	if _, err := NewMachine(cfg); err == nil {
+		t.Fatal("indivisible cores/nodes should fail")
+	}
+	cfg.Cores, cfg.Nodes = 4, -1
+	if _, err := NewMachine(cfg); err == nil {
+		t.Fatal("negative nodes should fail")
+	}
+}
+
+func TestStreamingScansDemandLittleLLC(t *testing.T) {
+	h := DefaultHierarchy()
+	scan := Access{Kind: PatternSequential, WorkingSet: 256 << 20, Refs: 0.3}
+	probe := Access{Kind: PatternRandom, WorkingSet: 256 << 20, Refs: 0.04}
+	if h.LLCFootprint(scan) >= h.LLCFootprint(probe) {
+		t.Fatalf("over-capacity scan footprint %v should be far below random %v",
+			h.LLCFootprint(scan), h.LLCFootprint(probe))
+	}
+	resident := Access{Kind: PatternSequential, WorkingSet: 1 << 20, Refs: 0.3}
+	if h.LLCFootprint(resident) != float64(1<<20) {
+		t.Fatalf("resident scan footprint %v want full ws", h.LLCFootprint(resident))
+	}
+}
+
+func TestPrefetchFactorOrdering(t *testing.T) {
+	if !(PrefetchFactor(PatternSequential) < PrefetchFactor(PatternSawtooth) &&
+		PrefetchFactor(PatternSawtooth) < PrefetchFactor(PatternStrided) &&
+		PrefetchFactor(PatternStrided) < PrefetchFactor(PatternRandom)) {
+		t.Fatal("prefetch coverage must decrease from streaming to random")
+	}
+}

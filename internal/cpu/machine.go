@@ -1,0 +1,297 @@
+package cpu
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand/v2"
+
+	"simprof/internal/stats"
+)
+
+// Config parameterizes the machine.
+type Config struct {
+	Cores int
+	// Nodes splits the cores across that many cluster nodes: the shared
+	// LLC (and therefore contention) and OS migrations are per-node,
+	// which is how the scale-out deployments the paper targets behave.
+	// 0 or 1 means a single node.
+	Nodes int
+	Hier  Hierarchy
+
+	// MigrationRate is the per-segment probability that the OS migrates
+	// the thread to another core, leaving its cache state behind.
+	MigrationRate float64
+	// ColdPenaltyCPI is the extra CPI paid immediately after a
+	// migration; it decays linearly over ColdDecayInstr instructions.
+	ColdPenaltyCPI float64
+	ColdDecayInstr uint64
+
+	// ContentionScale weights co-running cores' LLC footprints when
+	// dividing the shared LLC: share = mine/(mine + scale·Σ others).
+	// 0 disables contention; 1 is fair capacity partitioning.
+	ContentionScale float64
+
+	// NoiseCoV is the coefficient of variation of the multiplicative
+	// log-normal CPI jitter applied per segment.
+	NoiseCoV float64
+
+	Seed uint64
+}
+
+// DefaultConfig returns a 4-core machine resembling the paper's testbed.
+func DefaultConfig() Config {
+	return Config{
+		Cores:           4,
+		Hier:            DefaultHierarchy(),
+		MigrationRate:   0.003,
+		ColdPenaltyCPI:  0.45,
+		ColdDecayInstr:  30_000_000,
+		ContentionScale: 0.4,
+		NoiseCoV:        0.02,
+		Seed:            1,
+	}
+}
+
+// Machine executes threads on simulated cores.
+type Machine struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// NewMachine builds a machine; it returns an error for nonsensical
+// configurations.
+func NewMachine(cfg Config) (*Machine, error) {
+	if cfg.Cores <= 0 {
+		return nil, fmt.Errorf("cpu: Cores=%d must be positive", cfg.Cores)
+	}
+	if cfg.MigrationRate < 0 || cfg.MigrationRate > 1 {
+		return nil, fmt.Errorf("cpu: MigrationRate=%v out of [0,1]", cfg.MigrationRate)
+	}
+	if cfg.Nodes < 0 {
+		return nil, fmt.Errorf("cpu: Nodes=%d must be non-negative", cfg.Nodes)
+	}
+	if cfg.Nodes > 1 && cfg.Cores%cfg.Nodes != 0 {
+		return nil, fmt.Errorf("cpu: Cores=%d not divisible across Nodes=%d", cfg.Cores, cfg.Nodes)
+	}
+	return &Machine{cfg: cfg, rng: stats.NewRNG(cfg.Seed)}, nil
+}
+
+// node returns the cluster node a core belongs to.
+func (m *Machine) node(core int) int {
+	if m.cfg.Nodes <= 1 {
+		return 0
+	}
+	return core / (m.cfg.Cores / m.cfg.Nodes)
+}
+
+// coreState tracks what a core last executed, for contention lookups.
+type coreState struct {
+	id        int
+	time      uint64 // next free cycle
+	queue     []*threadState
+	lastStart uint64
+	lastEnd   uint64
+	lastInten float64
+}
+
+type threadState struct {
+	t         *Thread
+	exec      []SegExec
+	next      int // next segment index
+	coldLeft  uint64
+	startCore int
+}
+
+// coreHeap orders cores by their next free time (stable by id).
+type coreHeap []*coreState
+
+func (h coreHeap) Len() int { return len(h) }
+func (h coreHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].id < h[j].id
+}
+func (h coreHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *coreHeap) Push(x any)   { *h = append(*h, x.(*coreState)) }
+func (h *coreHeap) Pop() any     { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// Run executes the threads to completion and returns per-segment
+// execution records. Threads are assigned to cores round-robin; a core
+// runs its threads one segment at a time in round-robin order, which
+// interleaves concurrent executor threads the way a timesharing OS
+// would. Execution is deterministic for a given Config.
+func (m *Machine) Run(threads []*Thread) (Result, error) {
+	if len(threads) == 0 {
+		return Result{}, fmt.Errorf("cpu: no threads to run")
+	}
+	cores := make([]*coreState, m.cfg.Cores)
+	for i := range cores {
+		cores[i] = &coreState{id: i}
+	}
+	states := make([]*threadState, len(threads))
+	for i, t := range threads {
+		st := &threadState{t: t, startCore: i % m.cfg.Cores, exec: make([]SegExec, 0, len(t.Segments))}
+		states[i] = st
+		cores[st.startCore].queue = append(cores[st.startCore].queue, st)
+	}
+
+	h := make(coreHeap, 0, len(cores))
+	for _, c := range cores {
+		if len(c.queue) > 0 {
+			h = append(h, c)
+		}
+	}
+	heap.Init(&h)
+
+	migrations := 0
+	var maxTime uint64
+	for h.Len() > 0 {
+		c := heap.Pop(&h).(*coreState)
+		ts := c.nextThread()
+		if ts == nil {
+			if c.time > maxTime {
+				maxTime = c.time
+			}
+			continue // core drained
+		}
+		seg := &ts.t.Segments[ts.next]
+		ts.next++
+
+		// Contention: LLC footprints of segments still executing on
+		// other cores *of the same node* at this instant compete with
+		// ours for capacity.
+		var others float64
+		for _, o := range cores {
+			if o == c || m.node(o.id) != m.node(c.id) ||
+				o.lastEnd <= c.time || o.lastStart > c.time {
+				continue
+			}
+			others += o.lastInten
+		}
+		share := 1.0
+		mine := m.cfg.Hier.LLCFootprint(seg.Access)
+		if m.cfg.ContentionScale > 0 && others > 0 && mine > 0 {
+			share = mine / (mine + m.cfg.ContentionScale*others)
+		}
+
+		rec := m.execSegment(ts, seg, c, share)
+		ts.exec = append(ts.exec, rec)
+
+		c.lastStart = c.time
+		c.time += rec.Cycles
+		c.lastEnd = c.time
+		c.lastInten = mine
+
+		// OS migration: the thread is moved to another core and loses
+		// its cache affinity. The cold penalty models the refill cost.
+		if m.cfg.MigrationRate > 0 && m.rng.Float64() < m.cfg.MigrationRate && m.cfg.Cores > 1 {
+			ts.coldLeft = m.cfg.ColdDecayInstr
+			migrations++
+			// The OS only migrates within the node.
+			perNode := m.cfg.Cores
+			if m.cfg.Nodes > 1 {
+				perNode = m.cfg.Cores / m.cfg.Nodes
+			}
+			dst := cores[m.node(c.id)*perNode+m.rng.IntN(perNode)]
+			if dst != c {
+				c.removeThread(ts)
+				dst.queue = append(dst.queue, ts)
+				// Preserve per-thread causality: the migrated thread
+				// cannot resume before the cycle it was preempted at.
+				if dst.time < c.time {
+					dst.time = c.time
+				}
+				if !inHeap(h, dst) {
+					heap.Push(&h, dst)
+				}
+			}
+		}
+		if c.hasWork() {
+			heap.Push(&h, c)
+		} else if c.time > maxTime {
+			maxTime = c.time
+		}
+	}
+
+	res := Result{Migrations: migrations, TotalCycles: maxTime}
+	for _, st := range states {
+		res.Threads = append(res.Threads, ThreadExec{Thread: st.t, Core: st.startCore, Exec: st.exec})
+	}
+	return res, nil
+}
+
+func inHeap(h coreHeap, c *coreState) bool {
+	for _, x := range h {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+// nextThread returns the next runnable thread on the core. Threads run
+// to completion in queue order (FIFO), matching how a Hadoop task slot
+// executes one task at a time; Spark assigns one long-lived executor
+// thread per core, so the policy is irrelevant there.
+func (c *coreState) nextThread() *threadState {
+	for _, ts := range c.queue {
+		if ts.next < len(ts.t.Segments) {
+			return ts
+		}
+	}
+	return nil
+}
+
+func (c *coreState) hasWork() bool {
+	for _, ts := range c.queue {
+		if ts.next < len(ts.t.Segments) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *coreState) removeThread(ts *threadState) {
+	for i, x := range c.queue {
+		if x == ts {
+			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// execSegment computes the cycles and counters of one segment.
+func (m *Machine) execSegment(ts *threadState, seg *Segment, c *coreState, llcShare float64) SegExec {
+	miss := m.cfg.Hier.Misses(seg.Access, llcShare)
+	cpi := seg.BaseCPI + m.cfg.Hier.StallCPI(seg.Access, miss)
+
+	// Decaying cold-cache penalty after a migration.
+	if ts.coldLeft > 0 {
+		covered := min(ts.coldLeft, seg.Instr)
+		frac := float64(covered) / float64(seg.Instr)
+		// Average penalty over the covered span decays linearly.
+		avg := m.cfg.ColdPenaltyCPI * float64(ts.coldLeft) / float64(m.cfg.ColdDecayInstr)
+		cpi += avg * frac
+		ts.coldLeft -= covered
+	}
+
+	if m.cfg.NoiseCoV > 0 {
+		cpi = stats.LogNormal(m.rng, cpi, m.cfg.NoiseCoV)
+	}
+	if cpi < 0.1 {
+		cpi = 0.1
+	}
+
+	refs := float64(seg.Instr) * seg.Access.Refs
+	return SegExec{
+		Seg:        seg,
+		Core:       c.id,
+		StartCycle: c.time,
+		Cycles:     uint64(float64(seg.Instr) * cpi),
+		CPI:        cpi,
+		L1Misses:   uint64(refs * miss.L1),
+		L2Misses:   uint64(refs * miss.L2),
+		LLCMisses:  uint64(refs * miss.LLC),
+	}
+}

@@ -1,0 +1,225 @@
+// Package cpu is the simulated multicore machine SimProf profiles. It
+// stands in for the paper's Intel i7-4820K + perf_event: execution
+// engines emit per-thread instruction segments annotated with call stacks
+// and memory-access descriptors, and the machine turns them into cycles
+// and cache-miss counters using an analytic cache model (calibrated
+// against the exact simulator in internal/cachesim).
+//
+// The model deliberately reproduces the paper's four sources of
+// intra-phase performance variation (§III-B.1):
+//
+//   - data access pattern — miss rates depend on per-segment working sets
+//     (quicksort's shrinking partitions, reduce's random probes);
+//   - OS scheduling — threads occasionally migrate and pay a decaying
+//     cold-cache penalty;
+//   - phase interleaving — co-running memory-intensive segments shrink
+//     the effective shared-LLC capacity seen by each core;
+//   - executed-code difference — engines emit different stacks/costs for
+//     different records within one logical operation.
+package cpu
+
+import "math"
+
+// PatternKind describes the shape of a segment's memory accesses.
+type PatternKind uint8
+
+// Access pattern kinds.
+const (
+	PatternNone       PatternKind = iota // compute only, negligible memory traffic
+	PatternSequential                    // linear scan (stride ≤ line)
+	PatternRandom                        // uniform probes over the working set
+	PatternStrided                       // large-stride walk (one line per access)
+	PatternSawtooth                      // quicksort-style oscillating working set
+)
+
+var patternNames = [...]string{"none", "sequential", "random", "strided", "sawtooth"}
+
+// String returns the lower-case pattern name.
+func (p PatternKind) String() string {
+	if int(p) < len(patternNames) {
+		return patternNames[p]
+	}
+	return "pattern(?)"
+}
+
+// Access describes the memory behaviour of one segment.
+type Access struct {
+	Kind       PatternKind
+	WorkingSet uint64  // bytes touched by the segment's loop
+	Refs       float64 // memory references per instruction (0.3 is typical)
+	Depth      float64 // PatternSawtooth only: recursion depth fraction in [0,1]
+}
+
+// EffectiveWorkingSet resolves the sawtooth depth into the working set
+// actually live during the segment.
+func (a Access) EffectiveWorkingSet() uint64 {
+	if a.Kind != PatternSawtooth {
+		return a.WorkingSet
+	}
+	// Depth 0 → whole array; depth 1 → smallest (1/1024) partition.
+	shift := uint(math.Round(a.Depth * 10))
+	ws := a.WorkingSet >> shift
+	if ws < 1<<12 {
+		ws = 1 << 12
+	}
+	return ws
+}
+
+// CacheSpec sizes one cache level of the analytic hierarchy.
+type CacheSpec struct {
+	SizeBytes uint64
+	LineBytes uint64
+}
+
+// residualMissRate is the ceiling of the floor miss rate for
+// cache-resident working sets (cold lines, conflict noise). The actual
+// residual scales with how much of the cache the working set occupies, so
+// a tiny buffer in a huge cache contributes essentially nothing.
+const residualMissRate = 0.002
+
+// MissRate estimates the fraction of references that miss a cache of
+// this spec, given the access descriptor. It is the analytic counterpart
+// of driving internal/cachesim with the matching stream generator; the
+// calibration test in machine_test.go keeps the two in agreement.
+func (c CacheSpec) MissRate(a Access) float64 {
+	if a.Kind == PatternNone || a.Refs == 0 {
+		return 0
+	}
+	ws := a.EffectiveWorkingSet()
+	if ws <= c.SizeBytes {
+		return residualMissRate * float64(ws) / float64(c.SizeBytes)
+	}
+	switch a.Kind {
+	case PatternSequential, PatternSawtooth:
+		// A cyclic sweep larger than the cache defeats LRU entirely:
+		// every line is evicted before reuse, so each new line is a
+		// miss. With an 8-byte element stride that is stride/line of
+		// the references.
+		const elementStride = 8
+		return float64(elementStride) / float64(c.LineBytes)
+	case PatternRandom:
+		// A uniform probe hits iff its line is resident; steady state
+		// keeps cap/ws of the set resident.
+		return 1 - float64(c.SizeBytes)/float64(ws)
+	case PatternStrided:
+		// One line per access, no reuse before eviction.
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Hierarchy is the analytic three-level cache model.
+type Hierarchy struct {
+	L1, L2, LLC CacheSpec
+	// Penalties are additional cycles per reference serviced by that
+	// level (or memory), on top of the L1-hit cost folded into BaseCPI.
+	PenaltyL2, PenaltyLLC, PenaltyMem float64
+}
+
+// DefaultHierarchy models the paper's testbed (Ivy Bridge-E class:
+// 32KB L1D, 256KB L2, 10MB shared LLC, DDR3 memory).
+func DefaultHierarchy() Hierarchy {
+	return Hierarchy{
+		L1:         CacheSpec{32 << 10, 64},
+		L2:         CacheSpec{256 << 10, 64},
+		LLC:        CacheSpec{10 << 20, 64},
+		PenaltyL2:  12,
+		PenaltyLLC: 40,
+		PenaltyMem: 220,
+	}
+}
+
+// MissProfile is the per-level breakdown of an access descriptor.
+type MissProfile struct {
+	L1, L2, LLC float64 // global miss rates per reference
+}
+
+// Misses computes the global miss rate at each level, optionally with
+// the LLC capacity scaled down by contention (llcShare in (0,1]).
+func (h Hierarchy) Misses(a Access, llcShare float64) MissProfile {
+	llc := h.LLC
+	if llcShare > 0 && llcShare < 1 {
+		llc.SizeBytes = uint64(float64(llc.SizeBytes) * llcShare)
+		if llc.SizeBytes < llc.LineBytes {
+			llc.SizeBytes = llc.LineBytes
+		}
+	}
+	m := MissProfile{L1: h.L1.MissRate(a), L2: h.L2.MissRate(a), LLC: llc.MissRate(a)}
+	// Global rates must be monotone non-increasing down the hierarchy.
+	m.L2 = math.Min(m.L2, m.L1)
+	m.LLC = math.Min(m.LLC, m.L2)
+	return m
+}
+
+// PrefetchFactor returns the fraction of miss latency the hardware
+// prefetchers fail to hide for this access pattern: streaming scans are
+// almost fully covered, strided walks partially, random probes not at
+// all. Without this, every scan over a large input would be
+// memory-bound, which is not what the paper's IPC profiles show.
+func PrefetchFactor(k PatternKind) float64 {
+	switch k {
+	case PatternSequential:
+		return 0.15
+	case PatternSawtooth:
+		return 0.2
+	case PatternStrided:
+		return 0.45
+	default:
+		return 1.0
+	}
+}
+
+// StallCPI converts a miss profile into stall cycles per instruction,
+// accounting for prefetch coverage of the access pattern.
+func (h Hierarchy) StallCPI(a Access, m MissProfile) float64 {
+	if a.Refs == 0 {
+		return 0
+	}
+	servedL2 := m.L1 - m.L2
+	servedLLC := m.L2 - m.LLC
+	servedMem := m.LLC
+	pf := PrefetchFactor(a.Kind)
+	return a.Refs * pf * (servedL2*h.PenaltyL2 + servedLLC*h.PenaltyLLC + servedMem*h.PenaltyMem)
+}
+
+// MemIntensity estimates the fraction of a segment's time spent waiting
+// on memory.
+func (h Hierarchy) MemIntensity(a Access, baseCPI float64) float64 {
+	m := h.Misses(a, 1)
+	stall := a.Refs * m.LLC * h.PenaltyMem
+	total := baseCPI + h.StallCPI(a, m)
+	if total <= 0 {
+		return 0
+	}
+	v := stall / total
+	if v > 1 {
+		v = 1
+	}
+	return v
+}
+
+// LLCFootprint is the LLC capacity a segment demands: its effective
+// working set, clamped to the LLC size. Segments with no memory traffic
+// demand nothing, and streaming sweeps larger than the LLC demand only a
+// residual buffer share — their lines are evicted before reuse anyway,
+// so they neither benefit from nor meaningfully deprive others of LLC
+// capacity (real LLCs protect against such scans with DRRIP-style
+// policies). Co-running footprints divide the shared LLC, which is how
+// the machine models the paper's "phase interleaving" variance: two 8MB
+// hash maps cannot both live in a 10MB LLC even though each fits alone.
+func (h Hierarchy) LLCFootprint(a Access) float64 {
+	if a.Kind == PatternNone || a.Refs == 0 {
+		return 0
+	}
+	ws := a.EffectiveWorkingSet()
+	if ws > h.LLC.SizeBytes {
+		switch a.Kind {
+		case PatternSequential, PatternSawtooth, PatternStrided:
+			return float64(h.LLC.SizeBytes) / 16
+		default:
+			return float64(h.LLC.SizeBytes)
+		}
+	}
+	return float64(ws)
+}

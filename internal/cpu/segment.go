@@ -1,0 +1,59 @@
+package cpu
+
+import "simprof/internal/model"
+
+// Segment is the unit of simulated execution: a run of instructions
+// retired under one call stack with one memory-access behaviour. Engines
+// (internal/spark, internal/hadoop) compile tasks into segment lists.
+type Segment struct {
+	Stack   model.Stack // call stack active for the whole segment
+	Instr   uint64      // instructions retired
+	BaseCPI float64     // CPI with all loads hitting L1
+	Access  Access
+	TaskID  int // engine task that produced the segment
+	StageID int // engine stage (−1 when not applicable)
+}
+
+// Thread is one executor thread: an ordered list of segments. In Spark a
+// thread spans the whole job; in Hadoop a thread spans a single task and
+// the profiler later merges threads per core (§III-A).
+type Thread struct {
+	ID       int
+	Name     string
+	Segments []Segment
+}
+
+// Instructions returns the total instructions of the thread.
+func (t *Thread) Instructions() uint64 {
+	var n uint64
+	for _, s := range t.Segments {
+		n += s.Instr
+	}
+	return n
+}
+
+// SegExec is the execution record of one segment on the machine.
+type SegExec struct {
+	Seg        *Segment
+	Core       int
+	StartCycle uint64
+	Cycles     uint64
+	CPI        float64
+	L1Misses   uint64
+	L2Misses   uint64
+	LLCMisses  uint64
+}
+
+// ThreadExec is the execution record of one thread.
+type ThreadExec struct {
+	Thread *Thread
+	Core   int // core the thread started on
+	Exec   []SegExec
+}
+
+// Result is the outcome of Machine.Run.
+type Result struct {
+	Threads     []ThreadExec
+	TotalCycles uint64 // wall-clock cycles (max over cores)
+	Migrations  int
+}

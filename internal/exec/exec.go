@@ -1,0 +1,442 @@
+// Package exec is the shared operation-cost layer between the Spark and
+// Hadoop engines: it describes what a user/framework function costs per
+// record (instructions, base CPI, memory-access shape) and emits the
+// corresponding instruction segments onto a jvm.ThreadBuilder, chunked
+// so that profiler snapshots observe the operation many times per
+// sampling unit. The working-set rules are where input characteristics
+// (size, key cardinality, skew) become cache behaviour — the causal link
+// behind the paper's input-sensitivity analysis.
+package exec
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"simprof/internal/cpu"
+	"simprof/internal/jvm"
+	"simprof/internal/model"
+	"simprof/internal/stats"
+)
+
+// PartStats describes the data flowing through one partition of one
+// operation.
+type PartStats struct {
+	Records      int64
+	Bytes        int64
+	DistinctKeys int64
+	Skew         float64 // key-popularity skew (0 = uniform)
+}
+
+// AvgRecordBytes returns the mean record size.
+func (p PartStats) AvgRecordBytes() float64 {
+	if p.Records == 0 {
+		return 0
+	}
+	return float64(p.Bytes) / float64(p.Records)
+}
+
+// WSKind selects how an operation's working set is derived.
+type WSKind uint8
+
+// Working-set rules.
+const (
+	WSFixed          WSKind = iota // Fixed bytes, independent of data
+	WSPartitionBytes               // the partition's bytes (scans, sorts)
+	WSDistinctKeys                 // BytesPerKey × distinct keys (hash maps)
+	WSRecord                       // a single record (pure streaming)
+)
+
+// WorkingSet resolves an operation's working set from partition stats.
+type WorkingSet struct {
+	Kind        WSKind
+	Fixed       uint64  // WSFixed: bytes
+	Scale       float64 // multiplier (default 1)
+	BytesPerKey uint64  // WSDistinctKeys: bytes per entry (default 64)
+	// SkewShrink, when positive, shrinks the working set as key skew
+	// grows: hot keys concentrate accesses, improving locality. The
+	// working set is divided by (1 + SkewShrink·skew).
+	SkewShrink float64
+}
+
+// Resolve computes the working set in bytes.
+func (w WorkingSet) Resolve(p PartStats) uint64 {
+	scale := w.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	var ws float64
+	switch w.Kind {
+	case WSFixed:
+		ws = float64(w.Fixed)
+	case WSPartitionBytes:
+		ws = float64(p.Bytes)
+	case WSDistinctKeys:
+		bpk := w.BytesPerKey
+		if bpk == 0 {
+			bpk = 64
+		}
+		ws = float64(p.DistinctKeys) * float64(bpk)
+	case WSRecord:
+		ws = p.AvgRecordBytes()
+	default:
+		panic(fmt.Sprintf("exec: unknown WSKind %d", w.Kind))
+	}
+	ws *= scale
+	if w.SkewShrink > 0 && p.Skew > 0 {
+		ws /= 1 + w.SkewShrink*p.Skew
+	}
+	if ws < 1024 {
+		ws = 1024
+	}
+	return uint64(ws)
+}
+
+// FuncSpec is the cost descriptor of one operation (a user lambda or a
+// framework routine). Class/Method become the stack frame the profiler
+// observes; Kind feeds phase-type classification.
+type FuncSpec struct {
+	Class  string
+	Method string
+	Kind   model.Kind
+
+	InstrPerRec float64 // instructions per input record
+	BaseCPI     float64 // CPI with a quiet memory system
+	Pattern     cpu.PatternKind
+	WS          WorkingSet
+	Refs        float64 // memory refs per instruction (default 0.3)
+
+	// Dataflow shape: output records per input record and output record
+	// size (0 keeps the input's average record size).
+	Fanout      float64
+	OutRecBytes float64
+	// OutDistinct overrides the output distinct-key count (0 keeps the
+	// input's, clamped to output records).
+	OutDistinct int64
+	// Selectivity scales output records for filters (applied after
+	// Fanout; default 1).
+	Selectivity float64
+	// Materialize marks operations that fully build their output before
+	// anything downstream iterates it (GraphX vertex ops, cached RDDs):
+	// the Spark engine emits them as their own block instead of
+	// pipelining them into the surrounding iterator chain, so they form
+	// their own phase.
+	Materialize bool
+}
+
+func (f FuncSpec) refs() float64 {
+	if f.Refs == 0 {
+		return 0.3
+	}
+	return f.Refs
+}
+
+// Out propagates partition statistics through the operation.
+func (f FuncSpec) Out(in PartStats) PartStats {
+	fanout := f.Fanout
+	if fanout == 0 {
+		fanout = 1
+	}
+	sel := f.Selectivity
+	if sel == 0 {
+		sel = 1
+	}
+	out := PartStats{Skew: in.Skew}
+	out.Records = int64(float64(in.Records) * fanout * sel)
+	recBytes := f.OutRecBytes
+	if recBytes == 0 {
+		recBytes = in.AvgRecordBytes()
+	}
+	out.Bytes = int64(float64(out.Records) * recBytes)
+	out.DistinctKeys = in.DistinctKeys
+	if f.OutDistinct > 0 {
+		out.DistinctKeys = f.OutDistinct
+	}
+	if out.DistinctKeys > out.Records {
+		out.DistinctKeys = out.Records
+	}
+	return out
+}
+
+// GCConfig models the managed runtime's garbage collector: executor
+// threads allocate as they run, and every YoungGenBytes of allocation
+// triggers a collection pause whose work appears in the profile under
+// GC frames. The paper profiles JVM workloads, where GC is a visible
+// part of every phase's snapshot mix; the model is opt-in because the
+// baseline evaluation (EXPERIMENTS.md) is calibrated without it.
+type GCConfig struct {
+	Enabled bool
+	// AllocBytesPerInstr is the allocation rate (≈0.2–0.4 B/instr for
+	// typical JVM analytics code). Default 0.25.
+	AllocBytesPerInstr float64
+	// YoungGenBytes is the young-generation size; a minor collection
+	// runs each time this much has been allocated. Default 256MB.
+	YoungGenBytes int64
+	// PauseInstr is the work of one collection, in instructions
+	// attributed to the profiled thread. Default 4M.
+	PauseInstr uint64
+}
+
+func (g GCConfig) withDefaults() GCConfig {
+	if g.AllocBytesPerInstr <= 0 {
+		g.AllocBytesPerInstr = 0.25
+	}
+	if g.YoungGenBytes <= 0 {
+		g.YoungGenBytes = 256 << 20
+	}
+	if g.PauseInstr == 0 {
+		g.PauseInstr = 4_000_000
+	}
+	return g
+}
+
+// Emitter chunks operations into segments on a thread builder. One
+// Emitter per engine run; it owns the jitter RNG so that "executed code
+// difference" variance is deterministic per seed.
+type Emitter struct {
+	rng *rand.Rand
+	// ChunkInstr is the target segment length; operations are split
+	// into segments of roughly this size (paper-scale: a few million
+	// instructions, several per snapshot period).
+	ChunkInstr uint64
+	// Jitter is the multiplicative spread applied to per-chunk working
+	// sets and instruction counts (default 0.15).
+	Jitter float64
+	// GC, when enabled, injects collection pauses driven by the
+	// allocation volume of the emitted work.
+	GC        GCConfig
+	allocated int64
+}
+
+// NewEmitter builds an emitter.
+func NewEmitter(seed uint64, chunkInstr uint64) *Emitter {
+	if chunkInstr == 0 {
+		chunkInstr = 1_000_000
+	}
+	return &Emitter{rng: stats.NewRNG(seed), ChunkInstr: chunkInstr, Jitter: 0.05}
+}
+
+// EmitOp runs the operation over a partition as its own (non-pipelined)
+// block and returns the output stats. A zero instruction cost emits
+// nothing but still propagates stats.
+func (e *Emitter) EmitOp(b *jvm.ThreadBuilder, vm *jvm.VM, f FuncSpec, in PartStats) PartStats {
+	e.EmitGroup(b, vm, []OpRun{{Spec: f, Stats: in}}, false)
+	return f.Out(in)
+}
+
+// EmitOpNested is EmitOp with extra inner frames below the op frame
+// (e.g. Aggregator.combineValuesByKey → ExternalAppendOnlyMap.insertAll):
+// the innermost frame does the work.
+func (e *Emitter) EmitOpNested(b *jvm.ThreadBuilder, vm *jvm.VM, f FuncSpec, inner []FuncSpec, in PartStats) PartStats {
+	e.EmitGroup(b, vm, []OpRun{{Spec: f, Inner: inner, Stats: in}}, false)
+	return f.Out(in)
+}
+
+// OpRun is one operation inside an interleaved pipeline group.
+type OpRun struct {
+	Spec  FuncSpec
+	Inner []FuncSpec // nested frames under Spec's frame (innermost last)
+	// Total overrides the instruction count (0 → InstrPerRec×Stats.Records).
+	Total uint64
+	Stats PartStats
+}
+
+func (r OpRun) total() uint64 {
+	if r.Total > 0 {
+		return r.Total
+	}
+	return uint64(r.Spec.InstrPerRec * float64(r.Stats.Records))
+}
+
+// EmitGroup emits a group of operations *interleaved*, the way record-
+// at-a-time loops execute: chunks of the member operations alternate in
+// proportion to their total cost, so a profiler snapshot window over the
+// group observes all of their stacks mixed. This is what makes a
+// pipelined stage form a single mixed phase (the paper's wc_sp anatomy,
+// Fig. 14) instead of one phase per operation.
+//
+// With nested=true the group models Spark's iterator chain, where the
+// consumer's frames are live above the producer's whenever the producer
+// runs (the action pulls the final RDD, which pulls its parent, ...):
+// a chunk of member i carries the frames of members i..n-1 with the
+// consumers outermost. Later list members are therefore the consumers.
+// With nested=false members are independent leaves under the caller's
+// current stack (Hadoop's Mapper.run calling reader/map/collect in
+// turn). Sawtooth depth advances per member chunk as usual.
+func (e *Emitter) EmitGroup(b *jvm.ThreadBuilder, vm *jvm.VM, runs []OpRun, nested bool) {
+	type state struct {
+		run      OpRun
+		frames   []model.MethodID
+		total    uint64
+		chunks   int
+		emitted  int // chunks emitted
+		emittedI uint64
+		baseWS   uint64
+	}
+	var sts []*state
+	for _, r := range runs {
+		total := r.total()
+		if total == 0 {
+			continue
+		}
+		st := &state{run: r, total: total, baseWS: r.Spec.WS.Resolve(r.Stats)}
+		st.chunks = int(total / e.ChunkInstr)
+		if st.chunks < 1 {
+			st.chunks = 1
+		}
+		st.frames = append(st.frames, vm.Table.Intern(r.Spec.Class, r.Spec.Method, r.Spec.Kind))
+		for _, in := range r.Inner {
+			st.frames = append(st.frames, vm.Table.Intern(in.Class, in.Method, in.Kind))
+		}
+		sts = append(sts, st)
+	}
+	if nested {
+		// Prepend every consumer's frames (later members) above each
+		// member's own frames, outermost consumer first.
+		own := make([][]model.MethodID, len(sts))
+		for i, st := range sts {
+			own[i] = st.frames
+		}
+		for i := range sts {
+			var frames []model.MethodID
+			for j := len(sts) - 1; j >= i; j-- {
+				frames = append(frames, own[j]...)
+			}
+			sts[i].frames = frames
+		}
+	}
+	for {
+		// Pick the member furthest behind in fractional progress.
+		var next *state
+		best := 2.0
+		for _, st := range sts {
+			if st.emitted >= st.chunks {
+				continue
+			}
+			if p := float64(st.emitted) / float64(st.chunks); p < best {
+				best = p
+				next = st
+			}
+		}
+		if next == nil {
+			return
+		}
+		e.emitChunkOf(b, vm, next.run.Spec, next.baseWS, next.emitted, next.chunks, next.total, &next.emittedI, next.frames)
+		next.emitted++
+	}
+}
+
+// helperLeaves are the low-level JVM callees an operation of each kind
+// spends its leaf time in. Real profiles are full of them (string
+// splitting, hash-map probing, checksumming, comparator calls), and they
+// matter statistically: they diversify the snapshot-count feature
+// vectors so that units of one behaviour form a continuous cloud rather
+// than a handful of identical lattice points that k-means would
+// "perfectly" split into spurious phases.
+var helperLeaves = map[model.Kind][][2]string{
+	model.KindMap: {
+		{"java.lang.String", "split"},
+		{"java.lang.String", "hashCode"},
+		{"scala.collection.Iterator$$anon$11", "next"},
+		{"java.lang.Character", "isWhitespace"},
+	},
+	model.KindReduce: {
+		{"java.util.HashMap", "getNode"},
+		{"org.apache.spark.util.collection.AppendOnlyMap", "changeValue"},
+		{"java.lang.Long", "equals"},
+		{"scala.Function2", "apply"},
+	},
+	model.KindSort: {
+		{"org.apache.hadoop.util.IndexedSortable", "compare"},
+		{"org.apache.hadoop.util.IndexedSortable", "swap"},
+		{"java.util.Arrays", "copyOfRange"},
+	},
+	model.KindIO: {
+		{"java.io.FilterInputStream", "read"},
+		{"org.apache.hadoop.util.DataChecksum", "update"},
+		{"java.io.DataOutputStream", "write"},
+		{"java.util.zip.Deflater", "deflate"},
+	},
+	model.KindFramework: {
+		{"java.lang.Object", "hashCode"},
+		{"sun.misc.Unsafe", "copyMemory"},
+	},
+	model.KindOther: {
+		{"java.lang.Object", "hashCode"},
+	},
+}
+
+// helperChance is the fraction of chunks that are snapshotted inside a
+// helper callee rather than in the operation's own frame.
+const helperChance = 0.7
+
+// emitChunkOf emits chunk idx of an operation split into chunks pieces.
+func (e *Emitter) emitChunkOf(b *jvm.ThreadBuilder, vm *jvm.VM, f FuncSpec, baseWS uint64, idx, chunks int, total uint64, emitted *uint64, frames []model.MethodID) {
+	per := total / uint64(chunks)
+	instr := per
+	if idx == chunks-1 {
+		instr = total - *emitted
+	} else if e.Jitter > 0 {
+		instr = uint64(float64(per) * (1 - e.Jitter + 2*e.Jitter*e.rng.Float64()))
+		if *emitted+instr > total {
+			instr = total - *emitted
+		}
+	}
+	if instr == 0 {
+		return
+	}
+	ws := baseWS
+	if e.Jitter > 0 {
+		ws = uint64(float64(ws) * (1 - e.Jitter + 2*e.Jitter*e.rng.Float64()))
+		if ws < 1024 {
+			ws = 1024
+		}
+	}
+	access := cpu.Access{Kind: f.Pattern, WorkingSet: ws, Refs: f.refs()}
+	if f.Pattern == cpu.PatternSawtooth && chunks > 1 {
+		access.Depth = float64(idx) / float64(chunks-1)
+	}
+	depth := len(frames)
+	for _, fr := range frames {
+		b.Push(fr)
+	}
+	if hs := helperLeaves[f.Kind]; len(hs) > 0 && e.rng.Float64() < helperChance {
+		h := hs[e.rng.IntN(len(hs))]
+		b.Push(vm.Table.Intern(h[0], h[1], f.Kind))
+		depth++
+	}
+	b.Exec(instr, f.BaseCPI, access)
+	b.PopN(depth)
+	*emitted += instr
+
+	if e.GC.Enabled {
+		gc := e.GC.withDefaults()
+		e.allocated += int64(float64(instr) * gc.AllocBytesPerInstr)
+		if e.allocated >= gc.YoungGenBytes {
+			e.allocated -= gc.YoungGenBytes
+			e.emitGC(b, vm, gc)
+		}
+	}
+}
+
+// emitGC injects one minor-collection pause at the current stack
+// position: the collector's frames go on top (what a profiler snapshot
+// observes during the pause), and the evacuation sweep touches the
+// young generation sequentially.
+func (e *Emitter) emitGC(b *jvm.ThreadBuilder, vm *jvm.VM, gc GCConfig) {
+	b.Push(vm.Table.Intern("sun.jvm.GCTaskThread", "run", model.KindOther))
+	b.Push(vm.Table.Intern("sun.jvm.G1ParEvacuateFollowersClosure", "do_void", model.KindOther))
+	b.Exec(gc.PauseInstr, 0.9, cpu.Access{
+		Kind:       cpu.PatternSequential,
+		WorkingSet: uint64(gc.YoungGenBytes),
+		Refs:       0.35,
+	})
+	b.PopN(2)
+}
+
+// EmitRaw emits exactly total instructions of the operation, regardless
+// of its per-record cost — used for IO and framework routines whose cost
+// is derived from byte volume rather than record count. in drives the
+// working-set resolution only.
+func (e *Emitter) EmitRaw(b *jvm.ThreadBuilder, vm *jvm.VM, f FuncSpec, total uint64, in PartStats) {
+	e.EmitGroup(b, vm, []OpRun{{Spec: f, Total: total, Stats: in}}, false)
+}

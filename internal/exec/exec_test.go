@@ -1,0 +1,246 @@
+package exec
+
+import (
+	"testing"
+
+	"simprof/internal/cpu"
+	"simprof/internal/jvm"
+	"simprof/internal/model"
+)
+
+func part(records, bytes, distinct int64, skew float64) PartStats {
+	return PartStats{Records: records, Bytes: bytes, DistinctKeys: distinct, Skew: skew}
+}
+
+func TestWorkingSetResolve(t *testing.T) {
+	p := part(1000, 1<<20, 100, 0)
+	cases := []struct {
+		ws   WorkingSet
+		want uint64
+	}{
+		{WorkingSet{Kind: WSFixed, Fixed: 4096}, 4096},
+		{WorkingSet{Kind: WSPartitionBytes}, 1 << 20},
+		{WorkingSet{Kind: WSPartitionBytes, Scale: 0.5}, 1 << 19},
+		{WorkingSet{Kind: WSDistinctKeys}, 6400}, // 100 × default 64
+		{WorkingSet{Kind: WSDistinctKeys, BytesPerKey: 100}, 10000},
+		{WorkingSet{Kind: WSRecord}, 1048}, // avg record ≈ 1048B
+	}
+	for i, c := range cases {
+		if got := c.ws.Resolve(p); got != c.want {
+			t.Errorf("case %d: Resolve=%d want %d", i, got, c.want)
+		}
+	}
+	// Floor at 1KB.
+	if got := (WorkingSet{Kind: WSFixed, Fixed: 10}).Resolve(p); got != 1024 {
+		t.Errorf("floor: %d", got)
+	}
+}
+
+func TestWorkingSetSkewShrink(t *testing.T) {
+	ws := WorkingSet{Kind: WSDistinctKeys, BytesPerKey: 64, SkewShrink: 0.5}
+	uniform := ws.Resolve(part(1000, 0, 1000, 0))
+	skewed := ws.Resolve(part(1000, 0, 1000, 2.0))
+	if skewed >= uniform {
+		t.Fatalf("skew should shrink working set: %d vs %d", skewed, uniform)
+	}
+	if skewed != uint64(float64(uniform)/2) {
+		t.Fatalf("shrink factor wrong: %d vs %d", skewed, uniform)
+	}
+}
+
+func TestFuncSpecOut(t *testing.T) {
+	in := part(1000, 100000, 500, 1.0)
+	f := FuncSpec{Fanout: 3, OutRecBytes: 10}
+	out := f.Out(in)
+	if out.Records != 3000 || out.Bytes != 30000 {
+		t.Fatalf("fanout out=%+v", out)
+	}
+	if out.Skew != in.Skew || out.DistinctKeys != 500 {
+		t.Fatalf("propagation wrong: %+v", out)
+	}
+	sel := FuncSpec{Selectivity: 0.01}
+	o2 := sel.Out(in)
+	if o2.Records != 10 {
+		t.Fatalf("selectivity out=%d", o2.Records)
+	}
+	if o2.DistinctKeys != 10 { // clamped to records
+		t.Fatalf("distinct not clamped: %d", o2.DistinctKeys)
+	}
+	ov := FuncSpec{OutDistinct: 42}
+	if got := ov.Out(in).DistinctKeys; got != 42 {
+		t.Fatalf("OutDistinct=%d", got)
+	}
+}
+
+func buildOne(t *testing.T, f FuncSpec, in PartStats, chunk uint64) []cpu.Segment {
+	t.Helper()
+	vm := jvm.NewVM()
+	b := vm.SpawnThread("w").PushM("T", "run", model.KindFramework)
+	em := NewEmitter(1, chunk)
+	em.EmitOp(b, vm, f, in)
+	return b.Thread().Segments
+}
+
+func TestEmitOpTotalInstrPreserved(t *testing.T) {
+	f := FuncSpec{
+		Class: "C", Method: "m", Kind: model.KindMap,
+		InstrPerRec: 100, BaseCPI: 0.5,
+		Pattern: cpu.PatternSequential,
+		WS:      WorkingSet{Kind: WSFixed, Fixed: 1 << 20},
+	}
+	in := part(100000, 1<<20, 100, 0)
+	segs := buildOne(t, f, in, 1_000_000)
+	var total uint64
+	for _, s := range segs {
+		total += s.Instr
+		// Thread root + op frame, optionally a helper leaf below.
+		if s.Stack.Leaf() == model.NoMethod || len(s.Stack) < 2 || len(s.Stack) > 3 {
+			t.Fatalf("bad stack %v", s.Stack)
+		}
+	}
+	if total != 10_000_000 {
+		t.Fatalf("total instr=%d want 10M", total)
+	}
+	if len(segs) != 10 {
+		t.Fatalf("chunks=%d want 10", len(segs))
+	}
+}
+
+func TestEmitOpJitterVariesChunks(t *testing.T) {
+	f := FuncSpec{
+		Class: "C", Method: "m", Kind: model.KindMap,
+		InstrPerRec: 100, BaseCPI: 0.5,
+		Pattern: cpu.PatternRandom,
+		WS:      WorkingSet{Kind: WSFixed, Fixed: 1 << 20},
+	}
+	segs := buildOne(t, f, part(100000, 1<<20, 100, 0), 1_000_000)
+	sawDifferentWS := false
+	for _, s := range segs[1:] {
+		if s.Access.WorkingSet != segs[0].Access.WorkingSet {
+			sawDifferentWS = true
+		}
+	}
+	if !sawDifferentWS {
+		t.Fatal("jitter did not vary working sets")
+	}
+}
+
+func TestEmitOpSawtoothDepthRamps(t *testing.T) {
+	f := FuncSpec{
+		Class: "Q", Method: "sort", Kind: model.KindSort,
+		InstrPerRec: 100, BaseCPI: 0.6,
+		Pattern: cpu.PatternSawtooth,
+		WS:      WorkingSet{Kind: WSPartitionBytes},
+	}
+	segs := buildOne(t, f, part(100000, 64<<20, 100, 0), 1_000_000)
+	if len(segs) < 5 {
+		t.Fatalf("chunks=%d", len(segs))
+	}
+	if segs[0].Access.Depth != 0 {
+		t.Fatalf("first depth=%v", segs[0].Access.Depth)
+	}
+	if segs[len(segs)-1].Access.Depth != 1 {
+		t.Fatalf("last depth=%v", segs[len(segs)-1].Access.Depth)
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i].Access.Depth < segs[i-1].Access.Depth {
+			t.Fatal("depth not monotone")
+		}
+	}
+}
+
+func TestEmitOpZeroCost(t *testing.T) {
+	vm := jvm.NewVM()
+	b := vm.SpawnThread("w").PushM("T", "run", model.KindFramework)
+	em := NewEmitter(1, 0)
+	out := em.EmitOp(b, vm, FuncSpec{Class: "C", Method: "m", Fanout: 2}, part(10, 100, 5, 0))
+	if len(b.Thread().Segments) != 0 {
+		t.Fatal("zero-cost op emitted segments")
+	}
+	if out.Records != 20 {
+		t.Fatal("stats not propagated for zero-cost op")
+	}
+}
+
+func TestEmitOpNestedFrames(t *testing.T) {
+	vm := jvm.NewVM()
+	b := vm.SpawnThread("w").PushM("T", "run", model.KindFramework)
+	em := NewEmitter(1, 1_000_000)
+	outer := FuncSpec{Class: "Agg", Method: "combine", Kind: model.KindReduce,
+		InstrPerRec: 10, BaseCPI: 0.6, Pattern: cpu.PatternRandom,
+		WS: WorkingSet{Kind: WSFixed, Fixed: 1 << 20}}
+	inner := []FuncSpec{{Class: "Map", Method: "insertAll", Kind: model.KindReduce}}
+	em.EmitOpNested(b, vm, outer, inner, part(100000, 1<<20, 100, 0))
+	segs := b.Thread().Segments
+	if len(segs) == 0 {
+		t.Fatal("no segments")
+	}
+	// Every segment must have the nested frames (thread, Agg, Map);
+	// some segments additionally carry a helper leaf.
+	sawBare := false
+	for _, seg := range segs {
+		if len(seg.Stack) < 3 || len(seg.Stack) > 4 {
+			t.Fatalf("stack depth=%d want 3-4", len(seg.Stack))
+		}
+		if got := vm.Table.FQN(seg.Stack[1]); got != "Agg.combine" {
+			t.Fatalf("frame 1 = %s", got)
+		}
+		if got := vm.Table.FQN(seg.Stack[2]); got != "Map.insertAll" {
+			t.Fatalf("frame 2 = %s", got)
+		}
+		if len(seg.Stack) == 3 {
+			sawBare = true
+		}
+	}
+	if !sawBare {
+		t.Fatal("no segment snapshotted in the op frame itself")
+	}
+	if b.Depth() != 1 {
+		t.Fatalf("frames not popped: depth=%d", b.Depth())
+	}
+}
+
+func TestEmitRaw(t *testing.T) {
+	vm := jvm.NewVM()
+	b := vm.SpawnThread("w").PushM("T", "run", model.KindFramework)
+	em := NewEmitter(1, 500_000)
+	f := FuncSpec{Class: "IO", Method: "read", Kind: model.KindIO, BaseCPI: 1.0,
+		Pattern: cpu.PatternSequential, WS: WorkingSet{Kind: WSFixed, Fixed: 4 << 20}}
+	em.EmitRaw(b, vm, f, 2_000_000, part(1, 1, 1, 0))
+	var total uint64
+	for _, s := range b.Thread().Segments {
+		total += s.Instr
+	}
+	if total != 2_000_000 {
+		t.Fatalf("EmitRaw total=%d", total)
+	}
+	em.EmitRaw(b, vm, f, 0, part(1, 1, 1, 0))
+	if b.Depth() != 1 {
+		t.Fatal("EmitRaw(0) should be a no-op")
+	}
+}
+
+func TestEmitterDeterminism(t *testing.T) {
+	f := FuncSpec{Class: "C", Method: "m", Kind: model.KindMap,
+		InstrPerRec: 37, BaseCPI: 0.5, Pattern: cpu.PatternRandom,
+		WS: WorkingSet{Kind: WSPartitionBytes}}
+	a := buildOne(t, f, part(123456, 5<<20, 77, 0.5), 400_000)
+	b := buildOne(t, f, part(123456, 5<<20, 77, 0.5), 400_000)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic chunk count")
+	}
+	for i := range a {
+		if a[i].Instr != b[i].Instr || a[i].Access.WorkingSet != b[i].Access.WorkingSet {
+			t.Fatal("nondeterministic emission")
+		}
+	}
+}
+
+func TestAvgRecordBytes(t *testing.T) {
+	if part(0, 100, 0, 0).AvgRecordBytes() != 0 {
+		t.Fatal("zero records should give 0")
+	}
+	if part(10, 100, 0, 0).AvgRecordBytes() != 10 {
+		t.Fatal("avg record bytes wrong")
+	}
+}

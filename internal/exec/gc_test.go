@@ -1,0 +1,98 @@
+package exec
+
+import (
+	"testing"
+
+	"simprof/internal/cpu"
+	"simprof/internal/jvm"
+	"simprof/internal/model"
+)
+
+func gcRun(t *testing.T, gc GCConfig) (*jvm.VM, []cpu.Segment) {
+	t.Helper()
+	vm := jvm.NewVM()
+	b := vm.SpawnThread("w").PushM("T", "run", model.KindFramework)
+	em := NewEmitter(1, 1_000_000)
+	em.GC = gc
+	f := FuncSpec{
+		Class: "W", Method: "map", Kind: model.KindMap,
+		InstrPerRec: 100, BaseCPI: 0.5,
+		Pattern: cpu.PatternSequential,
+		WS:      WorkingSet{Kind: WSFixed, Fixed: 1 << 20},
+	}
+	// 500M instructions × 0.25 B/instr = 125MB allocated.
+	em.EmitOp(b, vm, f, PartStats{Records: 5_000_000, Bytes: 1 << 20, DistinctKeys: 10})
+	return vm, b.Thread().Segments
+}
+
+func countGC(vm *jvm.VM, segs []cpu.Segment) int {
+	id, ok := vm.Table.Lookup("sun.jvm.GCTaskThread", "run")
+	if !ok {
+		return 0
+	}
+	n := 0
+	for _, s := range segs {
+		for _, fr := range s.Stack {
+			if fr == id {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+func TestGCDisabledByDefault(t *testing.T) {
+	vm, segs := gcRun(t, GCConfig{})
+	if countGC(vm, segs) != 0 {
+		t.Fatal("GC segments emitted while disabled")
+	}
+}
+
+func TestGCPausesTrackAllocation(t *testing.T) {
+	// 125MB allocated with a 32MB young gen → 3 collections.
+	vm, segs := gcRun(t, GCConfig{Enabled: true, YoungGenBytes: 32 << 20})
+	got := countGC(vm, segs)
+	if got < 3 || got > 4 {
+		t.Fatalf("GC pauses=%d want ≈3 (125MB / 32MB)", got)
+	}
+	// A bigger young gen collects less often.
+	vm2, segs2 := gcRun(t, GCConfig{Enabled: true, YoungGenBytes: 96 << 20})
+	if g2 := countGC(vm2, segs2); g2 >= got {
+		t.Fatalf("bigger young gen should collect less: %d vs %d", g2, got)
+	}
+}
+
+func TestGCStackShape(t *testing.T) {
+	vm, segs := gcRun(t, GCConfig{Enabled: true, YoungGenBytes: 16 << 20})
+	id, _ := vm.Table.Lookup("sun.jvm.GCTaskThread", "run")
+	for _, s := range segs {
+		for i, fr := range s.Stack {
+			if fr == id {
+				// The GC frames sit on top of the mutator stack.
+				if i == 0 {
+					t.Fatal("GC frame at stack root")
+				}
+				if vm.Table.FQN(s.Stack.Leaf()) != "sun.jvm.G1ParEvacuateFollowersClosure.do_void" {
+					t.Fatalf("GC leaf=%s", vm.Table.FQN(s.Stack.Leaf()))
+				}
+			}
+		}
+	}
+}
+
+func TestGCInstructionAccounting(t *testing.T) {
+	// GC pauses add instructions beyond the operation's own cost.
+	_, plain := gcRun(t, GCConfig{})
+	_, withGC := gcRun(t, GCConfig{Enabled: true, YoungGenBytes: 16 << 20, PauseInstr: 2_000_000})
+	var a, b uint64
+	for _, s := range plain {
+		a += s.Instr
+	}
+	for _, s := range withGC {
+		b += s.Instr
+	}
+	if b <= a {
+		t.Fatalf("GC added no instructions: %d vs %d", b, a)
+	}
+}

@@ -1,0 +1,640 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§IV) from the simulated substrate: the benchmark suite of
+// Table I, the accuracy and sample-size comparisons of Figs. 7–8, the
+// phase analyses of Figs. 6 and 9–11, and the input-sensitivity study of
+// Table II and Figs. 12–13, plus the wc phase anatomies of Figs. 14–15.
+// cmd/expreport renders the results; bench_test.go measures their
+// regeneration cost.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"simprof/internal/core"
+	"simprof/internal/model"
+	"simprof/internal/phase"
+	"simprof/internal/sampling"
+	"simprof/internal/sensitivity"
+	"simprof/internal/synth"
+	"simprof/internal/trace"
+	"simprof/internal/workloads"
+)
+
+// Config sizes the experiment suite.
+type Config struct {
+	Seed       uint64
+	Opts       workloads.Options // workload scale
+	Core       core.Config
+	SampleSize int     // simulation points for Fig. 7 (paper: 20)
+	Repeats    int     // draws averaged for the randomized methods
+	Confidence float64 // for Fig. 8 (paper: 0.997)
+	ErrTargets []float64
+	// GraphScale for the Table II inputs of the sensitivity study.
+	SensitivityScale int
+}
+
+// Default returns the standard experiment configuration (scaled-down
+// inputs; see DESIGN.md §2 for the scaling rationale).
+func Default() Config {
+	return Config{
+		Seed:             42,
+		Opts:             workloads.Options{}.WithDefaults(),
+		Core:             core.DefaultConfig(),
+		SampleSize:       20,
+		Repeats:          5,
+		Confidence:       0.997,
+		ErrTargets:       []float64{0.05, 0.02},
+		SensitivityScale: 19,
+	}
+}
+
+// Quick returns a configuration small enough for unit tests and smoke
+// runs.
+func Quick() Config {
+	c := Default()
+	c.Opts = workloads.Options{
+		Cores: 4, TextBytes: 48 << 20, SortBytes: 64 << 20,
+		GraphScale: 15, GraphEdgeFactor: 12,
+		SparkIterations: 5, HadoopIterations: 2,
+	}.WithDefaults()
+	c.Repeats = 3
+	c.SensitivityScale = 14
+	return c
+}
+
+// Suite caches profiled traces and formed phases per workload so that
+// every figure can reuse them.
+type Suite struct {
+	cfg Config
+
+	mu     sync.Mutex
+	traces map[string]*trace.Trace
+	phases map[string]*phase.Phases
+	sens   map[string]*sensitivity.Report
+}
+
+// NewSuite builds an empty suite.
+func NewSuite(cfg Config) *Suite {
+	c := cfg
+	c.Core.Seed = cfg.Seed
+	return &Suite{
+		cfg:    c,
+		traces: map[string]*trace.Trace{},
+		phases: map[string]*phase.Phases{},
+		sens:   map[string]*sensitivity.Report{},
+	}
+}
+
+// Config returns the suite configuration.
+func (s *Suite) Config() Config { return s.cfg }
+
+// Workloads lists the 12 workload keys in presentation order
+// ("sort_hp", ..., "rank_sp"), Hadoop first like the paper's figures.
+func (s *Suite) Workloads() []string {
+	var out []string
+	for _, fw := range []string{"hadoop", "spark"} {
+		for _, b := range workloads.Benchmarks() {
+			out = append(out, key(b, fw))
+		}
+	}
+	return out
+}
+
+func key(bench, fw string) string {
+	suffix := map[string]string{"hadoop": "hp", "spark": "sp"}[fw]
+	return bench + "_" + suffix
+}
+
+func splitKey(k string) (bench, fw string, err error) {
+	for _, b := range workloads.Benchmarks() {
+		if k == b+"_hp" {
+			return b, "hadoop", nil
+		}
+		if k == b+"_sp" {
+			return b, "spark", nil
+		}
+	}
+	return "", "", fmt.Errorf("experiments: unknown workload %q", k)
+}
+
+// Trace profiles (or returns the cached profile of) one workload on its
+// default input. The computation runs outside the suite lock, so
+// distinct workloads can be profiled concurrently (see Preload).
+func (s *Suite) Trace(k string) (*trace.Trace, error) {
+	s.mu.Lock()
+	if tr, ok := s.traces[k]; ok {
+		s.mu.Unlock()
+		return tr, nil
+	}
+	s.mu.Unlock()
+
+	bench, fw, err := splitKey(k)
+	if err != nil {
+		return nil, err
+	}
+	in, err := workloads.DefaultInput(bench, s.cfg.Opts)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := core.ProfileWorkload(bench, fw, in, s.cfg.Opts, s.cfg.Core)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cached, ok := s.traces[k]; ok { // lost a race; keep the first
+		return cached, nil
+	}
+	s.traces[k] = tr
+	return tr, nil
+}
+
+// Phases forms (or returns the cached) phases of one workload.
+func (s *Suite) Phases(k string) (*phase.Phases, error) {
+	s.mu.Lock()
+	if ph, ok := s.phases[k]; ok {
+		s.mu.Unlock()
+		return ph, nil
+	}
+	s.mu.Unlock()
+
+	tr, err := s.Trace(k)
+	if err != nil {
+		return nil, err
+	}
+	ph, err := core.FormPhases(tr, s.cfg.Core)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cached, ok := s.phases[k]; ok {
+		return cached, nil
+	}
+	s.phases[k] = ph
+	return ph, nil
+}
+
+// Preload profiles and phase-forms all 12 workloads concurrently, one
+// goroutine per workload — the whole default-scale evaluation fits in a
+// couple of seconds of wall clock on a multicore host.
+func (s *Suite) Preload() error {
+	var wg sync.WaitGroup
+	errs := make(chan error, 12)
+	for _, k := range s.Workloads() {
+		wg.Add(1)
+		go func(k string) {
+			defer wg.Done()
+			if _, err := s.Phases(k); err != nil {
+				errs <- err
+			}
+		}(k)
+	}
+	wg.Wait()
+	close(errs)
+	return <-errs
+}
+
+// ---------------------------------------------------------------------
+// Table I
+// ---------------------------------------------------------------------
+
+// TableIRow describes one benchmark of Table I, extended with the
+// measured population size.
+type TableIRow struct {
+	Benchmark string
+	Abbrev    string
+	Type      string
+	Input     string
+	Units     map[string]int // framework suffix → sampling units
+}
+
+// TableI regenerates Table I, profiling every workload.
+func (s *Suite) TableI() ([]TableIRow, error) {
+	meta := map[string][2]string{
+		"sort":  {"Sort", "Microbench"},
+		"wc":    {"WordCount", "Microbench"},
+		"grep":  {"Grep", "Microbench"},
+		"bayes": {"NaiveBayes", "Machine Learning"},
+		"cc":    {"Connected Components", "Graph Analytics"},
+		"rank":  {"PageRank", "Graph Analytics"},
+	}
+	var rows []TableIRow
+	for _, b := range workloads.Benchmarks() {
+		in, err := workloads.DefaultInput(b, s.cfg.Opts)
+		if err != nil {
+			return nil, err
+		}
+		row := TableIRow{
+			Benchmark: meta[b][0],
+			Abbrev:    b,
+			Type:      meta[b][1],
+			Input:     fmt.Sprintf("%s (%d records, %dMB)", in.Name, in.Records, in.Bytes>>20),
+			Units:     map[string]int{},
+		}
+		for _, fw := range []string{"hadoop", "spark"} {
+			tr, err := s.Trace(key(b, fw))
+			if err != nil {
+				return nil, err
+			}
+			row.Units[fw] = len(tr.Units)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------
+// Fig. 6 — CoV of CPIs
+// ---------------------------------------------------------------------
+
+// Fig6Row is one workload's homogeneity metrics.
+type Fig6Row struct {
+	Workload string
+	phase.CoVReport
+}
+
+// Fig6 regenerates the CoV analysis.
+func (s *Suite) Fig6() ([]Fig6Row, error) {
+	var rows []Fig6Row
+	for _, k := range s.Workloads() {
+		ph, err := s.Phases(k)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig6Row{Workload: k, CoVReport: ph.CoV()})
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------
+// Fig. 7 — sampling errors of the four approaches
+// ---------------------------------------------------------------------
+
+// Fig7Row is one workload's CPI sampling error per approach (fractions,
+// not percent). The randomized approaches (SRS, SimProf) report the
+// mean error over Config.Repeats independent draws.
+type Fig7Row struct {
+	Workload string
+	Second   float64
+	SRS      float64
+	Code     float64
+	SimProf  float64
+}
+
+// Fig7 regenerates the accuracy comparison.
+func (s *Suite) Fig7() ([]Fig7Row, error) {
+	var rows []Fig7Row
+	for _, k := range s.Workloads() {
+		tr, err := s.Trace(k)
+		if err != nil {
+			return nil, err
+		}
+		ph, err := s.Phases(k)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig7Row{Workload: k}
+		sec, err := sampling.Second(tr, sampling.DefaultSecond())
+		if err != nil {
+			return nil, err
+		}
+		row.Second = sec.Err(tr)
+		code, err := sampling.Code(ph)
+		if err != nil {
+			return nil, err
+		}
+		row.Code = code.Err(tr)
+		for r := 0; r < s.cfg.Repeats; r++ {
+			srs, err := sampling.SRS(tr, s.cfg.SampleSize, s.cfg.Seed+uint64(1000+r))
+			if err != nil {
+				return nil, err
+			}
+			row.SRS += srs.Err(tr) / float64(s.cfg.Repeats)
+			sp, err := sampling.SimProf(ph, s.cfg.SampleSize, s.cfg.Seed+uint64(2000+r))
+			if err != nil {
+				return nil, err
+			}
+			row.SimProf += sp.Err(tr) / float64(s.cfg.Repeats)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Averages reduces Fig7 rows to the per-approach means.
+func Averages(rows []Fig7Row) Fig7Row {
+	avg := Fig7Row{Workload: "average"}
+	n := float64(len(rows))
+	for _, r := range rows {
+		avg.Second += r.Second / n
+		avg.SRS += r.SRS / n
+		avg.Code += r.Code / n
+		avg.SimProf += r.SimProf / n
+	}
+	return avg
+}
+
+// ---------------------------------------------------------------------
+// Fig. 8 — required sample sizes
+// ---------------------------------------------------------------------
+
+// Fig8Row compares SimProf's required sample sizes against SECOND's
+// unit count.
+type Fig8Row struct {
+	Workload    string
+	SimProf5    int // 5% error at 99.7% confidence
+	SimProf2    int // 2% error
+	SecondUnits int
+}
+
+// Fig8 regenerates the sample-size comparison.
+func (s *Suite) Fig8() ([]Fig8Row, error) {
+	var rows []Fig8Row
+	for _, k := range s.Workloads() {
+		tr, err := s.Trace(k)
+		if err != nil {
+			return nil, err
+		}
+		ph, err := s.Phases(k)
+		if err != nil {
+			return nil, err
+		}
+		n5, err := sampling.RequiredSampleSize(ph, s.cfg.ErrTargets[0], s.cfg.Confidence)
+		if err != nil {
+			return nil, err
+		}
+		n2, err := sampling.RequiredSampleSize(ph, s.cfg.ErrTargets[1], s.cfg.Confidence)
+		if err != nil {
+			return nil, err
+		}
+		sec, err := sampling.Second(tr, sampling.DefaultSecond())
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig8Row{Workload: k, SimProf5: n5, SimProf2: n2, SecondUnits: sec.Size()})
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------
+// Fig. 9 — number of phases
+// ---------------------------------------------------------------------
+
+// Fig9Row is one workload's phase count.
+type Fig9Row struct {
+	Workload string
+	Phases   int
+}
+
+// Fig9 regenerates the phase-count comparison.
+func (s *Suite) Fig9() ([]Fig9Row, error) {
+	var rows []Fig9Row
+	for _, k := range s.Workloads() {
+		ph, err := s.Phases(k)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig9Row{Workload: k, Phases: ph.K})
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------
+// Fig. 10 — phase type distribution
+// ---------------------------------------------------------------------
+
+// Fig10Row is one workload's unit-weighted phase-type breakdown.
+type Fig10Row struct {
+	Workload string
+	Share    map[model.Kind]float64
+}
+
+// Fig10 regenerates the phase-type distribution.
+func (s *Suite) Fig10() ([]Fig10Row, error) {
+	var rows []Fig10Row
+	for _, k := range s.Workloads() {
+		ph, err := s.Phases(k)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig10Row{Workload: k, Share: ph.TypeDistribution()})
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------
+// Fig. 11 — optimal allocation on cc_sp
+// ---------------------------------------------------------------------
+
+// Fig11Row is one cc_sp phase: its weight, CPI CoV and the share of the
+// simulation points the optimal allocation assigns it.
+type Fig11Row struct {
+	Phase        int
+	Weight       float64
+	CPICoV       float64
+	SampleRatio  float64
+	DominantName string
+}
+
+// Fig11 regenerates the per-phase allocation study (phases sorted by
+// weight, as in the paper).
+func (s *Suite) Fig11() ([]Fig11Row, error) {
+	ph, err := s.Phases("cc_sp")
+	if err != nil {
+		return nil, err
+	}
+	sp, err := sampling.SimProf(ph, s.cfg.SampleSize*2, s.cfg.Seed+7)
+	if err != nil {
+		return nil, err
+	}
+	weights := ph.Weights()
+	cpis := ph.CPIStats()
+	total := 0
+	for _, a := range sp.Alloc {
+		total += a
+	}
+	rows := make([]Fig11Row, ph.K)
+	for h := 0; h < ph.K; h++ {
+		name := ""
+		if dom := ph.DominantMethods(h, 1); len(dom) > 0 {
+			name = dom[0]
+		}
+		rows[h] = Fig11Row{
+			Phase:        h,
+			Weight:       weights[h],
+			CPICoV:       cpis[h].CoV,
+			SampleRatio:  float64(sp.Alloc[h]) / float64(total),
+			DominantName: name,
+		}
+	}
+	// Sort by weight descending.
+	for i := 0; i < len(rows); i++ {
+		for j := i + 1; j < len(rows); j++ {
+			if rows[j].Weight > rows[i].Weight {
+				rows[i], rows[j] = rows[j], rows[i]
+			}
+		}
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------
+// Table II + Figs. 12–13 — input sensitivity
+// ---------------------------------------------------------------------
+
+// GraphWorkloads are the workloads of the sensitivity study.
+func GraphWorkloads() []string { return []string{"cc_hp", "cc_sp", "rank_hp", "rank_sp"} }
+
+// TableII returns the evaluated inputs.
+func (s *Suite) TableII() []synth.TableIIInput {
+	return synth.TableII(s.cfg.SensitivityScale, s.cfg.Seed+99)
+}
+
+// Sensitivity runs (or returns the cached) input-sensitivity analysis
+// of one graph workload: train on the google input, test the seven
+// reference inputs.
+func (s *Suite) Sensitivity(k string) (*sensitivity.Report, *phase.Phases, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bench, fw, err := splitKey(k)
+	if err != nil {
+		return nil, nil, err
+	}
+	if bench != "cc" && bench != "rank" {
+		return nil, nil, fmt.Errorf("experiments: %q is not a graph workload", k)
+	}
+	inputs := synth.TableIIStats(s.cfg.SensitivityScale, s.cfg.Seed+99)
+	train, refs := inputs[0], inputs[1:]
+
+	if rep, ok := s.sens[k]; ok {
+		return rep, s.phases["sens/"+k], nil
+	}
+	trainTrace, err := core.ProfileWorkload(bench, fw, train, s.cfg.Opts, s.cfg.Core)
+	if err != nil {
+		return nil, nil, err
+	}
+	ph, err := core.FormPhases(trainTrace, s.cfg.Core)
+	if err != nil {
+		return nil, nil, err
+	}
+	var refTraces []*trace.Trace
+	for _, in := range refs {
+		rt, err := core.ProfileWorkload(bench, fw, in, s.cfg.Opts, s.cfg.Core)
+		if err != nil {
+			return nil, nil, err
+		}
+		refTraces = append(refTraces, rt)
+	}
+	rep, err := sensitivity.Test(ph, refTraces, sensitivity.DefaultThreshold)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.sens[k] = rep
+	s.phases["sens/"+k] = ph
+	return rep, ph, nil
+}
+
+// Fig12Row is one workload's fraction of simulation points in
+// input-sensitive phases (the per-reference-input sample size).
+type Fig12Row struct {
+	Workload          string
+	SensitiveFraction float64
+}
+
+// Fig12 regenerates the sample-size reduction analysis.
+func (s *Suite) Fig12() ([]Fig12Row, error) {
+	var rows []Fig12Row
+	for _, k := range GraphWorkloads() {
+		rep, ph, err := s.Sensitivity(k)
+		if err != nil {
+			return nil, err
+		}
+		sp, err := sampling.SimProf(ph, s.cfg.SampleSize, s.cfg.Seed+11)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig12Row{
+			Workload:          k,
+			SensitiveFraction: rep.SensitivePointFraction(ph, sp.UnitIDs),
+		})
+	}
+	return rows, nil
+}
+
+// Fig13Row is one workload's sensitive/insensitive phase counts.
+type Fig13Row struct {
+	Workload    string
+	Sensitive   int
+	Insensitive int
+}
+
+// Fig13 regenerates the phase-count breakdown.
+func (s *Suite) Fig13() ([]Fig13Row, error) {
+	var rows []Fig13Row
+	for _, k := range GraphWorkloads() {
+		rep, _, err := s.Sensitivity(k)
+		if err != nil {
+			return nil, err
+		}
+		sens, insens := rep.Counts()
+		rows = append(rows, Fig13Row{Workload: k, Sensitive: sens, Insensitive: insens})
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------
+// Figs. 14–15 — WordCount anatomy
+// ---------------------------------------------------------------------
+
+// AnatomyPhase summarizes one phase of the wc anatomy plots.
+type AnatomyPhase struct {
+	Phase    int
+	Weight   float64
+	MeanCPI  float64
+	CoV      float64
+	Dominant []string
+}
+
+// Anatomy is the data behind Figs. 14/15: per-unit CPI sorted by phase
+// id plus per-phase summaries.
+type Anatomy struct {
+	Workload string
+	CPIs     []float64 // unit CPIs, sorted by phase id (paper's x-axis)
+	PhaseIDs []int
+	Phases   []AnatomyPhase
+}
+
+// WordCountAnatomy regenerates Fig. 14 (framework "spark") or Fig. 15
+// (framework "hadoop").
+func (s *Suite) WordCountAnatomy(fw string) (*Anatomy, error) {
+	k := key("wc", fw)
+	tr, err := s.Trace(k)
+	if err != nil {
+		return nil, err
+	}
+	ph, err := s.Phases(k)
+	if err != nil {
+		return nil, err
+	}
+	a := &Anatomy{Workload: k}
+	// Sort unit indices by phase, stable in unit order.
+	for h := 0; h < ph.K; h++ {
+		for i, p := range ph.Assign {
+			if p == h {
+				a.CPIs = append(a.CPIs, tr.Units[i].CPI())
+				a.PhaseIDs = append(a.PhaseIDs, h)
+			}
+		}
+		st := ph.CPIStats()[h]
+		a.Phases = append(a.Phases, AnatomyPhase{
+			Phase:    h,
+			Weight:   ph.Weights()[h],
+			MeanCPI:  st.Mean,
+			CoV:      st.CoV,
+			Dominant: ph.DominantMethods(h, 3),
+		})
+	}
+	return a, nil
+}

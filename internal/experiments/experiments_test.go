@@ -1,0 +1,401 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"simprof/internal/model"
+)
+
+// suite is shared across tests in this package: the Quick configuration
+// still profiles real workloads, so reuse matters.
+var testSuite = NewSuite(Quick())
+
+func TestWorkloadsList(t *testing.T) {
+	ws := testSuite.Workloads()
+	if len(ws) != 12 {
+		t.Fatalf("workloads=%d want 12", len(ws))
+	}
+	if ws[0] != "sort_hp" || ws[11] != "rank_sp" {
+		t.Fatalf("order wrong: %v", ws)
+	}
+}
+
+func TestTraceCachedAndNamed(t *testing.T) {
+	a, err := testSuite.Trace("grep_sp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := testSuite.Trace("grep_sp")
+	if a != b {
+		t.Fatal("trace not cached")
+	}
+	if a.Name() != "grep_sp" {
+		t.Fatalf("Name=%q", a.Name())
+	}
+	if _, err := testSuite.Trace("nope_sp"); err == nil {
+		t.Fatal("unknown workload should fail")
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	rows, err := testSuite.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	for _, r := range rows {
+		// Weighted CoV below population CoV is the paper's Fig. 6
+		// claim. It is not a strict mathematical identity (per-phase
+		// means renormalize each term), so allow a 2% cushion for
+		// workloads that are already near-homogeneous.
+		if r.Weighted > r.Population*1.02+1e-9 {
+			t.Errorf("%s: weighted CoV %v above population %v", r.Workload, r.Weighted, r.Population)
+		}
+		if r.Max+1e-9 < r.Weighted {
+			t.Errorf("%s: max CoV below weighted", r.Workload)
+		}
+	}
+}
+
+func TestFig7OrderingHolds(t *testing.T) {
+	rows, err := testSuite.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := Averages(rows)
+	// The paper's headline: SimProf is the most accurate approach.
+	if avg.SimProf >= avg.SRS {
+		t.Errorf("SimProf avg %v not below SRS %v", avg.SimProf, avg.SRS)
+	}
+	if avg.SimProf >= avg.Second {
+		t.Errorf("SimProf avg %v not below SECOND %v", avg.SimProf, avg.Second)
+	}
+	if avg.SimProf >= avg.Code {
+		t.Errorf("SimProf avg %v not below CODE %v", avg.SimProf, avg.Code)
+	}
+	if avg.SimProf > 0.10 {
+		t.Errorf("SimProf avg error %v implausibly high", avg.SimProf)
+	}
+}
+
+func TestFig8SampleSizes(t *testing.T) {
+	rows, err := testSuite.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.SimProf2 < r.SimProf5 {
+			t.Errorf("%s: n2=%d below n5=%d", r.Workload, r.SimProf2, r.SimProf5)
+		}
+		if r.SimProf5 <= 0 || r.SecondUnits <= 0 {
+			t.Errorf("%s: degenerate sizes %+v", r.Workload, r)
+		}
+	}
+}
+
+func TestFig9GrepFewestPhases(t *testing.T) {
+	rows, err := testSuite.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	minP, maxP := math.MaxInt, 0
+	for _, r := range rows {
+		counts[r.Workload] = r.Phases
+		if r.Phases < minP {
+			minP = r.Phases
+		}
+		if r.Phases > maxP {
+			maxP = r.Phases
+		}
+	}
+	if counts["grep_sp"] > minP+1 {
+		t.Errorf("grep_sp has %d phases; should be among the fewest (min %d)", counts["grep_sp"], minP)
+	}
+	if maxP < 3 {
+		t.Errorf("max phases %d suspiciously low", maxP)
+	}
+}
+
+func TestFig10SortOnlyInHadoop(t *testing.T) {
+	rows, err := testSuite.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		total := 0.0
+		for _, v := range r.Share {
+			total += v
+		}
+		if total < 0.999 || total > 1.001 {
+			t.Errorf("%s: type shares sum to %v", r.Workload, total)
+		}
+		// Spark defaults don't map-side sort; wc/grep/bayes/cc/rank on
+		// spark must have no sort-dominated phase (sort_sp legitimately
+		// sorts).
+		if r.Workload != "sort_sp" && r.Workload[len(r.Workload)-2:] == "sp" {
+			if r.Share[model.KindSort] > 0.01 {
+				t.Errorf("%s: sort share %v on spark", r.Workload, r.Share[model.KindSort])
+			}
+		}
+	}
+}
+
+func TestFig11AllocationFollowsVarianceAndWeight(t *testing.T) {
+	rows, err := testSuite.Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("cc_sp has %d phases", len(rows))
+	}
+	var totalW, totalR float64
+	for _, r := range rows {
+		totalW += r.Weight
+		totalR += r.SampleRatio
+	}
+	if math.Abs(totalW-1) > 0.01 || math.Abs(totalR-1) > 0.01 {
+		t.Fatalf("weights/ratios don't sum to 1: %v %v", totalW, totalR)
+	}
+	// Sorted by weight.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Weight > rows[i-1].Weight+1e-9 {
+			t.Fatal("rows not sorted by weight")
+		}
+	}
+}
+
+func TestTableIIList(t *testing.T) {
+	inputs := testSuite.TableII()
+	if len(inputs) != 8 {
+		t.Fatalf("inputs=%d", len(inputs))
+	}
+	if !inputs[0].Training || inputs[0].Spec.Name != "google" {
+		t.Fatal("google must be the training input")
+	}
+}
+
+func TestSensitivityFigures(t *testing.T) {
+	rows12, err := testSuite.Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows13, err := testSuite.Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows12) != 4 || len(rows13) != 4 {
+		t.Fatalf("rows: %d/%d", len(rows12), len(rows13))
+	}
+	for i, r := range rows12 {
+		if r.SensitiveFraction < 0 || r.SensitiveFraction > 1 {
+			t.Errorf("%s: fraction %v", r.Workload, r.SensitiveFraction)
+		}
+		if rows13[i].Sensitive+rows13[i].Insensitive <= 0 {
+			t.Errorf("%s: no phases", rows13[i].Workload)
+		}
+	}
+	if _, _, err := testSuite.Sensitivity("wc_sp"); err == nil {
+		t.Fatal("sensitivity on non-graph workload should fail")
+	}
+}
+
+func TestWordCountAnatomy(t *testing.T) {
+	a, err := testSuite.WordCountAnatomy("hadoop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.CPIs) != len(a.PhaseIDs) || len(a.CPIs) == 0 {
+		t.Fatal("anatomy series empty or mismatched")
+	}
+	// Sorted by phase id.
+	for i := 1; i < len(a.PhaseIDs); i++ {
+		if a.PhaseIDs[i] < a.PhaseIDs[i-1] {
+			t.Fatal("units not sorted by phase")
+		}
+	}
+	var w float64
+	for _, p := range a.Phases {
+		w += p.Weight
+	}
+	if math.Abs(w-1) > 0.01 {
+		t.Fatalf("phase weights sum to %v", w)
+	}
+}
+
+func TestAblationUnitSize(t *testing.T) {
+	rows, err := testSuite.AblationUnitSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].UnitInstr <= rows[i-1].UnitInstr {
+			t.Fatal("sweep not increasing")
+		}
+		if rows[i].Units >= rows[i-1].Units {
+			t.Fatal("bigger units must mean fewer of them")
+		}
+	}
+	for _, r := range rows {
+		if r.Phases <= 0 || r.SimProfErr < 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+	}
+}
+
+func TestAblationSnapshotRate(t *testing.T) {
+	rows, err := testSuite.AblationSnapshotRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Snapshots <= rows[i-1].Snapshots {
+			t.Fatal("sweep not increasing in snapshots/unit")
+		}
+	}
+}
+
+func TestAblationCombined(t *testing.T) {
+	rows, err := testSuite.AblationCombined()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 3 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].DetailInstr >= rows[i-1].DetailInstr {
+			t.Fatal("detail budget should shrink")
+		}
+		if rows[i].MarginOfErr <= rows[i-1].MarginOfErr {
+			t.Fatal("margin should widen as budget shrinks")
+		}
+		if rows[i].SpeedupVsAll <= rows[i-1].SpeedupVsAll {
+			t.Fatal("speedup should grow")
+		}
+	}
+}
+
+func TestAblationGC(t *testing.T) {
+	rows, err := testSuite.AblationGC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	if rows[0].GCShare != 0 {
+		t.Fatalf("GC-off run has GC snapshots: %v", rows[0].GCShare)
+	}
+	if rows[2].GCShare <= rows[1].GCShare {
+		t.Fatalf("smaller young gen should raise GC share: %v vs %v",
+			rows[2].GCShare, rows[1].GCShare)
+	}
+	if rows[1].GCShare <= 0 {
+		t.Fatal("GC-on run shows no GC snapshots")
+	}
+}
+
+func TestPreloadConcurrent(t *testing.T) {
+	s := NewSuite(Quick())
+	if err := s.Preload(); err != nil {
+		t.Fatal(err)
+	}
+	// Everything is cached afterwards: Trace must return instantly with
+	// identical pointers across calls.
+	for _, k := range s.Workloads() {
+		a, err := s.Trace(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := s.Trace(k)
+		if a != b {
+			t.Fatalf("%s: not cached after preload", k)
+		}
+	}
+}
+
+func TestDesignExploration(t *testing.T) {
+	rows, err := testSuite.DesignExploration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	// Shrinking the LLC must raise the oracle CPI; growing it must
+	// lower it; and every point estimate should track its oracle.
+	var base, half, double DesignRow
+	for _, r := range rows {
+		switch {
+		case r.Design[:4] == "base":
+			base = r
+		case r.Design[:4] == "half":
+			half = r
+		case r.Design[:6] == "double":
+			double = r
+		}
+		if r.Err > 0.15 {
+			t.Errorf("%s: estimate error %v too high", r.Design, r.Err)
+		}
+	}
+	if half.OracleCPI <= base.OracleCPI || double.OracleCPI >= base.OracleCPI {
+		t.Fatalf("LLC sweep shape wrong: half=%v base=%v double=%v",
+			half.OracleCPI, base.OracleCPI, double.OracleCPI)
+	}
+	// The estimates must preserve the design ranking.
+	if half.EstCPI <= base.EstCPI || double.EstCPI >= base.EstCPI {
+		t.Fatalf("estimates don't rank designs: half=%v base=%v double=%v",
+			half.EstCPI, base.EstCPI, double.EstCPI)
+	}
+}
+
+func TestAblationColdStart(t *testing.T) {
+	rows, err := testSuite.AblationColdStart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 5 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].UnitInstr <= rows[i-1].UnitInstr {
+			t.Fatal("sweep not increasing")
+		}
+		if rows[i].RelativeBias >= rows[i-1].RelativeBias {
+			t.Fatal("bigger units must shrink cold-start bias")
+		}
+	}
+	last := rows[len(rows)-1]
+	if last.UnitInstr != 100_000_000 {
+		t.Fatalf("sweep should end at the paper's 100M, got %d", last.UnitInstr)
+	}
+	if last.RelativeBias > 0.25 {
+		t.Fatalf("100M-unit bias %v should be modest", last.RelativeBias)
+	}
+}
+
+func TestAblationNodes(t *testing.T) {
+	rows, err := testSuite.AblationNodes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	// More nodes → fewer LLC co-runners → oracle CPI must not rise.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Nodes <= rows[i-1].Nodes {
+			t.Fatal("sweep not increasing")
+		}
+		if rows[i].OracleCPI > rows[i-1].OracleCPI*1.02 {
+			t.Fatalf("CPI rose with more nodes: %v → %v", rows[i-1].OracleCPI, rows[i].OracleCPI)
+		}
+	}
+}

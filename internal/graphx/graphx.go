@@ -1,0 +1,168 @@
+// Package graphx is a GraphX-lite layer over the Spark engine: graphs
+// loaded from edge lists, and Pregel-style iterative algorithms
+// (connected components, PageRank) expressed as chains of edge scans,
+// aggregateUsingIndex shuffles and vertex joins. These are exactly the
+// operations the paper singles out in cc_sp's phase anatomy (Fig. 11):
+// mapPartitionsWithIndex sequentially parsing input (low CPI variance)
+// versus aggregateUsingIndex's random vertex-index access (high, and
+// input-sensitive, variance).
+package graphx
+
+import (
+	"fmt"
+	"math"
+
+	"simprof/internal/cpu"
+	"simprof/internal/exec"
+	"simprof/internal/model"
+	"simprof/internal/spark"
+	"simprof/internal/synth"
+)
+
+// Graph wraps the RDD lineage of a property graph.
+type Graph struct {
+	ctx   *spark.Context
+	input synth.InputStats
+	edges *spark.RDD // edge-scale RDD after loading
+	parts int
+}
+
+// Load parses an edge-list input into edge partitions. The parse phase
+// is the sequential mapPartitionsWithIndex scan the paper describes as
+// cc_sp's low-variance phase.
+func Load(ctx *spark.Context, in synth.InputStats, parts int) (*Graph, error) {
+	if in.Vertices <= 0 {
+		return nil, fmt.Errorf("graphx: input %q is not a graph (no vertices)", in.Name)
+	}
+	lines := ctx.TextFile(in, parts)
+	parse := exec.FuncSpec{
+		Class: "org.apache.spark.graphx.GraphLoader$$anonfun$1", Method: "apply",
+		Kind: model.KindMap, InstrPerRec: 60, BaseCPI: 0.55,
+		Pattern: cpu.PatternSequential,
+		WS:      exec.WorkingSet{Kind: exec.WSPartitionBytes},
+		Refs:    0.3,
+	}
+	parsed := lines.MapPartitionsWithIndex(parse)
+	build := exec.FuncSpec{
+		Class: "org.apache.spark.graphx.impl.EdgePartitionBuilder", Method: "toEdgePartition",
+		Kind: model.KindMap, InstrPerRec: 35, BaseCPI: 0.6,
+		Pattern: cpu.PatternSequential,
+		WS:      exec.WorkingSet{Kind: exec.WSPartitionBytes},
+		Refs:    0.3,
+	}
+	edges := parsed.MapPartitionsWithIndex(build)
+	return &Graph{ctx: ctx, input: in, edges: edges, parts: parts}, nil
+}
+
+// Edges returns the edge RDD.
+func (g *Graph) Edges() *spark.RDD { return g.edges }
+
+// vertexBytes is the per-vertex footprint of the vertex index
+// (id, attribute, hash-map slot).
+const vertexBytes = 32
+
+// aggSpec builds the aggregateUsingIndex reduce-side spec: random
+// probes over the vertex index, whose effective size shrinks when the
+// degree distribution is skewed (hub vertices concentrate messages) and
+// when only a frontier fraction of vertices is active.
+func (g *Graph) aggSpec(instrPerRec float64, activeFrac float64) exec.FuncSpec {
+	scale := activeFrac
+	if scale <= 0 {
+		scale = 1e-3
+	}
+	return exec.FuncSpec{
+		Class: "org.apache.spark.graphx.impl.VertexPartitionBaseOps", Method: "aggregateUsingIndex",
+		Kind: model.KindReduce, InstrPerRec: instrPerRec, BaseCPI: 0.65,
+		Pattern: cpu.PatternRandom,
+		WS: exec.WorkingSet{
+			Kind:        exec.WSDistinctKeys,
+			BytesPerKey: vertexBytes,
+			Scale:       scale,
+			SkewShrink:  0.5,
+		},
+		Refs: 0.05,
+	}
+}
+
+// iteration appends one Pregel superstep to the lineage: scan edges to
+// generate messages (narrow, edge-scale), aggregate them into the
+// vertex index (shuffle), and join the results back into the vertex
+// attributes (narrow, vertex-scale). activeFrac scales the message
+// volume; cur must be vertex-scale (the previous iteration's output).
+func (g *Graph) iteration(cur *spark.RDD, activeFrac float64, aggInstr float64) *spark.RDD {
+	edgesPerVertex := float64(g.input.Records) / float64(g.input.Vertices)
+	// The scan walks the active edges, so its per-input-record (vertex)
+	// cost is the per-message cost times the messages it generates.
+	scan := exec.FuncSpec{
+		Class: "org.apache.spark.graphx.impl.ReplicatedVertexView", Method: "upgrade",
+		Kind: model.KindMap, InstrPerRec: 30 * edgesPerVertex * activeFrac, BaseCPI: 0.6,
+		Pattern:     cpu.PatternSequential,
+		WS:          exec.WorkingSet{Kind: exec.WSPartitionBytes, Scale: activeFrac},
+		Refs:        0.3,
+		Fanout:      edgesPerVertex * activeFrac, // messages per vertex this superstep
+		Materialize: true,                        // ships replicated vertex views before the scan
+	}
+	msgs := cur.MapPartitionsWithIndex(scan)
+	agged := msgs.AggregateUsingIndex(g.aggSpec(aggInstr, math.Max(activeFrac, 0.05)), g.parts)
+	join := exec.FuncSpec{
+		Class: "org.apache.spark.graphx.impl.VertexPartitionBaseOps", Method: "innerJoinKeepLeft",
+		Kind: model.KindMap, InstrPerRec: 38, BaseCPI: 0.62,
+		Pattern: cpu.PatternRandom,
+		WS: exec.WorkingSet{
+			Kind:        exec.WSDistinctKeys,
+			BytesPerKey: vertexBytes,
+			SkewShrink:  0.5,
+		},
+		Refs:        0.05,
+		Materialize: true, // VertexRDDs materialize between supersteps
+	}
+	return agged.Map(join)
+}
+
+// vertices seeds a vertex-scale RDD from the edge RDD (the initial
+// vertex attribute construction).
+func (g *Graph) vertices() *spark.RDD {
+	toVerts := exec.FuncSpec{
+		Class: "org.apache.spark.graphx.impl.VertexRDDImpl", Method: "mapVertexPartitions",
+		Kind: model.KindMap, InstrPerRec: 20, BaseCPI: 0.6,
+		Pattern:     cpu.PatternSequential,
+		WS:          exec.WorkingSet{Kind: exec.WSPartitionBytes},
+		Refs:        0.3,
+		Fanout:      float64(g.input.Vertices) / float64(g.input.Records),
+		OutDistinct: g.input.Vertices,
+		OutRecBytes: vertexBytes,
+	}
+	return g.edges.Map(toVerts)
+}
+
+// ConvergenceTau returns the frontier-decay constant of label
+// propagation on this graph: skewed (web/social) graphs have short
+// effective diameters and converge fast; near-uniform (road) graphs
+// converge slowly. This is the primary input-sensitivity mechanism of
+// cc: both phase *durations* and working sets track the input.
+func ConvergenceTau(in synth.InputStats) float64 {
+	return 0.9 + 2.4/(1+in.Skew)
+}
+
+// ConnectedComponents appends a label-propagation run and returns the
+// final vertex-scale RDD. iterations is the superstep count.
+func ConnectedComponents(g *Graph, iterations int) *spark.RDD {
+	cur := g.vertices()
+	tau := ConvergenceTau(g.input)
+	for i := 0; i < iterations; i++ {
+		active := math.Exp(-float64(i) / tau)
+		cur = g.iteration(cur, active, 45)
+	}
+	return cur
+}
+
+// PageRank appends a PageRank run: every vertex stays active in every
+// superstep (messages do not decay), so phase weights are
+// input-independent while vertex-index locality still tracks skew.
+func PageRank(g *Graph, iterations int) *spark.RDD {
+	cur := g.vertices()
+	for i := 0; i < iterations; i++ {
+		cur = g.iteration(cur, 1.0, 52)
+	}
+	return cur
+}

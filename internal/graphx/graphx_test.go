@@ -1,0 +1,134 @@
+package graphx
+
+import (
+	"testing"
+
+	"simprof/internal/exec"
+	"simprof/internal/spark"
+	"simprof/internal/synth"
+)
+
+func toPart(in synth.InputStats) exec.PartStats {
+	return exec.PartStats{Records: in.Records, Bytes: in.Bytes, DistinctKeys: in.DistinctKeys, Skew: in.Skew}
+}
+
+func graphInput(skew float64) synth.InputStats {
+	return synth.InputStats{
+		Name: "g", Records: 4_000_000, Bytes: 64 << 20,
+		DistinctKeys: 262_144, Vertices: 262_144, Skew: skew,
+	}
+}
+
+func newCtx(t *testing.T) *spark.Context {
+	t.Helper()
+	ctx, err := spark.NewContext("g", spark.Config{Cores: 4, Seed: 1, ChunkInstr: 500_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func TestLoadRejectsNonGraph(t *testing.T) {
+	ctx := newCtx(t)
+	in := graphInput(1)
+	in.Vertices = 0
+	if _, err := Load(ctx, in, 8); err == nil {
+		t.Fatal("Load should reject inputs without vertices")
+	}
+}
+
+func TestConnectedComponentsRuns(t *testing.T) {
+	ctx := newCtx(t)
+	g, err := Load(ctx, graphInput(2.0), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ConnectedComponents(g, 6).Count()
+	threads, err := ctx.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := map[string]bool{}
+	stages := map[int]bool{}
+	for _, th := range threads {
+		for _, seg := range th.Segments {
+			leaves[ctx.VM().Table.FQN(seg.Stack.Leaf())] = true
+			stages[seg.StageID] = true
+		}
+	}
+	for _, want := range []string{
+		"org.apache.spark.graphx.GraphLoader$$anonfun$1.apply",
+		"org.apache.spark.graphx.impl.EdgePartitionBuilder.toEdgePartition",
+		"org.apache.spark.graphx.impl.VertexPartitionBaseOps.aggregateUsingIndex",
+		"org.apache.spark.graphx.impl.VertexPartitionBaseOps.innerJoinKeepLeft",
+	} {
+		if !leaves[want] {
+			t.Errorf("missing leaf %s", want)
+		}
+	}
+	// 6 supersteps → 6 shuffles → 7 stages.
+	if len(stages) != 7 {
+		t.Fatalf("stages=%d want 7", len(stages))
+	}
+}
+
+func TestPageRankConstantActivity(t *testing.T) {
+	// PageRank supersteps should all cost roughly the same, while cc's
+	// shrink as the frontier decays.
+	instrPerStage := func(alg func(*Graph, int) *spark.RDD) map[int]uint64 {
+		ctx := newCtx(t)
+		g, err := Load(ctx, graphInput(2.0), 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alg(g, 5).Count()
+		threads, err := ctx.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[int]uint64{}
+		for _, th := range threads {
+			for _, seg := range th.Segments {
+				out[seg.StageID] += seg.Instr
+			}
+		}
+		return out
+	}
+	pr := instrPerStage(PageRank)
+	cc := instrPerStage(ConnectedComponents)
+	// Stage 0 contains the graph load; compare steady supersteps
+	// (stages 2 and 4).
+	if float64(pr[4]) < 0.7*float64(pr[2]) {
+		t.Fatalf("PageRank stage cost decayed: %v vs %v", pr[4], pr[2])
+	}
+	if float64(cc[4]) > 0.7*float64(cc[2]) {
+		t.Fatalf("cc stage cost did not decay: %v vs %v", cc[4], cc[2])
+	}
+}
+
+func TestConvergenceTauOrdering(t *testing.T) {
+	web := ConvergenceTau(graphInput(2.2))
+	road := ConvergenceTau(graphInput(0.1))
+	if web >= road {
+		t.Fatalf("web tau %v should be below road tau %v (faster convergence)", web, road)
+	}
+}
+
+func TestSkewShrinksAggregateWorkingSet(t *testing.T) {
+	ctx := newCtx(t)
+	gWeb, _ := Load(ctx, graphInput(2.2), 8)
+	gRoad, _ := Load(newCtx(t), graphInput(0.0), 8)
+	wsWeb := gWeb.aggSpec(45, 1).WS.Resolve(toPart(graphInput(2.2)))
+	wsRoad := gRoad.aggSpec(45, 1).WS.Resolve(toPart(graphInput(0.0)))
+	if wsWeb >= wsRoad {
+		t.Fatalf("skewed graph working set %d should be below uniform %d", wsWeb, wsRoad)
+	}
+}
+
+func TestEdgesAccessor(t *testing.T) {
+	ctx := newCtx(t)
+	g, _ := Load(ctx, graphInput(1.0), 8)
+	if g.Edges() == nil {
+		t.Fatal("Edges() nil")
+	}
+}

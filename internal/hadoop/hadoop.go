@@ -1,0 +1,337 @@
+// Package hadoop simulates the Hadoop MapReduce execution model of the
+// paper's "_hp" workloads: map tasks that read an HDFS split, run the
+// user mapper into a memory buffer, quick-sort and combine the buffer on
+// overflow and spill compressed runs to disk (the paper's optimized
+// configuration), followed by reduce tasks that shuffle, merge-sort and
+// reduce into HDFS. Every task is its own short-lived executor thread —
+// the profiler's per-core merging (§III-A) reassembles them into
+// Spark-like long streams.
+package hadoop
+
+import (
+	"fmt"
+
+	"simprof/internal/cpu"
+	"simprof/internal/exec"
+	"simprof/internal/hdfs"
+	"simprof/internal/jvm"
+	"simprof/internal/model"
+	"simprof/internal/stats"
+	"simprof/internal/synth"
+)
+
+// Config parameterizes the driver.
+type Config struct {
+	Cores      int
+	Seed       uint64
+	ChunkInstr uint64
+	Table      *model.Table
+	IOCost     hdfs.CostModel
+
+	// SortBufferBytes is the mapper's in-memory sort buffer
+	// (mapreduce.task.io.sort.mb). The paper enlarges it as one of its
+	// "common optimizations"; smaller buffers mean more spills.
+	SortBufferBytes int64
+	// CompressMapOutput mirrors the paper's second optimization.
+	CompressMapOutput bool
+	// GC is the opt-in JVM garbage-collection model.
+	GC exec.GCConfig
+}
+
+// DefaultConfig returns the paper's optimized Hadoop setup.
+func DefaultConfig() Config {
+	return Config{
+		Cores:             4,
+		SortBufferBytes:   256 << 20,
+		CompressMapOutput: true,
+	}
+}
+
+// Job is one MapReduce job.
+type Job struct {
+	Name        string
+	Input       synth.InputStats
+	SplitBytes  int64 // map input split size (defaults to 64MB)
+	Mapper      exec.FuncSpec
+	Combiner    *exec.FuncSpec // optional map-side combine
+	Reducer     exec.FuncSpec
+	NumReducers int  // 0 disables the reduce phase (map-only job)
+	SkipSort    bool // identity-sort jobs keep the sort; others may skip (rare)
+}
+
+// Validate checks the job.
+func (j *Job) Validate() error {
+	if j.Input.Records <= 0 || j.Input.Bytes <= 0 {
+		return fmt.Errorf("hadoop: job %q has empty input", j.Name)
+	}
+	if j.Mapper.InstrPerRec <= 0 {
+		return fmt.Errorf("hadoop: job %q mapper has no cost", j.Name)
+	}
+	if j.NumReducers > 0 && j.Reducer.InstrPerRec <= 0 {
+		return fmt.Errorf("hadoop: job %q reducer has no cost", j.Name)
+	}
+	return nil
+}
+
+// MapTasks returns the number of map tasks (splits).
+func (j *Job) MapTasks() int {
+	split := j.SplitBytes
+	if split <= 0 {
+		split = 64 << 20
+	}
+	n := int((j.Input.Bytes + split - 1) / split)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Driver compiles jobs into task threads.
+type Driver struct {
+	cfg     Config
+	vm      *jvm.VM
+	emitter *exec.Emitter
+}
+
+// NewDriver builds a driver.
+func NewDriver(cfg Config) (*Driver, error) {
+	if cfg.Cores <= 0 {
+		return nil, fmt.Errorf("hadoop: Cores=%d must be positive", cfg.Cores)
+	}
+	if cfg.SortBufferBytes <= 0 {
+		cfg.SortBufferBytes = 256 << 20
+	}
+	if cfg.IOCost == (hdfs.CostModel{}) {
+		cfg.IOCost = hdfs.DefaultCostModel()
+	}
+	vm := jvm.NewVM()
+	if cfg.Table != nil {
+		vm = jvm.NewVMWithTable(cfg.Table)
+	}
+	em := exec.NewEmitter(stats.SplitSeed(cfg.Seed, 0x4ad0), cfg.ChunkInstr)
+	em.GC = cfg.GC
+	return &Driver{
+		cfg:     cfg,
+		vm:      vm,
+		emitter: em,
+	}, nil
+}
+
+// VM exposes the simulated JVM.
+func (d *Driver) VM() *jvm.VM { return d.vm }
+
+// Run executes the jobs in order and returns all task threads, map
+// tasks before reduce tasks per job. Stage ids are jobIndex*2 for map
+// and jobIndex*2+1 for reduce.
+func (d *Driver) Run(jobs ...*Job) ([]*cpu.Thread, error) {
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("hadoop: no jobs")
+	}
+	taskID := 0
+	for ji, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return nil, err
+		}
+		mapStage, reduceStage := ji*2, ji*2+1
+		maps := j.MapTasks()
+		perSplit := exec.PartStats{
+			Records:      j.Input.Records / int64(maps),
+			Bytes:        j.Input.Bytes / int64(maps),
+			DistinctKeys: j.Input.DistinctKeys,
+			Skew:         j.Input.Skew,
+		}
+		if perSplit.Records == 0 {
+			perSplit.Records = 1
+		}
+		var mapOut exec.PartStats // per-map-task output (post combine)
+		for t := 0; t < maps; t++ {
+			mapOut = d.emitMapTask(j, perSplit, taskID, mapStage)
+			taskID++
+		}
+		if j.NumReducers > 0 {
+			totalOut := mapOut
+			totalOut.Records *= int64(maps)
+			totalOut.Bytes *= int64(maps)
+			for t := 0; t < j.NumReducers; t++ {
+				d.emitReduceTask(j, totalOut, taskID, reduceStage)
+				taskID++
+			}
+		}
+	}
+	return d.vm.Threads(), nil
+}
+
+// frame helpers ------------------------------------------------------
+
+func (d *Driver) frame(class, method string, kind model.Kind) model.MethodID {
+	return d.vm.Table.Intern(class, method, kind)
+}
+
+// emitMapTask builds one map-task thread and returns its output stats
+// (after combine), per task.
+func (d *Driver) emitMapTask(j *Job, split exec.PartStats, taskID, stageID int) exec.PartStats {
+	em := d.emitter
+	b := d.vm.SpawnThread(fmt.Sprintf("%s-map-%d", j.Name, taskID))
+	b.Push(d.frame("java.lang.Thread", "run", model.KindFramework))
+	b.Push(d.frame("org.apache.hadoop.mapred.YarnChild", "main", model.KindFramework))
+	b.Push(d.frame("org.apache.hadoop.mapred.MapTask", "run", model.KindFramework))
+	b.SetTask(taskID, stageID)
+
+	// 1. Read the split.
+	read := exec.FuncSpec{
+		Class: "org.apache.hadoop.mapreduce.lib.input.LineRecordReader", Method: "nextKeyValue",
+		Kind: model.KindIO, BaseCPI: 0.9,
+		Pattern: cpu.PatternSequential,
+		WS:      exec.WorkingSet{Kind: exec.WSFixed, Fixed: d.cfg.IOCost.BufferBytes},
+		Refs:    0.35,
+	}
+	// The record reader, the user map function and the output-buffer
+	// collect run as one record-at-a-time loop, so their stacks
+	// interleave within sampling units (unlike sort/spill, which only
+	// run at buffer overflow and form their own phases — Fig. 15).
+	b.Push(d.frame("org.apache.hadoop.mapreduce.Mapper", "run", model.KindFramework))
+	cur := j.Mapper.Out(split)
+	collect := exec.FuncSpec{
+		Class: "org.apache.hadoop.mapred.MapTask$MapOutputBuffer", Method: "collect",
+		Kind: model.KindFramework, InstrPerRec: 12, BaseCPI: 0.55,
+		Pattern: cpu.PatternSequential,
+		WS:      exec.WorkingSet{Kind: exec.WSFixed, Fixed: uint64(d.cfg.SortBufferBytes)},
+		Refs:    0.3,
+	}
+	em.EmitGroup(b, d.vm, []exec.OpRun{
+		{Spec: read, Total: d.cfg.IOCost.ReadInstr(split.Bytes), Stats: split},
+		{Spec: j.Mapper, Stats: split},
+		{Spec: collect, Stats: cur},
+	}, false)
+	b.Pop()
+
+	// 3. Sort/combine/spill. One spill per sort-buffer overflow plus
+	// the final one.
+	spills := int(cur.Bytes/d.cfg.SortBufferBytes) + 1
+	perSpill := cur
+	perSpill.Records /= int64(spills)
+	perSpill.Bytes /= int64(spills)
+	if perSpill.Records == 0 {
+		perSpill.Records = 1
+	}
+	if perSpill.DistinctKeys > perSpill.Records {
+		perSpill.DistinctKeys = perSpill.Records
+	}
+	var spillOut exec.PartStats
+	for s := 0; s < spills; s++ {
+		b.Push(d.frame("org.apache.hadoop.mapred.MapTask$MapOutputBuffer", "sortAndSpill", model.KindFramework))
+		if !j.SkipSort {
+			sorter := exec.FuncSpec{
+				Class: "org.apache.hadoop.util.QuickSort", Method: "sort",
+				Kind: model.KindSort, InstrPerRec: 95, BaseCPI: 0.7,
+				Pattern: cpu.PatternSawtooth,
+				WS:      exec.WorkingSet{Kind: exec.WSPartitionBytes},
+				Refs:    0.32,
+			}
+			em.EmitOp(b, d.vm, sorter, perSpill)
+		}
+		spillOut = perSpill
+		if j.Combiner != nil {
+			comb := *j.Combiner
+			comb.Class = "org.apache.hadoop.mapred.Task$NewCombinerRunner"
+			comb.Method = "combine"
+			comb.Kind = model.KindReduce
+			spillOut = em.EmitOp(b, d.vm, comb, perSpill)
+			spillOut.Records = minI64(perSpill.Records, perSpill.DistinctKeys)
+			spillOut.Bytes = int64(float64(spillOut.Records) * perSpill.AvgRecordBytes())
+		}
+		writer := exec.FuncSpec{
+			Class: "org.apache.hadoop.mapred.IFile$Writer", Method: "append",
+			Kind: model.KindIO, BaseCPI: 1.0,
+			Pattern: cpu.PatternSequential,
+			WS:      exec.WorkingSet{Kind: exec.WSFixed, Fixed: 1 << 20},
+			Refs:    0.35,
+		}
+		em.EmitRaw(b, d.vm, writer, d.cfg.IOCost.WriteInstr(spillOut.Bytes, d.cfg.CompressMapOutput), spillOut)
+		b.Pop()
+	}
+	out := spillOut
+	out.Records *= int64(spills)
+	out.Bytes *= int64(spills)
+	if spills > 1 {
+		// Final on-disk merge of the spill runs.
+		merge := exec.FuncSpec{
+			Class: "org.apache.hadoop.mapred.Merger", Method: "merge",
+			Kind: model.KindIO, BaseCPI: 0.95,
+			Pattern: cpu.PatternSequential,
+			WS:      exec.WorkingSet{Kind: exec.WSFixed, Fixed: 8 << 20},
+			Refs:    0.34,
+		}
+		em.EmitRaw(b, d.vm, merge, d.cfg.IOCost.ReadInstr(out.Bytes)+d.cfg.IOCost.WriteInstr(out.Bytes, d.cfg.CompressMapOutput), out)
+	}
+	b.PopN(3)
+	return out
+}
+
+// emitReduceTask builds one reduce-task thread. totalMapOut is the
+// whole-job map output.
+func (d *Driver) emitReduceTask(j *Job, totalMapOut exec.PartStats, taskID, stageID int) {
+	em := d.emitter
+	b := d.vm.SpawnThread(fmt.Sprintf("%s-reduce-%d", j.Name, taskID))
+	b.Push(d.frame("java.lang.Thread", "run", model.KindFramework))
+	b.Push(d.frame("org.apache.hadoop.mapred.YarnChild", "main", model.KindFramework))
+	b.Push(d.frame("org.apache.hadoop.mapred.ReduceTask", "run", model.KindFramework))
+	b.SetTask(taskID, stageID)
+
+	part := totalMapOut
+	part.Records /= int64(j.NumReducers)
+	part.Bytes /= int64(j.NumReducers)
+	part.DistinctKeys /= int64(j.NumReducers)
+	if part.Records == 0 {
+		part.Records = 1
+	}
+	if part.DistinctKeys < 1 {
+		part.DistinctKeys = 1
+	}
+
+	// 1. Shuffle: fetch map outputs over the network.
+	fetch := exec.FuncSpec{
+		Class: "org.apache.hadoop.mapreduce.task.reduce.Fetcher", Method: "copyFromHost",
+		Kind: model.KindIO, BaseCPI: 1.05,
+		Pattern: cpu.PatternSequential,
+		WS:      exec.WorkingSet{Kind: exec.WSFixed, Fixed: 2 << 20},
+		Refs:    0.35,
+	}
+	em.EmitRaw(b, d.vm, fetch, d.cfg.IOCost.ReadInstr(part.Bytes), part)
+
+	// 2. Merge-sort the fetched runs (the initial merge passes run
+	// before the reduce loop can stream, so this is its own phase —
+	// the sort-dominated phases Fig. 10 reports for Hadoop).
+	merge := exec.FuncSpec{
+		Class: "org.apache.hadoop.mapred.Merger$MergeQueue", Method: "next",
+		Kind: model.KindSort, InstrPerRec: 70, BaseCPI: 0.75,
+		Pattern: cpu.PatternSawtooth,
+		WS:      exec.WorkingSet{Kind: exec.WSPartitionBytes},
+		Refs:    0.32,
+	}
+	em.EmitOp(b, d.vm, merge, part)
+
+	// 3+4. The user reduce function streams straight into the HDFS
+	// writer, so the two interleave.
+	b.Push(d.frame("org.apache.hadoop.mapreduce.Reducer", "run", model.KindFramework))
+	out := j.Reducer.Out(part)
+	write := exec.FuncSpec{
+		Class: "org.apache.hadoop.hdfs.DFSOutputStream", Method: "write",
+		Kind: model.KindIO, BaseCPI: 1.1,
+		Pattern: cpu.PatternRandom,
+		WS:      exec.WorkingSet{Kind: exec.WSFixed, Fixed: 24 << 20},
+		Refs:    0.03,
+	}
+	em.EmitGroup(b, d.vm, []exec.OpRun{
+		{Spec: j.Reducer, Stats: part},
+		{Spec: write, Total: d.cfg.IOCost.WriteInstr(out.Bytes, false), Stats: out},
+	}, false)
+	b.PopN(4)
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

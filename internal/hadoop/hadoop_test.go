@@ -1,0 +1,263 @@
+package hadoop
+
+import (
+	"strings"
+	"testing"
+
+	"simprof/internal/cpu"
+	"simprof/internal/exec"
+	"simprof/internal/model"
+	"simprof/internal/synth"
+)
+
+func textInput() synth.InputStats {
+	return synth.InputStats{Name: "t", Records: 2_000_000, Bytes: 64 << 20, DistinctKeys: 20_000, Skew: 1.1}
+}
+
+func mapper() exec.FuncSpec {
+	return exec.FuncSpec{
+		Class: "app.TokenizerMapper", Method: "map", Kind: model.KindMap,
+		InstrPerRec: 100, BaseCPI: 0.55,
+		Pattern: cpu.PatternSequential,
+		WS:      exec.WorkingSet{Kind: exec.WSPartitionBytes},
+	}
+}
+
+func reducer() exec.FuncSpec {
+	return exec.FuncSpec{
+		Class: "app.IntSumReducer", Method: "reduce", Kind: model.KindReduce,
+		InstrPerRec: 45, BaseCPI: 0.65,
+		Pattern: cpu.PatternRandom,
+		WS:      exec.WorkingSet{Kind: exec.WSDistinctKeys},
+	}
+}
+
+func wcJob() *Job {
+	r := reducer()
+	return &Job{
+		Name: "wc", Input: textInput(), SplitBytes: 8 << 20,
+		Mapper: mapper(), Combiner: &r, Reducer: r, NumReducers: 4,
+	}
+}
+
+func newDriver(t *testing.T) *Driver {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Seed = 1
+	cfg.ChunkInstr = 500_000
+	d, err := NewDriver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDriverValidation(t *testing.T) {
+	if _, err := NewDriver(Config{Cores: 0}); err == nil {
+		t.Fatal("Cores=0 should fail")
+	}
+	d := newDriver(t)
+	if _, err := d.Run(); err == nil {
+		t.Fatal("no jobs should fail")
+	}
+	bad := wcJob()
+	bad.Mapper.InstrPerRec = 0
+	if _, err := d.Run(bad); err == nil {
+		t.Fatal("zero-cost mapper should fail validation")
+	}
+	bad2 := wcJob()
+	bad2.Input = synth.InputStats{}
+	if _, err := d.Run(bad2); err == nil {
+		t.Fatal("empty input should fail validation")
+	}
+}
+
+func TestTaskThreadsPerTask(t *testing.T) {
+	d := newDriver(t)
+	j := wcJob()
+	threads, err := d.Run(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64MB / 8MB splits = 8 map tasks + 4 reduce tasks.
+	if len(threads) != 12 {
+		t.Fatalf("threads=%d want 12", len(threads))
+	}
+	maps, reduces := 0, 0
+	for _, th := range threads {
+		switch {
+		case strings.Contains(th.Name, "-map-"):
+			maps++
+		case strings.Contains(th.Name, "-reduce-"):
+			reduces++
+		}
+		if len(th.Segments) == 0 {
+			t.Fatalf("empty task thread %s", th.Name)
+		}
+	}
+	if maps != 8 || reduces != 4 {
+		t.Fatalf("maps=%d reduces=%d", maps, reduces)
+	}
+}
+
+func TestStageIDs(t *testing.T) {
+	d := newDriver(t)
+	threads, err := d.Run(wcJob(), wcJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages := map[int]bool{}
+	for _, th := range threads {
+		for _, seg := range th.Segments {
+			stages[seg.StageID] = true
+		}
+	}
+	for want := 0; want < 4; want++ { // 2 jobs × (map, reduce)
+		if !stages[want] {
+			t.Fatalf("stage %d missing (have %v)", want, stages)
+		}
+	}
+}
+
+func leafSet(d *Driver, threads []*cpu.Thread) map[string]bool {
+	out := map[string]bool{}
+	for _, th := range threads {
+		for _, seg := range th.Segments {
+			out[d.VM().Table.FQN(seg.Stack.Leaf())] = true
+		}
+	}
+	return out
+}
+
+func TestMapTaskAnatomy(t *testing.T) {
+	d := newDriver(t)
+	threads, _ := d.Run(wcJob())
+	leaves := leafSet(d, threads)
+	for _, want := range []string{
+		"org.apache.hadoop.mapreduce.lib.input.LineRecordReader.nextKeyValue",
+		"app.TokenizerMapper.map",
+		"org.apache.hadoop.mapred.MapTask$MapOutputBuffer.collect",
+		"org.apache.hadoop.util.QuickSort.sort",
+		"org.apache.hadoop.mapred.Task$NewCombinerRunner.combine",
+		"org.apache.hadoop.mapred.IFile$Writer.append",
+		"org.apache.hadoop.mapreduce.task.reduce.Fetcher.copyFromHost",
+		"org.apache.hadoop.mapred.Merger$MergeQueue.next",
+		"app.IntSumReducer.reduce",
+		"org.apache.hadoop.hdfs.DFSOutputStream.write",
+	} {
+		if !leaves[want] {
+			t.Errorf("missing leaf %s", want)
+		}
+	}
+}
+
+func TestCombinerRenamed(t *testing.T) {
+	// The combiner runs under NewCombinerRunner.combine, not under the
+	// user reducer's own frame (matching Fig. 15's phase anatomy).
+	d := newDriver(t)
+	threads, _ := d.Run(wcJob())
+	combineSegs, reduceSegs := 0, 0
+	for _, th := range threads {
+		isMap := strings.Contains(th.Name, "-map-")
+		for _, seg := range th.Segments {
+			fqn := d.VM().Table.FQN(seg.Stack.Leaf())
+			if fqn == "org.apache.hadoop.mapred.Task$NewCombinerRunner.combine" {
+				if !isMap {
+					t.Fatal("combine segment on a reduce task")
+				}
+				combineSegs++
+			}
+			if fqn == "app.IntSumReducer.reduce" {
+				if isMap {
+					t.Fatal("user reduce segment on a map task")
+				}
+				reduceSegs++
+			}
+		}
+	}
+	if combineSegs == 0 || reduceSegs == 0 {
+		t.Fatalf("combine=%d reduce=%d segments", combineSegs, reduceSegs)
+	}
+}
+
+func TestSpillsScaleWithBuffer(t *testing.T) {
+	small := DefaultConfig()
+	small.Seed = 1
+	small.SortBufferBytes = 1 << 20 // 1MB buffer → many spills per 8MB split
+	ds, _ := NewDriver(small)
+	threadsSmall, _ := ds.Run(wcJob())
+
+	big := DefaultConfig()
+	big.Seed = 1
+	db, _ := NewDriver(big)
+	threadsBig, _ := db.Run(wcJob())
+
+	count := func(d *Driver, threads []*cpu.Thread, fqn string) int {
+		n := 0
+		for _, th := range threads {
+			for _, seg := range th.Segments {
+				for _, id := range seg.Stack {
+					if d.VM().Table.FQN(id) == fqn {
+						n++
+						break
+					}
+				}
+			}
+		}
+		return n
+	}
+	spillsSmall := count(ds, threadsSmall, "org.apache.hadoop.mapred.MapTask$MapOutputBuffer.sortAndSpill")
+	spillsBig := count(db, threadsBig, "org.apache.hadoop.mapred.MapTask$MapOutputBuffer.sortAndSpill")
+	if spillsSmall <= spillsBig {
+		t.Fatalf("small buffer should spill more: %d vs %d", spillsSmall, spillsBig)
+	}
+	// Small buffers also trigger the final merge.
+	if count(ds, threadsSmall, "org.apache.hadoop.mapred.Merger.merge") == 0 {
+		t.Fatal("multi-spill task should merge")
+	}
+}
+
+func TestMapOnlyJob(t *testing.T) {
+	d := newDriver(t)
+	j := wcJob()
+	j.NumReducers = 0
+	j.Combiner = nil
+	threads, err := d.Run(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, th := range threads {
+		if strings.Contains(th.Name, "-reduce-") {
+			t.Fatal("map-only job spawned reduce tasks")
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() uint64 {
+		d := newDriver(t)
+		threads, err := d.Run(wcJob())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total uint64
+		for _, th := range threads {
+			total += th.Instructions()
+		}
+		return total
+	}
+	if run() != run() {
+		t.Fatal("hadoop emission not deterministic")
+	}
+}
+
+func TestMapTasksCount(t *testing.T) {
+	j := wcJob()
+	if j.MapTasks() != 8 {
+		t.Fatalf("MapTasks=%d", j.MapTasks())
+	}
+	j.SplitBytes = 0 // default 64MB
+	if j.MapTasks() != 1 {
+		t.Fatalf("MapTasks=%d want 1", j.MapTasks())
+	}
+}

@@ -1,0 +1,162 @@
+// Package hdfs simulates the distributed file system under both engines:
+// block-oriented files that define input splits (and therefore task
+// counts), plus the instruction-cost model of reading and writing
+// through the HDFS client path (checksumming, (de)serialization, buffer
+// copies). Only the cost and split structure matter to SimProf — no
+// bytes are stored.
+package hdfs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// FS is a simulated HDFS namespace.
+type FS struct {
+	mu        sync.Mutex
+	blockSize int64
+	files     map[string]*File
+	nextBlock int64
+}
+
+// DefaultBlockSize is the classic HDFS block size (scaled experiments
+// typically use smaller blocks to keep task counts realistic for small
+// inputs).
+const DefaultBlockSize = 128 << 20
+
+// NewFS creates a filesystem with the given block size.
+func NewFS(blockSize int64) (*FS, error) {
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("hdfs: block size %d must be positive", blockSize)
+	}
+	return &FS{blockSize: blockSize, files: make(map[string]*File)}, nil
+}
+
+// BlockSize returns the configured block size.
+func (fs *FS) BlockSize() int64 { return fs.blockSize }
+
+// Block is one file block.
+type Block struct {
+	ID   int64
+	Size int64
+}
+
+// File is a stored file: a path and its block list.
+type File struct {
+	Path   string
+	Size   int64
+	Blocks []Block
+}
+
+// Create allocates a file of the given logical size, replacing any
+// existing file at the path.
+func (fs *FS) Create(path string, size int64) (*File, error) {
+	if size < 0 {
+		return nil, fmt.Errorf("hdfs: negative size %d for %q", size, path)
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f := &File{Path: path, Size: size}
+	remaining := size
+	for remaining > 0 {
+		b := Block{ID: fs.nextBlock, Size: fs.blockSize}
+		if remaining < fs.blockSize {
+			b.Size = remaining
+		}
+		fs.nextBlock++
+		f.Blocks = append(f.Blocks, b)
+		remaining -= b.Size
+	}
+	fs.files[path] = f
+	return f, nil
+}
+
+// Open returns the file at path.
+func (fs *FS) Open(path string) (*File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("hdfs: open %q: no such file", path)
+	}
+	return f, nil
+}
+
+// Delete removes the file at path; deleting a missing file is a no-op,
+// as in HDFS.
+func (fs *FS) Delete(path string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	delete(fs.files, path)
+}
+
+// List returns all paths, sorted.
+func (fs *FS) List() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]string, 0, len(fs.files))
+	for p := range fs.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Split is one input split: the unit of work for a map task or an RDD
+// partition read.
+type Split struct {
+	Index int
+	Bytes int64
+}
+
+// Splits returns one split per block.
+func (f *File) Splits() []Split {
+	out := make([]Split, len(f.Blocks))
+	for i, b := range f.Blocks {
+		out[i] = Split{Index: i, Bytes: b.Size}
+	}
+	return out
+}
+
+// CostModel converts IO volume into instruction counts. Reads and
+// writes through the HDFS client burn CPU in checksums, buffer copies
+// and (de)serialization; compression multiplies the write cost.
+type CostModel struct {
+	ReadInstrPerByte  float64
+	WriteInstrPerByte float64
+	CompressFactor    float64 // extra write-side multiplier when compressing
+	BufferBytes       uint64  // client buffer working set
+}
+
+// DefaultCostModel returns a cost model in line with measured HDFS
+// client overheads (a few instructions per byte end to end).
+func DefaultCostModel() CostModel {
+	return CostModel{
+		ReadInstrPerByte:  2.0,
+		WriteInstrPerByte: 3.0,
+		CompressFactor:    2.2,
+		BufferBytes:       4 << 20,
+	}
+}
+
+// ReadInstr returns the instructions to read n bytes.
+func (cm CostModel) ReadInstr(n int64) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	return uint64(float64(n) * cm.ReadInstrPerByte)
+}
+
+// WriteInstr returns the instructions to write n bytes, with or without
+// compression.
+func (cm CostModel) WriteInstr(n int64, compressed bool) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	instr := float64(n) * cm.WriteInstrPerByte
+	if compressed {
+		instr *= cm.CompressFactor
+	}
+	return uint64(instr)
+}

@@ -1,0 +1,94 @@
+package hdfs
+
+import "testing"
+
+func TestCreateOpenDelete(t *testing.T) {
+	fs, err := NewFS(64 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("/data/input", 200<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Blocks) != 4 {
+		t.Fatalf("blocks=%d want 4 (3 full + 1 partial)", len(f.Blocks))
+	}
+	if f.Blocks[3].Size != 200<<20-3*(64<<20) {
+		t.Fatalf("last block size=%d", f.Blocks[3].Size)
+	}
+	got, err := fs.Open("/data/input")
+	if err != nil || got != f {
+		t.Fatalf("Open returned %v, %v", got, err)
+	}
+	if _, err := fs.Open("/missing"); err == nil {
+		t.Fatal("Open missing should fail")
+	}
+	fs.Delete("/data/input")
+	if _, err := fs.Open("/data/input"); err == nil {
+		t.Fatal("Open after Delete should fail")
+	}
+	fs.Delete("/data/input") // idempotent
+}
+
+func TestSplits(t *testing.T) {
+	fs, _ := NewFS(32 << 20)
+	f, _ := fs.Create("/x", 100<<20)
+	splits := f.Splits()
+	if len(splits) != 4 {
+		t.Fatalf("splits=%d", len(splits))
+	}
+	var total int64
+	for i, s := range splits {
+		if s.Index != i {
+			t.Fatalf("split %d index=%d", i, s.Index)
+		}
+		total += s.Bytes
+	}
+	if total != 100<<20 {
+		t.Fatalf("split bytes sum=%d", total)
+	}
+}
+
+func TestList(t *testing.T) {
+	fs, _ := NewFS(1 << 20)
+	fs.Create("/b", 10)
+	fs.Create("/a", 10)
+	got := fs.List()
+	if len(got) != 2 || got[0] != "/a" || got[1] != "/b" {
+		t.Fatalf("List=%v", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := NewFS(0); err == nil {
+		t.Fatal("block size 0 should fail")
+	}
+	fs, _ := NewFS(1 << 20)
+	if _, err := fs.Create("/x", -1); err == nil {
+		t.Fatal("negative size should fail")
+	}
+	// Empty file: zero blocks is fine.
+	f, err := fs.Create("/empty", 0)
+	if err != nil || len(f.Blocks) != 0 {
+		t.Fatalf("empty file: %v, %d blocks", err, len(f.Blocks))
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	cm := DefaultCostModel()
+	if cm.ReadInstr(1000) != 2000 {
+		t.Fatalf("ReadInstr=%d", cm.ReadInstr(1000))
+	}
+	plain := cm.WriteInstr(1000, false)
+	compressed := cm.WriteInstr(1000, true)
+	if plain != 3000 {
+		t.Fatalf("WriteInstr=%d", plain)
+	}
+	if compressed <= plain {
+		t.Fatal("compression should cost more CPU")
+	}
+	if cm.ReadInstr(0) != 0 || cm.WriteInstr(-5, true) != 0 {
+		t.Fatal("non-positive volumes should cost 0")
+	}
+}

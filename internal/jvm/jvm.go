@@ -1,0 +1,117 @@
+// Package jvm simulates the managed-runtime layer the paper profiles
+// through JVMTI. A VM owns a method table and a set of executor threads;
+// engines drive a ThreadBuilder exactly like Java code runs — pushing and
+// popping stack frames and retiring instructions inside them — and the
+// resulting segments carry the full call stack that a JVMTI
+// GetStackTrace snapshot would observe at that point.
+package jvm
+
+import (
+	"fmt"
+
+	"simprof/internal/cpu"
+	"simprof/internal/model"
+)
+
+// VM is one simulated Java virtual machine (one Spark executor process
+// or one Hadoop task container host).
+type VM struct {
+	Table   *model.Table
+	threads []*cpu.Thread
+	nextID  int
+}
+
+// NewVM creates a VM with a fresh method table.
+func NewVM() *VM { return &VM{Table: model.NewTable()} }
+
+// NewVMWithTable creates a VM sharing an existing method table, so that
+// several VMs (e.g. one per Hadoop task wave) produce comparable traces.
+func NewVMWithTable(t *model.Table) *VM { return &VM{Table: t} }
+
+// Threads returns the executor threads spawned so far, in spawn order.
+func (vm *VM) Threads() []*cpu.Thread { return vm.threads }
+
+// ThreadBuilder assembles one executor thread frame-by-frame.
+type ThreadBuilder struct {
+	vm     *VM
+	thread *cpu.Thread
+	stack  model.Stack
+	task   int
+	stage  int
+}
+
+// SpawnThread starts a new executor thread with the given name.
+func (vm *VM) SpawnThread(name string) *ThreadBuilder {
+	t := &cpu.Thread{ID: vm.nextID, Name: name}
+	vm.nextID++
+	vm.threads = append(vm.threads, t)
+	return &ThreadBuilder{vm: vm, thread: t, stage: -1, task: -1}
+}
+
+// Push enters a method frame.
+func (b *ThreadBuilder) Push(m model.MethodID) *ThreadBuilder {
+	b.stack = append(b.stack, m)
+	return b
+}
+
+// PushM interns class.name with the kind and enters it.
+func (b *ThreadBuilder) PushM(class, name string, kind model.Kind) *ThreadBuilder {
+	return b.Push(b.vm.Table.Intern(class, name, kind))
+}
+
+// Pop leaves the innermost frame. It panics on an empty stack, which is
+// always an engine bug.
+func (b *ThreadBuilder) Pop() *ThreadBuilder {
+	if len(b.stack) == 0 {
+		panic("jvm: Pop on empty stack")
+	}
+	b.stack = b.stack[:len(b.stack)-1]
+	return b
+}
+
+// PopN pops n frames.
+func (b *ThreadBuilder) PopN(n int) *ThreadBuilder {
+	for i := 0; i < n; i++ {
+		b.Pop()
+	}
+	return b
+}
+
+// Depth returns the current stack depth.
+func (b *ThreadBuilder) Depth() int { return len(b.stack) }
+
+// SetTask tags subsequent segments with an engine task id.
+func (b *ThreadBuilder) SetTask(task, stage int) *ThreadBuilder {
+	b.task, b.stage = task, stage
+	return b
+}
+
+// Exec retires instr instructions under the current stack.
+func (b *ThreadBuilder) Exec(instr uint64, baseCPI float64, access cpu.Access) *ThreadBuilder {
+	if instr == 0 {
+		return b
+	}
+	if len(b.stack) == 0 {
+		panic(fmt.Sprintf("jvm: Exec with empty stack on thread %q", b.thread.Name))
+	}
+	b.thread.Segments = append(b.thread.Segments, cpu.Segment{
+		Stack:   b.stack.Clone(),
+		Instr:   instr,
+		BaseCPI: baseCPI,
+		Access:  access,
+		TaskID:  b.task,
+		StageID: b.stage,
+	})
+	return b
+}
+
+// Call is Push+Exec+Pop in one step: a leaf call that retires instr
+// instructions.
+func (b *ThreadBuilder) Call(m model.MethodID, instr uint64, baseCPI float64, access cpu.Access) *ThreadBuilder {
+	return b.Push(m).Exec(instr, baseCPI, access).Pop()
+}
+
+// Thread finishes the builder and returns the thread. The stack need not
+// be empty (a thread can be profiled mid-flight), but engines normally
+// unwind fully.
+func (b *ThreadBuilder) Thread() *cpu.Thread { return b.thread }

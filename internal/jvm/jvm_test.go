@@ -1,0 +1,122 @@
+package jvm
+
+import (
+	"testing"
+
+	"simprof/internal/cpu"
+	"simprof/internal/model"
+)
+
+func TestBuilderStacksAreSnapshotted(t *testing.T) {
+	vm := NewVM()
+	b := vm.SpawnThread("Executor task launch worker-0")
+	b.PushM("java.lang.Thread", "run", model.KindFramework)
+	b.PushM("org.apache.spark.executor.Executor$TaskRunner", "run", model.KindFramework)
+	b.Exec(1000, 0.5, cpu.Access{})
+	b.PushM("org.apache.spark.scheduler.ResultTask", "runTask", model.KindFramework)
+	b.Exec(2000, 0.6, cpu.Access{})
+	b.Pop()
+	b.Exec(500, 0.5, cpu.Access{})
+	th := b.Thread()
+	if len(th.Segments) != 3 {
+		t.Fatalf("segments=%d want 3", len(th.Segments))
+	}
+	if len(th.Segments[0].Stack) != 2 || len(th.Segments[1].Stack) != 3 || len(th.Segments[2].Stack) != 2 {
+		t.Fatalf("stack depths wrong: %d %d %d",
+			len(th.Segments[0].Stack), len(th.Segments[1].Stack), len(th.Segments[2].Stack))
+	}
+	// Stacks must be snapshots, not aliases of the builder's stack.
+	if &th.Segments[0].Stack[0] == &th.Segments[2].Stack[0] {
+		t.Fatal("segments alias the same stack storage")
+	}
+	if th.Segments[1].Stack.Leaf() == th.Segments[0].Stack.Leaf() {
+		t.Fatal("push did not change leaf")
+	}
+	if th.Instructions() != 3500 {
+		t.Fatalf("Instructions=%d want 3500", th.Instructions())
+	}
+}
+
+func TestCallShorthand(t *testing.T) {
+	vm := NewVM()
+	b := vm.SpawnThread("w")
+	root := vm.Table.Intern("T", "run", model.KindFramework)
+	leaf := vm.Table.Intern("M", "map", model.KindMap)
+	b.Push(root).Call(leaf, 100, 0.5, cpu.Access{})
+	if b.Depth() != 1 {
+		t.Fatalf("Call should restore depth, got %d", b.Depth())
+	}
+	seg := b.Thread().Segments[0]
+	if seg.Stack.Leaf() != leaf || len(seg.Stack) != 2 {
+		t.Fatalf("Call stack wrong: %v", seg.Stack)
+	}
+}
+
+func TestTaskTagging(t *testing.T) {
+	vm := NewVM()
+	b := vm.SpawnThread("w").PushM("T", "run", model.KindFramework)
+	b.SetTask(7, 2).Exec(10, 0.5, cpu.Access{})
+	seg := b.Thread().Segments[0]
+	if seg.TaskID != 7 || seg.StageID != 2 {
+		t.Fatalf("task tags=%d/%d", seg.TaskID, seg.StageID)
+	}
+}
+
+func TestExecZeroInstrNoop(t *testing.T) {
+	vm := NewVM()
+	b := vm.SpawnThread("w").PushM("T", "run", model.KindFramework)
+	b.Exec(0, 0.5, cpu.Access{})
+	if len(b.Thread().Segments) != 0 {
+		t.Fatal("zero-instruction Exec emitted a segment")
+	}
+}
+
+func TestPopEmptyPanics(t *testing.T) {
+	vm := NewVM()
+	b := vm.SpawnThread("w")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pop on empty stack should panic")
+		}
+	}()
+	b.Pop()
+}
+
+func TestExecEmptyStackPanics(t *testing.T) {
+	vm := NewVM()
+	b := vm.SpawnThread("w")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exec with empty stack should panic")
+		}
+	}()
+	b.Exec(10, 0.5, cpu.Access{})
+}
+
+func TestSharedTableAcrossVMs(t *testing.T) {
+	tbl := model.NewTable()
+	vm1, vm2 := NewVMWithTable(tbl), NewVMWithTable(tbl)
+	a := vm1.SpawnThread("a").PushM("C", "m", model.KindMap)
+	bb := vm2.SpawnThread("b").PushM("C", "m", model.KindMap)
+	a.Exec(1, 0.5, cpu.Access{})
+	bb.Exec(1, 0.5, cpu.Access{})
+	if a.Thread().Segments[0].Stack[0] != bb.Thread().Segments[0].Stack[0] {
+		t.Fatal("shared table produced different ids for the same method")
+	}
+	if len(vm1.Threads()) != 1 || len(vm2.Threads()) != 1 {
+		t.Fatal("thread registries mixed up")
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("table has %d methods want 1", tbl.Len())
+	}
+}
+
+func TestPopN(t *testing.T) {
+	vm := NewVM()
+	b := vm.SpawnThread("w")
+	b.PushM("A", "a", model.KindOther).PushM("B", "b", model.KindOther).PushM("C", "c", model.KindOther)
+	b.PopN(2)
+	if b.Depth() != 1 {
+		t.Fatalf("depth=%d want 1", b.Depth())
+	}
+}

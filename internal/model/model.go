@@ -1,0 +1,197 @@
+// Package model defines the vocabulary shared by every SimProf substrate:
+// interned method identities, method kinds (the operation categories used
+// for phase-type classification, Fig. 10 of the paper), and call stacks.
+//
+// Engines (internal/spark, internal/hadoop) intern the methods they
+// "execute" into a Table once, then refer to them by MethodID so that call
+// stacks are cheap to copy and compare. The profiler and phase-formation
+// layers only ever see MethodIDs; names are recovered from the Table for
+// reporting.
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind classifies a method by the dominant operation it performs. The
+// paper buckets phases of key-value workloads into map, reduce, sort and
+// IO types; Framework marks executor scaffolding (thread start, task
+// dispatch) and Other everything else.
+type Kind uint8
+
+// Method kinds, ordered roughly by how "frameworky" they are.
+const (
+	KindOther Kind = iota
+	KindFramework
+	KindMap
+	KindReduce
+	KindSort
+	KindIO
+	numKinds
+)
+
+// NumKinds is the number of distinct method kinds.
+const NumKinds = int(numKinds)
+
+var kindNames = [...]string{"other", "framework", "map", "reduce", "sort", "io"}
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Valid reports whether k is one of the defined kinds.
+func (k Kind) Valid() bool { return k < numKinds }
+
+// MethodID is a dense index into a Table. The zero value is NoMethod.
+type MethodID int32
+
+// NoMethod is the invalid method id.
+const NoMethod MethodID = -1
+
+// Method is one interned method.
+type Method struct {
+	ID    MethodID
+	Class string // e.g. "org.apache.spark.Aggregator"
+	Name  string // e.g. "combineValuesByKey"
+	Kind  Kind
+}
+
+// FQN returns "Class.Name".
+func (m Method) FQN() string { return m.Class + "." + m.Name }
+
+// Stack is a call stack, outermost frame first (index 0 is the thread
+// entry point, the last element is the currently executing method).
+type Stack []MethodID
+
+// Leaf returns the innermost (currently executing) method, or NoMethod
+// for an empty stack.
+func (s Stack) Leaf() MethodID {
+	if len(s) == 0 {
+		return NoMethod
+	}
+	return s[len(s)-1]
+}
+
+// Clone returns a copy of the stack.
+func (s Stack) Clone() Stack {
+	out := make(Stack, len(s))
+	copy(out, s)
+	return out
+}
+
+// Equal reports whether two stacks are frame-for-frame identical.
+func (s Stack) Equal(o Stack) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i, id := range s {
+		if o[i] != id {
+			return false
+		}
+	}
+	return true
+}
+
+// Table interns methods and assigns dense MethodIDs. It is safe for
+// concurrent use; interning an already-present FQN returns the existing
+// id (the kind of the first interning wins).
+type Table struct {
+	mu      sync.RWMutex
+	methods []Method
+	byFQN   map[string]MethodID
+}
+
+// NewTable returns an empty method table.
+func NewTable() *Table {
+	return &Table{byFQN: make(map[string]MethodID)}
+}
+
+// Intern returns the id for class.name, creating it with the given kind
+// if it was not present.
+func (t *Table) Intern(class, name string, kind Kind) MethodID {
+	fqn := class + "." + name
+	t.mu.RLock()
+	id, ok := t.byFQN[fqn]
+	t.mu.RUnlock()
+	if ok {
+		return id
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.byFQN[fqn]; ok {
+		return id
+	}
+	id = MethodID(len(t.methods))
+	t.methods = append(t.methods, Method{ID: id, Class: class, Name: name, Kind: kind})
+	t.byFQN[fqn] = id
+	return id
+}
+
+// Lookup returns the id for class.name and whether it is interned.
+func (t *Table) Lookup(class, name string) (MethodID, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	id, ok := t.byFQN[class+"."+name]
+	return id, ok
+}
+
+// Method returns the method for id. It panics on an out-of-range id,
+// which always indicates corrupted trace data.
+func (t *Table) Method(id MethodID) Method {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.methods[id]
+}
+
+// Kind returns the kind of id.
+func (t *Table) Kind(id MethodID) Kind { return t.Method(id).Kind }
+
+// FQN returns the fully qualified name of id.
+func (t *Table) FQN(id MethodID) string { return t.Method(id).FQN() }
+
+// Len returns the number of interned methods.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.methods)
+}
+
+// Methods returns a copy of all interned methods in id order.
+func (t *Table) Methods() []Method {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Method, len(t.methods))
+	copy(out, t.methods)
+	return out
+}
+
+// FormatStack renders a stack one frame per line, outermost first,
+// mirroring the call-stack figure in the paper.
+func (t *Table) FormatStack(s Stack) string {
+	var b strings.Builder
+	for i, id := range s {
+		fmt.Fprintf(&b, "%2d: %s\n", i+1, t.FQN(id))
+	}
+	return b.String()
+}
+
+// ByKind returns the interned method ids of the given kind, sorted.
+func (t *Table) ByKind(k Kind) []MethodID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []MethodID
+	for _, m := range t.methods {
+		if m.Kind == k {
+			out = append(out, m.ID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

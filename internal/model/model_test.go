@@ -1,0 +1,143 @@
+package model
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestInternReturnsStableIDs(t *testing.T) {
+	tbl := NewTable()
+	a := tbl.Intern("org.example.Foo", "bar", KindMap)
+	b := tbl.Intern("org.example.Foo", "baz", KindReduce)
+	if a == b {
+		t.Fatalf("distinct methods share id %d", a)
+	}
+	if got := tbl.Intern("org.example.Foo", "bar", KindIO); got != a {
+		t.Fatalf("re-intern changed id: got %d want %d", got, a)
+	}
+	// First interning's kind wins.
+	if k := tbl.Kind(a); k != KindMap {
+		t.Fatalf("kind changed on re-intern: got %v want %v", k, KindMap)
+	}
+	if tbl.Len() != 2 {
+		t.Fatalf("Len=%d want 2", tbl.Len())
+	}
+}
+
+func TestLookup(t *testing.T) {
+	tbl := NewTable()
+	id := tbl.Intern("C", "m", KindSort)
+	got, ok := tbl.Lookup("C", "m")
+	if !ok || got != id {
+		t.Fatalf("Lookup = (%d,%v), want (%d,true)", got, ok, id)
+	}
+	if _, ok := tbl.Lookup("C", "missing"); ok {
+		t.Fatal("Lookup found a method that was never interned")
+	}
+}
+
+func TestMethodFQNAndFormatStack(t *testing.T) {
+	tbl := NewTable()
+	a := tbl.Intern("java.lang.Thread", "run", KindFramework)
+	b := tbl.Intern("org.apache.spark.Aggregator", "combineValuesByKey", KindReduce)
+	s := Stack{a, b}
+	out := tbl.FormatStack(s)
+	if !strings.Contains(out, "java.lang.Thread.run") ||
+		!strings.Contains(out, "Aggregator.combineValuesByKey") {
+		t.Fatalf("FormatStack missing frames:\n%s", out)
+	}
+	if got := tbl.FQN(b); got != "org.apache.spark.Aggregator.combineValuesByKey" {
+		t.Fatalf("FQN = %q", got)
+	}
+}
+
+func TestStackLeafCloneEqual(t *testing.T) {
+	var empty Stack
+	if empty.Leaf() != NoMethod {
+		t.Fatal("empty stack leaf should be NoMethod")
+	}
+	s := Stack{1, 2, 3}
+	if s.Leaf() != 3 {
+		t.Fatalf("Leaf=%d want 3", s.Leaf())
+	}
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Fatal("clone not equal to original")
+	}
+	c[0] = 9
+	if s.Equal(c) {
+		t.Fatal("mutated clone still equal")
+	}
+	if s[0] != 1 {
+		t.Fatal("clone aliases original")
+	}
+	if s.Equal(Stack{1, 2}) {
+		t.Fatal("different lengths compare equal")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindOther: "other", KindFramework: "framework", KindMap: "map",
+		KindReduce: "reduce", KindSort: "sort", KindIO: "io",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String()=%q want %q", k, k.String(), want)
+		}
+		if !k.Valid() {
+			t.Errorf("Kind %v should be valid", k)
+		}
+	}
+	if Kind(200).Valid() {
+		t.Error("Kind(200) should be invalid")
+	}
+}
+
+func TestByKind(t *testing.T) {
+	tbl := NewTable()
+	tbl.Intern("A", "x", KindMap)
+	m2 := tbl.Intern("A", "y", KindSort)
+	m3 := tbl.Intern("A", "z", KindSort)
+	got := tbl.ByKind(KindSort)
+	if len(got) != 2 || got[0] != m2 || got[1] != m3 {
+		t.Fatalf("ByKind(Sort)=%v want [%d %d]", got, m2, m3)
+	}
+}
+
+func TestConcurrentIntern(t *testing.T) {
+	tbl := NewTable()
+	var wg sync.WaitGroup
+	ids := make([]MethodID, 64)
+	for g := 0; g < 64; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids[g] = tbl.Intern("C", "shared", KindOther)
+		}(g)
+	}
+	wg.Wait()
+	for _, id := range ids {
+		if id != ids[0] {
+			t.Fatalf("concurrent intern produced distinct ids: %v", ids)
+		}
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len=%d want 1", tbl.Len())
+	}
+}
+
+func TestPropertyInternIdempotent(t *testing.T) {
+	tbl := NewTable()
+	f := func(class, name string, kind uint8) bool {
+		k := Kind(kind % uint8(NumKinds))
+		a := tbl.Intern(class, name, k)
+		b := tbl.Intern(class, name, k)
+		return a == b && tbl.Method(a).Class == class && tbl.Method(a).Name == name
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

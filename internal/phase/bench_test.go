@@ -1,0 +1,27 @@
+package phase
+
+import "testing"
+
+// BenchmarkForm measures full phase formation (vectorization, feature
+// selection, k sweep) on a synthetic 600-unit trace.
+func BenchmarkForm(b *testing.B) {
+	tr := synthTrace(300, 1) // 600 units
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Form(tr, Options{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVectorize(b *testing.B) {
+	tr := synthTrace(300, 2)
+	ph, err := Form(tr, Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ph.Space.Vectorize(tr)
+	}
+}

@@ -1,0 +1,50 @@
+package phase
+
+import "simprof/internal/stats"
+
+// CounterStats is the per-phase hardware-counter view the paper argues
+// method-level phases enable: once a phase is tied to its dominant
+// methods, its miss rates tell the architect *why* it performs the way
+// it does (§III-B.1's data-access discussion, and the wc anatomy of
+// §IV-F).
+type CounterStats struct {
+	Phase   int
+	Units   int
+	CPI     stats.Summary
+	L1MPKI  float64 // L1D misses per kilo-instruction, phase aggregate
+	L2MPKI  float64
+	LLCMPKI float64
+	IPCMean float64
+}
+
+// CounterProfile aggregates the hardware counters of every phase.
+func (p *Phases) CounterProfile() []CounterStats {
+	out := make([]CounterStats, p.K)
+	type agg struct {
+		instr, cyc, l1, l2, llc uint64
+	}
+	sums := make([]agg, p.K)
+	for i, a := range p.Assign {
+		c := p.Trace.Units[i].Counters
+		sums[a].instr += c.Instructions
+		sums[a].cyc += c.Cycles
+		sums[a].l1 += c.L1Misses
+		sums[a].l2 += c.L2Misses
+		sums[a].llc += c.LLCMisses
+	}
+	cpis := p.CPIStats()
+	sizes := p.Sizes()
+	for h := 0; h < p.K; h++ {
+		out[h] = CounterStats{Phase: h, Units: sizes[h], CPI: cpis[h]}
+		if sums[h].instr > 0 {
+			ki := float64(sums[h].instr) / 1000
+			out[h].L1MPKI = float64(sums[h].l1) / ki
+			out[h].L2MPKI = float64(sums[h].l2) / ki
+			out[h].LLCMPKI = float64(sums[h].llc) / ki
+		}
+		if sums[h].cyc > 0 {
+			out[h].IPCMean = float64(sums[h].instr) / float64(sums[h].cyc)
+		}
+	}
+	return out
+}

@@ -1,0 +1,302 @@
+// Package phase implements SimProf's phase formation (§III-B): sampling
+// units are vectorized into method-frequency feature vectors from their
+// call-stack snapshots, the methods most correlated with IPC are
+// selected with a univariate linear-regression test, and k-means with
+// silhouette-based k selection groups the units into phases. The package
+// also provides the homogeneity (CoV) analysis of §III-B.1 and the
+// phase-type classification behind Fig. 10.
+package phase
+
+import (
+	"fmt"
+	"math"
+
+	"simprof/internal/cluster"
+	"simprof/internal/model"
+	"simprof/internal/stats"
+	"simprof/internal/trace"
+)
+
+// Options controls phase formation. Zero values select the paper's
+// parameters.
+type Options struct {
+	TopK                int     // methods kept by feature selection (paper: 100)
+	MaxPhases           int     // k sweep upper bound (paper: 20)
+	SilhouetteThreshold float64 // fraction of best silhouette accepted (default 0.93)
+	Seed                uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.TopK <= 0 {
+		o.TopK = 100
+	}
+	if o.MaxPhases <= 0 {
+		o.MaxPhases = 20
+	}
+	if o.SilhouetteThreshold <= 0 {
+		// Slightly above the paper's 90%: our simplified-silhouette
+		// scores saturate for coarse splits, and 93% recovers the same
+		// phase granularity the paper reports (see DESIGN.md).
+		o.SilhouetteThreshold = 0.93
+	}
+	return o
+}
+
+// FeatureSpace is the selected method dimensions, identified by FQN so
+// that traces from different runs (whose method tables may intern in a
+// different order) can be vectorized consistently.
+type FeatureSpace struct {
+	Methods []string     // FQN per dimension
+	Kinds   []model.Kind // kind per dimension
+}
+
+// Dim returns the dimensionality.
+func (fs *FeatureSpace) Dim() int { return len(fs.Methods) }
+
+// Vectorize converts every unit of the trace into this feature space:
+// dimension j counts how many snapshot stack frames in the unit refer to
+// method j.
+func (fs *FeatureSpace) Vectorize(tr *trace.Trace) [][]float64 {
+	dimOf := make(map[string]int, len(fs.Methods))
+	for j, fqn := range fs.Methods {
+		dimOf[fqn] = j
+	}
+	// Map the trace's method ids to dims once.
+	idToDim := make([]int, len(tr.Methods))
+	for i, m := range tr.Methods {
+		if j, ok := dimOf[m.FQN()]; ok {
+			idToDim[i] = j
+		} else {
+			idToDim[i] = -1
+		}
+	}
+	out := make([][]float64, len(tr.Units))
+	for u, unit := range tr.Units {
+		v := make([]float64, len(fs.Methods))
+		for _, snap := range unit.Snapshots {
+			for _, id := range snap {
+				if int(id) < len(idToDim) {
+					if j := idToDim[id]; j >= 0 {
+						v[j]++
+					}
+				}
+			}
+		}
+		out[u] = v
+	}
+	return out
+}
+
+// fullSpace builds the all-methods feature space of a trace.
+func fullSpace(tr *trace.Trace) *FeatureSpace {
+	fs := &FeatureSpace{
+		Methods: make([]string, len(tr.Methods)),
+		Kinds:   make([]model.Kind, len(tr.Methods)),
+	}
+	for i, m := range tr.Methods {
+		fs.Methods[i] = m.FQN()
+		fs.Kinds[i] = m.Kind
+	}
+	return fs
+}
+
+// Phases is the result of phase formation on a training trace.
+type Phases struct {
+	Trace   *trace.Trace
+	Space   *FeatureSpace // selected feature space
+	Vectors [][]float64   // unit vectors in the selected space
+	K       int
+	Assign  []int       // unit → phase
+	Centers [][]float64 // phase centers in the selected space
+
+	Silhouette float64   // silhouette at the chosen k
+	KScores    []float64 // silhouette per swept k (index 0 ↔ k=1)
+	FScores    []float64 // regression score of each selected dimension
+}
+
+// Form runs the full phase-formation pipeline on a trace.
+func Form(tr *trace.Trace, opts Options) (*Phases, error) {
+	o := opts.withDefaults()
+	if len(tr.Units) == 0 {
+		return nil, fmt.Errorf("phase: trace has no sampling units")
+	}
+	full := fullSpace(tr)
+	vectors := full.Vectorize(tr)
+	ipc := make([]float64, len(tr.Units))
+	for i, u := range tr.Units {
+		ipc[i] = u.Counters.IPC()
+	}
+	// Univariate linear-regression feature selection against IPC.
+	scores := stats.FRegression(vectors, ipc)
+	top := stats.TopK(scores, o.TopK)
+	space := &FeatureSpace{
+		Methods: make([]string, len(top)),
+		Kinds:   make([]model.Kind, len(top)),
+	}
+	fscores := make([]float64, len(top))
+	for j, dim := range top {
+		space.Methods[j] = full.Methods[dim]
+		space.Kinds[j] = full.Kinds[dim]
+		fscores[j] = scores[dim]
+	}
+	selected := make([][]float64, len(vectors))
+	for i, v := range vectors {
+		sv := make([]float64, len(top))
+		for j, dim := range top {
+			sv[j] = v[dim]
+		}
+		selected[i] = sv
+	}
+	sel, err := cluster.ChooseK(selected, cluster.ChooseKOptions{
+		MaxK:      o.MaxPhases,
+		Threshold: o.SilhouetteThreshold,
+		KMeans:    cluster.Options{Seed: o.Seed},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("phase: clustering: %w", err)
+	}
+	return &Phases{
+		Trace:      tr,
+		Space:      space,
+		Vectors:    selected,
+		K:          sel.K,
+		Assign:     sel.Best.Assign,
+		Centers:    sel.Best.Centers,
+		Silhouette: sel.ChosenScor,
+		KScores:    sel.Scores,
+		FScores:    fscores,
+	}, nil
+}
+
+// PhaseUnits returns the unit indices of phase h.
+func (p *Phases) PhaseUnits(h int) []int {
+	var out []int
+	for i, a := range p.Assign {
+		if a == h {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Sizes returns the unit count per phase.
+func (p *Phases) Sizes() []int {
+	out := make([]int, p.K)
+	for _, a := range p.Assign {
+		out[a]++
+	}
+	return out
+}
+
+// Weights returns each phase's fraction of all sampling units.
+func (p *Phases) Weights() []float64 {
+	sizes := p.Sizes()
+	out := make([]float64, p.K)
+	n := float64(len(p.Assign))
+	for h, s := range sizes {
+		out[h] = float64(s) / n
+	}
+	return out
+}
+
+// PhaseCPIs returns the CPIs of the units in phase h.
+func (p *Phases) PhaseCPIs(h int) []float64 {
+	var out []float64
+	for i, a := range p.Assign {
+		if a == h {
+			out = append(out, p.Trace.Units[i].CPI())
+		}
+	}
+	return out
+}
+
+// CPIStats summarizes CPI per phase.
+func (p *Phases) CPIStats() []stats.Summary {
+	out := make([]stats.Summary, p.K)
+	for h := 0; h < p.K; h++ {
+		out[h] = stats.Summarize(p.PhaseCPIs(h))
+	}
+	return out
+}
+
+// CoVReport is the homogeneity analysis of Fig. 6.
+type CoVReport struct {
+	Population float64 // CoV of all units' CPIs
+	Weighted   float64 // per-phase CoV weighted by phase size
+	Max        float64 // worst phase
+}
+
+// CoV computes the Fig. 6 homogeneity metrics.
+func (p *Phases) CoV() CoVReport {
+	rep := CoVReport{Population: stats.CoV(p.Trace.CPIs())}
+	weights := p.Weights()
+	for h := 0; h < p.K; h++ {
+		c := stats.CoV(p.PhaseCPIs(h))
+		rep.Weighted += weights[h] * c
+		if c > rep.Max {
+			rep.Max = c
+		}
+	}
+	return rep
+}
+
+// DominantMethods returns the n feature methods with the highest center
+// weight in phase h — the paper's way of tracing a phase back to code
+// ("the method most commonly seen in this phase"). Framework frames
+// (thread entry points, task runners), which appear in every snapshot,
+// are skipped; they only surface if a phase contains nothing else.
+func (p *Phases) DominantMethods(h, n int) []string {
+	if h < 0 || h >= p.K {
+		return nil
+	}
+	idx := stats.TopK(p.Centers[h], len(p.Centers[h]))
+	out := make([]string, 0, n)
+	for _, j := range idx {
+		if len(out) == n || p.Centers[h][j] <= 0 {
+			break
+		}
+		if k := p.Space.Kinds[j]; k == model.KindFramework {
+			continue
+		}
+		out = append(out, p.Space.Methods[j])
+	}
+	if len(out) == 0 {
+		for _, j := range idx[:min(n, len(idx))] {
+			if p.Centers[h][j] > 0 {
+				out = append(out, p.Space.Methods[j])
+			}
+		}
+	}
+	return out
+}
+
+// DominantKind classifies phase h by the operation kind carrying the
+// most center weight (map/reduce/sort/IO); framework and other frames
+// are ignored unless nothing else appears.
+func (p *Phases) DominantKind(h int) model.Kind {
+	weights := make([]float64, model.NumKinds)
+	for j, w := range p.Centers[h] {
+		weights[p.Space.Kinds[j]] += w
+	}
+	best, bestW := model.KindOther, math.Inf(-1)
+	for _, k := range []model.Kind{model.KindMap, model.KindReduce, model.KindSort, model.KindIO} {
+		if weights[k] > bestW && weights[k] > 0 {
+			best, bestW = k, weights[k]
+		}
+	}
+	if math.IsInf(bestW, -1) {
+		return model.KindOther
+	}
+	return best
+}
+
+// TypeDistribution returns the fraction of sampling units whose phase
+// is dominated by each kind — Fig. 10's breakdown.
+func (p *Phases) TypeDistribution() map[model.Kind]float64 {
+	out := map[model.Kind]float64{}
+	weights := p.Weights()
+	for h := 0; h < p.K; h++ {
+		out[p.DominantKind(h)] += weights[h]
+	}
+	return out
+}

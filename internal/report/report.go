@@ -1,0 +1,128 @@
+// Package report renders experiment results as aligned text tables and
+// ASCII bar charts, the output format of cmd/expreport and the
+// benchmark harness.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title  string
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, header: header}
+}
+
+// Row appends a row; values are formatted with %v.
+func (t *Table) Row(cells ...any) *Table {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+// RowS appends a pre-formatted row.
+func (t *Table) RowS(cells ...string) *Table {
+	t.rows = append(t.rows, cells)
+	return t
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "## %s\n\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(t.header))
+		for i := range t.header {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Bar renders value as a horizontal bar of at most width cells, scaled
+// by max.
+func Bar(value, max float64, width int) string {
+	if max <= 0 || value < 0 {
+		return ""
+	}
+	n := int(value / max * float64(width))
+	if n > width {
+		n = width
+	}
+	if n == 0 && value > 0 {
+		n = 1
+	}
+	return strings.Repeat("█", n)
+}
+
+// BarChart renders labeled values as a bar chart.
+func BarChart(w io.Writer, title string, labels []string, values []float64, format string) {
+	if title != "" {
+		fmt.Fprintf(w, "## %s\n\n", title)
+	}
+	max := 0.0
+	wl := 0
+	for i, v := range values {
+		if v > max {
+			max = v
+		}
+		if len(labels[i]) > wl {
+			wl = len(labels[i])
+		}
+	}
+	for i, v := range values {
+		fmt.Fprintf(w, "%s  %s "+format+"\n", pad(labels[i], wl), pad(Bar(v, max, 40), 40), v)
+	}
+	fmt.Fprintln(w)
+}

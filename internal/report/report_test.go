@@ -1,0 +1,73 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	var buf bytes.Buffer
+	tb := NewTable("My Table", "Name", "Value")
+	tb.Row("alpha", 1.5)
+	tb.Row("a-much-longer-name", 22)
+	tb.RowS("pre", "formatted")
+	tb.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "## My Table") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.500") {
+		t.Fatalf("row content missing:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// Header and separator align to the widest cell.
+	var headerLine, sepLine string
+	for i, l := range lines {
+		if strings.HasPrefix(l, "Name") {
+			headerLine, sepLine = l, lines[i+1]
+			break
+		}
+	}
+	if headerLine == "" || !strings.HasPrefix(sepLine, "----") {
+		t.Fatalf("header/separator not rendered:\n%s", out)
+	}
+	if !strings.Contains(headerLine, "Value") {
+		t.Fatal("second column missing")
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	var buf bytes.Buffer
+	NewTable("", "A").Row("x").Render(&buf)
+	if strings.Contains(buf.String(), "##") {
+		t.Fatal("empty title should not render a heading")
+	}
+}
+
+func TestBar(t *testing.T) {
+	if Bar(5, 10, 10) != strings.Repeat("█", 5) {
+		t.Fatalf("Bar=%q", Bar(5, 10, 10))
+	}
+	if Bar(0.01, 10, 10) == "" {
+		t.Fatal("tiny positive value should render one cell")
+	}
+	if Bar(20, 10, 10) != strings.Repeat("█", 10) {
+		t.Fatal("bar should clamp at width")
+	}
+	if Bar(1, 0, 10) != "" || Bar(-1, 10, 10) != "" {
+		t.Fatal("degenerate bars should be empty")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	var buf bytes.Buffer
+	BarChart(&buf, "Phases", []string{"a", "bb"}, []float64{1, 4}, "%.0f")
+	out := buf.String()
+	if !strings.Contains(out, "## Phases") || !strings.Contains(out, "bb") {
+		t.Fatalf("chart missing parts:\n%s", out)
+	}
+	if strings.Count(strings.Split(out, "\n")[2], "█") >= strings.Count(strings.Split(out, "\n")[3], "█") {
+		t.Fatalf("bars not proportional:\n%s", out)
+	}
+}

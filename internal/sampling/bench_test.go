@@ -1,0 +1,74 @@
+package sampling
+
+import (
+	"testing"
+
+	"simprof/internal/phase"
+)
+
+func benchPhases(b *testing.B) (*phase.Phases, int) {
+	b.Helper()
+	tr := mixedTrace(500, 1)
+	ph, err := phase.Form(tr, phase.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ph, len(tr.Units)
+}
+
+func BenchmarkSimProfSelection(b *testing.B) {
+	ph, _ := benchPhases(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimProf(ph, 20, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSRSSelection(b *testing.B) {
+	ph, _ := benchPhases(b)
+	tr := ph.Trace
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SRS(tr, 20, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRequiredSampleSize(b *testing.B) {
+	ph, _ := benchPhases(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RequiredSampleSize(ph, 0.02, 0.997); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_StratifiedVsSRS reports the mean relative error of
+// SimProf and SRS at n=20 over many draws — the ablation behind the
+// paper's headline claim, expressed as custom benchmark metrics.
+func BenchmarkAblation_StratifiedVsSRS(b *testing.B) {
+	ph, _ := benchPhases(b)
+	tr := ph.Trace
+	var spErr, srsErr float64
+	draws := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp, err := SimProf(ph, 20, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		srs, err := SRS(tr, 20, uint64(i)+7777)
+		if err != nil {
+			b.Fatal(err)
+		}
+		spErr += sp.Err(tr)
+		srsErr += srs.Err(tr)
+		draws++
+	}
+	b.ReportMetric(100*spErr/float64(draws), "simprof-err-%")
+	b.ReportMetric(100*srsErr/float64(draws), "srs-err-%")
+}

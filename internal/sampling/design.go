@@ -1,0 +1,53 @@
+package sampling
+
+import (
+	"fmt"
+
+	"simprof/internal/phase"
+	"simprof/internal/trace"
+)
+
+// EstimateOnTrace re-uses a stratified sample chosen on the *profiled*
+// machine to estimate the mean CPI of the same workload on a different
+// target (a candidate design): only the selected units' CPIs are read
+// from the target trace — exactly what "simulate only the simulation
+// points on the new design" means. This works because sampling-unit
+// boundaries are instruction counts, which do not depend on the
+// machine's timing, so unit IDs align between the profiling run and any
+// detailed-simulation run of the same workload build.
+//
+// (For Hadoop traces the per-core merge order can differ between
+// machines with very different timing; the design-exploration workflow
+// is therefore validated on Spark workloads, whose executor threads are
+// fixed.)
+func EstimateOnTrace(ph *phase.Phases, sp Stratified, target *trace.Trace) (Sample, error) {
+	if len(target.Units) != len(ph.Trace.Units) {
+		return Sample{}, fmt.Errorf(
+			"sampling: target trace has %d units, profiling trace has %d — not the same workload build",
+			len(target.Units), len(ph.Trace.Units))
+	}
+	byID := make(map[int]int, len(ph.Trace.Units))
+	for i, u := range ph.Trace.Units {
+		byID[u.ID] = i
+	}
+	// Per-phase means of the selected points, evaluated on the target.
+	sums := make([]float64, ph.K)
+	counts := make([]int, ph.K)
+	for _, id := range sp.UnitIDs {
+		i, ok := byID[id]
+		if !ok {
+			return Sample{}, fmt.Errorf("sampling: point %d not in profiling trace", id)
+		}
+		h := ph.Assign[i]
+		sums[h] += target.Units[i].CPI()
+		counts[h]++
+	}
+	out := Sample{Method: "SimProf(design)", UnitIDs: sp.UnitIDs}
+	for h := 0; h < ph.K; h++ {
+		if counts[h] == 0 {
+			continue
+		}
+		out.EstCPI += sp.Weights[h] * sums[h] / float64(counts[h])
+	}
+	return out, nil
+}

@@ -1,0 +1,249 @@
+package sampling
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"simprof/internal/phase"
+	"simprof/internal/stats"
+)
+
+// NeymanAllocation distributes the overall sample size n across strata
+// proportionally to N_h·σ_h (Eq. 1), with two practical guarantees: no
+// stratum is allocated more units than it has, and every non-empty
+// stratum gets at least one unit when n allows (a stratum with zero
+// sample could not contribute its mean to the stratified estimator).
+// Rounding uses largest remainders so that Σ n_h == min(n, ΣN_h).
+func NeymanAllocation(Nh []int, sigma []float64, n int) ([]int, error) {
+	if len(Nh) != len(sigma) {
+		return nil, fmt.Errorf("sampling: %d strata sizes but %d sigmas", len(Nh), len(sigma))
+	}
+	k := len(Nh)
+	if k == 0 {
+		return nil, fmt.Errorf("sampling: no strata")
+	}
+	total := 0
+	for h, N := range Nh {
+		if N < 0 || sigma[h] < 0 {
+			return nil, fmt.Errorf("sampling: negative stratum size or sigma at %d", h)
+		}
+		total += N
+	}
+	if n > total {
+		n = total
+	}
+	alloc := make([]int, k)
+	if n <= 0 {
+		return alloc, nil
+	}
+
+	// Reserve one unit per non-empty stratum first.
+	reserved := 0
+	for h, N := range Nh {
+		if N > 0 && reserved < n {
+			alloc[h] = 1
+			reserved++
+		}
+	}
+	rest := n - reserved
+
+	// Distribute the remainder ∝ N_h·σ_h with largest-remainder rounding.
+	var denom float64
+	for h := range Nh {
+		denom += float64(Nh[h]) * sigma[h]
+	}
+	type frac struct {
+		h int
+		f float64
+	}
+	var fracs []frac
+	if denom > 0 && rest > 0 {
+		given := 0
+		for h := range Nh {
+			share := float64(rest) * float64(Nh[h]) * sigma[h] / denom
+			whole := int(share)
+			// Respect capacity.
+			if alloc[h]+whole > Nh[h] {
+				whole = Nh[h] - alloc[h]
+			}
+			alloc[h] += whole
+			given += whole
+			fracs = append(fracs, frac{h, share - float64(int(share))})
+		}
+		sort.Slice(fracs, func(a, b int) bool { return fracs[a].f > fracs[b].f })
+		for _, fr := range fracs {
+			if given >= rest {
+				break
+			}
+			if alloc[fr.h] < Nh[fr.h] {
+				alloc[fr.h]++
+				given++
+			}
+		}
+		// Any slack left (capacity limits): spill to strata with room.
+		for h := range Nh {
+			for given < rest && alloc[h] < Nh[h] {
+				alloc[h]++
+				given++
+			}
+		}
+	} else if rest > 0 {
+		// All sigmas zero: fall back to proportional allocation.
+		given := 0
+		for h := range Nh {
+			share := rest * Nh[h] / total
+			if alloc[h]+share > Nh[h] {
+				share = Nh[h] - alloc[h]
+			}
+			alloc[h] += share
+			given += share
+		}
+		for h := 0; given < rest && h < k; h++ {
+			for given < rest && alloc[h] < Nh[h] {
+				alloc[h]++
+				given++
+			}
+		}
+	}
+	return alloc, nil
+}
+
+// Stratified is a SimProf sample: stratified random selection with the
+// allocation that produced it.
+type Stratified struct {
+	Sample
+	Alloc        []int       // sample size per phase
+	PhaseMean    []float64   // sampled mean CPI per phase
+	PhaseSamples [][]float64 // sampled CPIs per phase (for bootstrap CIs)
+	Weights      []float64   // N_h/N
+}
+
+// SimProf draws the stratified random sample of total size n from the
+// phases (Eq. 1), estimates CPI as Σ W_h·ȳ_h, and computes the
+// stratified standard error (Eq. 4) from the sampled per-phase standard
+// deviations (Eq. 5).
+func SimProf(ph *phase.Phases, n int, seed uint64) (Stratified, error) {
+	if ph.K == 0 || len(ph.Assign) == 0 {
+		return Stratified{}, fmt.Errorf("sampling: no phases")
+	}
+	Nh := ph.Sizes()
+	sigma := make([]float64, ph.K)
+	for h := 0; h < ph.K; h++ {
+		sigma[h] = stats.StdDev(ph.PhaseCPIs(h))
+	}
+	alloc, err := NeymanAllocation(Nh, sigma, n)
+	if err != nil {
+		return Stratified{}, err
+	}
+	rng := stats.NewRNG(seed)
+	out := Stratified{
+		Sample:       Sample{Method: "SimProf"},
+		Alloc:        alloc,
+		PhaseMean:    make([]float64, ph.K),
+		PhaseSamples: make([][]float64, ph.K),
+		Weights:      ph.Weights(),
+	}
+	N := float64(len(ph.Assign))
+	var variance float64
+	for h := 0; h < ph.K; h++ {
+		if alloc[h] == 0 {
+			continue
+		}
+		units := ph.PhaseUnits(h)
+		pick := stats.SampleWithoutReplacement(rng, len(units), alloc[h])
+		cpis := make([]float64, 0, alloc[h])
+		for _, j := range pick {
+			u := units[j]
+			out.UnitIDs = append(out.UnitIDs, ph.Trace.Units[u].ID)
+			cpis = append(cpis, ph.Trace.Units[u].CPI())
+		}
+		mean := stats.Mean(cpis)
+		out.PhaseMean[h] = mean
+		out.PhaseSamples[h] = cpis
+		out.EstCPI += out.Weights[h] * mean
+		// Eq. 4 term: N_h²·(1-n_h/N_h)·s_h²/n_h. The sampled s_h is
+		// undefined for n_h==1; fall back to the profiled σ_h.
+		sh := sigma[h]
+		if len(cpis) > 1 {
+			sh = stats.StdDev(cpis)
+		}
+		nh := float64(alloc[h])
+		NhF := float64(Nh[h])
+		variance += NhF * NhF * (1 - nh/NhF) * sh * sh / nh
+	}
+	out.SE = math.Sqrt(variance) / N
+	return out, nil
+}
+
+// CI returns the confidence interval of the estimate at the given level
+// (Eq. 2–3).
+func (s Stratified) CI(level float64) stats.Interval {
+	return stats.ConfidenceInterval(s.EstCPI, s.SE, level)
+}
+
+// BootstrapCI returns a distribution-free percentile-bootstrap interval
+// for the stratified estimate — a cross-check of the CLT interval that
+// Eq. 2–3 assume, useful when optimal allocation leaves some phases
+// with only a handful of points.
+func (s Stratified) BootstrapCI(level float64, rounds int, seed uint64) stats.Interval {
+	return stats.BootstrapStratified(s.PhaseSamples, s.Weights, level, rounds, seed)
+}
+
+// PlanSE predicts the stratified standard error a sample of size n
+// would achieve, using the profiled per-phase σ (available for free from
+// the hardware counters) — the planning loop of §III-C.
+func PlanSE(ph *phase.Phases, n int) (float64, error) {
+	Nh := ph.Sizes()
+	sigma := make([]float64, ph.K)
+	for h := 0; h < ph.K; h++ {
+		sigma[h] = stats.StdDev(ph.PhaseCPIs(h))
+	}
+	alloc, err := NeymanAllocation(Nh, sigma, n)
+	if err != nil {
+		return 0, err
+	}
+	var variance float64
+	for h := 0; h < ph.K; h++ {
+		if alloc[h] == 0 || Nh[h] == 0 {
+			continue
+		}
+		nh, NhF := float64(alloc[h]), float64(Nh[h])
+		variance += NhF * NhF * (1 - nh/NhF) * sigma[h] * sigma[h] / nh
+	}
+	return math.Sqrt(variance) / float64(len(ph.Assign)), nil
+}
+
+// RequiredSampleSize returns the smallest overall sample size whose
+// predicted margin of error (z·SE) is at most relErr × the oracle CPI at
+// the given confidence level — the quantity Fig. 8 reports for 5% and 2%
+// errors at 99.7% confidence. It binary-searches n (the margin is
+// monotone non-increasing in n).
+func RequiredSampleSize(ph *phase.Phases, relErr, level float64) (int, error) {
+	if relErr <= 0 {
+		return 0, fmt.Errorf("sampling: relErr=%v must be positive", relErr)
+	}
+	target := relErr * ph.Trace.OracleCPI()
+	z := stats.ZForConfidence(level)
+	N := len(ph.Assign)
+	ok := func(n int) bool {
+		se, err := PlanSE(ph, n)
+		if err != nil {
+			return false
+		}
+		return z*se <= target
+	}
+	if !ok(N) {
+		return N, nil // even a census can't beat the target (shouldn't happen: SE(N)=0)
+	}
+	lo, hi := 1, N
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ok(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, nil
+}

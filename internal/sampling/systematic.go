@@ -1,0 +1,97 @@
+package sampling
+
+import (
+	"fmt"
+	"math"
+
+	"simprof/internal/phase"
+	"simprof/internal/stats"
+	"simprof/internal/trace"
+)
+
+// Systematic implements SMARTS-style systematic sampling (Wunderlich et
+// al., ISCA'03): every k-th sampling unit is selected, with a random
+// starting offset. The paper discusses it as the main alternative to
+// phase-based selection — cheap to set up (no profiling of the executed
+// code is needed) but blind to what each unit executes.
+func Systematic(tr *trace.Trace, n int, seed uint64) (Sample, error) {
+	N := len(tr.Units)
+	if N == 0 {
+		return Sample{}, fmt.Errorf("sampling: empty trace")
+	}
+	if n <= 0 {
+		return Sample{}, fmt.Errorf("sampling: n=%d must be positive", n)
+	}
+	if n > N {
+		n = N
+	}
+	stride := N / n
+	if stride < 1 {
+		stride = 1
+	}
+	rng := stats.NewRNG(seed)
+	start := rng.IntN(stride)
+	s := Sample{Method: "SYSTEMATIC"}
+	var cpis []float64
+	for i := start; i < N && len(s.UnitIDs) < n; i += stride {
+		s.UnitIDs = append(s.UnitIDs, tr.Units[i].ID)
+		cpis = append(cpis, tr.Units[i].CPI())
+	}
+	s.EstCPI = stats.Mean(cpis)
+	if len(cpis) > 1 {
+		// SRS-style SE is the standard (slightly conservative)
+		// approximation for systematic samples.
+		fpc := 1 - float64(len(cpis))/float64(N)
+		s.SE = math.Sqrt(stats.Variance(cpis) / float64(len(cpis)) * fpc)
+	}
+	return s, nil
+}
+
+// CombinedConfig parameterizes SimProfSystematic.
+type CombinedConfig struct {
+	Points int // simulation points selected by SimProf (stratified)
+	// SubUnitFraction is the fraction of each selected unit that is
+	// simulated in detail; the rest is fast-forwarded functionally.
+	// The paper proposes exactly this combination as future work
+	// (§III-C: "users can combine other sampling approaches, e.g.,
+	// systematic sampling, to reduce the simulation time of each
+	// simulation point").
+	SubUnitFraction float64
+	Seed            uint64
+}
+
+// CombinedResult is the outcome of the combined scheme.
+type CombinedResult struct {
+	Stratified
+	// DetailInstructions is the total detailed-simulation budget, in
+	// instructions, after sub-unit systematic sampling.
+	DetailInstructions uint64
+	// FullInstructions is the budget without sub-unit sampling.
+	FullInstructions uint64
+	// ExtraSEFactor inflates the stratified SE to account for the
+	// within-unit sampling noise (CLT across sub-samples).
+	ExtraSEFactor float64
+}
+
+// SimProfSystematic selects simulation points with SimProf's stratified
+// sampling and then systematically samples *within* each selected unit,
+// simulating only SubUnitFraction of its instructions in detail. The
+// CPI estimate is unchanged in expectation; the standard error grows by
+// ~1/sqrt(fraction) per unit while the detailed-simulation budget
+// shrinks by the same fraction — the speed/accuracy dial the paper
+// leaves as future work.
+func SimProfSystematic(ph *phase.Phases, cfg CombinedConfig) (CombinedResult, error) {
+	if cfg.SubUnitFraction <= 0 || cfg.SubUnitFraction > 1 {
+		return CombinedResult{}, fmt.Errorf("sampling: SubUnitFraction=%v out of (0,1]", cfg.SubUnitFraction)
+	}
+	sp, err := SimProf(ph, cfg.Points, cfg.Seed)
+	if err != nil {
+		return CombinedResult{}, err
+	}
+	out := CombinedResult{Stratified: sp}
+	out.FullInstructions = uint64(len(sp.UnitIDs)) * ph.Trace.UnitInstr
+	out.DetailInstructions = uint64(float64(out.FullInstructions) * cfg.SubUnitFraction)
+	out.ExtraSEFactor = 1 / math.Sqrt(cfg.SubUnitFraction)
+	out.SE *= out.ExtraSEFactor
+	return out, nil
+}

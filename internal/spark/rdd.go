@@ -1,0 +1,281 @@
+// Package spark simulates the Apache Spark execution model the paper
+// profiles: RDD lineage graphs split into stages at shuffle boundaries,
+// per-partition tasks pipelining narrow transformations, long-lived
+// executor threads (one per core, alive for the whole job), map-side
+// combine through the Aggregator, and shuffle/HDFS IO. Workloads build
+// jobs with the familiar RDD API; Run compiles them into jvm threads for
+// the machine in internal/cpu.
+package spark
+
+import (
+	"fmt"
+
+	"simprof/internal/exec"
+	"simprof/internal/hdfs"
+	"simprof/internal/jvm"
+	"simprof/internal/model"
+	"simprof/internal/stats"
+	"simprof/internal/synth"
+)
+
+// Config parameterizes a Context.
+type Config struct {
+	Cores      int // executor threads (one per core)
+	Seed       uint64
+	ChunkInstr uint64       // segment granularity (default 1M)
+	Table      *model.Table // shared method table (optional)
+	IOCost     hdfs.CostModel
+	GC         exec.GCConfig // opt-in JVM garbage-collection model
+}
+
+// Context is the SparkContext analogue: it owns the lineage graph and
+// compiles actions into executor threads.
+type Context struct {
+	name    string
+	vm      *jvm.VM
+	cfg     Config
+	emitter *exec.Emitter
+	rdds    []*RDD
+	jobs    []*job
+}
+
+// NewContext creates a context. Cores must be positive.
+func NewContext(name string, cfg Config) (*Context, error) {
+	if cfg.Cores <= 0 {
+		return nil, fmt.Errorf("spark: Cores=%d must be positive", cfg.Cores)
+	}
+	if cfg.IOCost == (hdfs.CostModel{}) {
+		cfg.IOCost = hdfs.DefaultCostModel()
+	}
+	vm := jvm.NewVM()
+	if cfg.Table != nil {
+		vm = jvm.NewVMWithTable(cfg.Table)
+	}
+	em := exec.NewEmitter(stats.SplitSeed(cfg.Seed, 0xa11), cfg.ChunkInstr)
+	em.GC = cfg.GC
+	return &Context{
+		name:    name,
+		vm:      vm,
+		cfg:     cfg,
+		emitter: em,
+	}, nil
+}
+
+// VM exposes the simulated JVM (for profiling).
+func (c *Context) VM() *jvm.VM { return c.vm }
+
+// depKind distinguishes how an RDD obtains its input.
+type depKind uint8
+
+const (
+	depSource  depKind = iota // reads HDFS
+	depNarrow                 // pipelined within the parent's stage
+	depShuffle                // stage boundary
+	depUnion                  // narrow over two parents
+)
+
+// shuffleSpec describes the shuffle that materializes a wide RDD.
+type shuffleSpec struct {
+	combine  bool // map-side combine (reduceByKey)
+	sortSide bool // reduce-side sort (sortByKey)
+	// aggregate is the user merge function applied while combining
+	// (both map- and reduce-side); nil for pure groupBy/sort.
+	aggregate *exec.FuncSpec
+	// graphx marks GraphX's aggregateUsingIndex, which uses its own
+	// frames and a vertex-index working set.
+	graphx bool
+}
+
+// RDD is one node of the lineage graph.
+type RDD struct {
+	ctx        *Context
+	id         int
+	name       string
+	dep        depKind
+	parent     *RDD
+	parent2    *RDD // union only
+	partitions int
+
+	// source input
+	input synth.InputStats
+
+	// narrow transformation ops (applied in order within the task)
+	fns []exec.FuncSpec
+
+	// shuffle dependency (dep == depShuffle)
+	shuffle *shuffleSpec
+
+	// outStats is the whole-RDD output statistics.
+	outStats exec.PartStats
+}
+
+func (c *Context) newRDD(name string, dep depKind) *RDD {
+	r := &RDD{ctx: c, id: len(c.rdds), name: name, dep: dep}
+	c.rdds = append(c.rdds, r)
+	return r
+}
+
+// Stats returns the whole-RDD output statistics.
+func (r *RDD) Stats() exec.PartStats { return r.outStats }
+
+// Partitions returns the RDD's partition count.
+func (r *RDD) Partitions() int { return r.partitions }
+
+// String renders like Spark's debug output.
+func (r *RDD) String() string {
+	return fmt.Sprintf("%s[%d] partitions=%d records=%d", r.name, r.id, r.partitions, r.outStats.Records)
+}
+
+// TextFile reads an input data set from HDFS, one partition per split.
+func (c *Context) TextFile(in synth.InputStats, partitions int) *RDD {
+	if partitions <= 0 {
+		partitions = c.cfg.Cores * 2
+	}
+	r := c.newRDD("HadoopRDD", depSource)
+	r.partitions = partitions
+	r.input = in
+	r.outStats = exec.PartStats{
+		Records:      in.Records,
+		Bytes:        in.Bytes,
+		DistinctKeys: in.DistinctKeys,
+		Skew:         in.Skew,
+	}
+	return r
+}
+
+// Transform applies narrow per-record operations (the generic form
+// behind Map/FlatMap/Filter/MapPartitions).
+func (r *RDD) Transform(name string, fns ...exec.FuncSpec) *RDD {
+	out := r.ctx.newRDD(name, depNarrow)
+	out.parent = r
+	out.partitions = r.partitions
+	out.fns = fns
+	st := r.outStats
+	for _, f := range fns {
+		st = f.Out(st)
+	}
+	out.outStats = st
+	return out
+}
+
+// Map applies a 1:1 user function.
+func (r *RDD) Map(f exec.FuncSpec) *RDD { return r.Transform("MapPartitionsRDD", f) }
+
+// FlatMap applies a 1:N user function (set f.Fanout).
+func (r *RDD) FlatMap(f exec.FuncSpec) *RDD { return r.Transform("MapPartitionsRDD", f) }
+
+// Filter applies a predicate (set f.Selectivity).
+func (r *RDD) Filter(f exec.FuncSpec) *RDD { return r.Transform("MapPartitionsRDD", f) }
+
+// MapPartitionsWithIndex applies a per-partition function; GraphX's
+// edge-scan phases use this form.
+func (r *RDD) MapPartitionsWithIndex(f exec.FuncSpec) *RDD {
+	return r.Transform("MapPartitionsRDD", f)
+}
+
+// Union concatenates two RDDs without a shuffle.
+func (r *RDD) Union(other *RDD) *RDD {
+	out := r.ctx.newRDD("UnionRDD", depUnion)
+	out.parent = r
+	out.parent2 = other
+	out.partitions = r.partitions + other.partitions
+	out.outStats = exec.PartStats{
+		Records:      r.outStats.Records + other.outStats.Records,
+		Bytes:        r.outStats.Bytes + other.outStats.Bytes,
+		DistinctKeys: maxI64(r.outStats.DistinctKeys, other.outStats.DistinctKeys),
+		Skew:         (r.outStats.Skew + other.outStats.Skew) / 2,
+	}
+	return out
+}
+
+// ReduceByKey shuffles with map-side combine (the Aggregator path the
+// paper dissects for wc_sp in Fig. 14). agg is the user merge function;
+// its WS/Pattern govern the combine's memory behaviour.
+func (r *RDD) ReduceByKey(agg exec.FuncSpec, partitions int) *RDD {
+	if partitions <= 0 {
+		partitions = r.partitions
+	}
+	out := r.ctx.newRDD("ShuffledRDD", depShuffle)
+	out.parent = r
+	out.partitions = partitions
+	a := agg
+	out.shuffle = &shuffleSpec{combine: true, aggregate: &a}
+	in := r.outStats
+	out.outStats = exec.PartStats{
+		Records:      minI64(in.Records, in.DistinctKeys),
+		DistinctKeys: in.DistinctKeys,
+		Skew:         in.Skew,
+	}
+	out.outStats.Bytes = int64(float64(out.outStats.Records) * in.AvgRecordBytes())
+	return out
+}
+
+// GroupByKey shuffles without map-side combine: all records cross the
+// wire and the reduce side groups them.
+func (r *RDD) GroupByKey(partitions int) *RDD {
+	if partitions <= 0 {
+		partitions = r.partitions
+	}
+	out := r.ctx.newRDD("ShuffledRDD", depShuffle)
+	out.parent = r
+	out.partitions = partitions
+	out.shuffle = &shuffleSpec{}
+	in := r.outStats
+	out.outStats = exec.PartStats{
+		Records:      minI64(in.Records, in.DistinctKeys),
+		Bytes:        in.Bytes,
+		DistinctKeys: in.DistinctKeys,
+		Skew:         in.Skew,
+	}
+	return out
+}
+
+// SortByKey shuffles with a reduce-side ExternalSorter (range
+// partitioning + per-partition sort).
+func (r *RDD) SortByKey(partitions int) *RDD {
+	if partitions <= 0 {
+		partitions = r.partitions
+	}
+	out := r.ctx.newRDD("ShuffledRDD", depShuffle)
+	out.parent = r
+	out.partitions = partitions
+	out.shuffle = &shuffleSpec{sortSide: true}
+	out.outStats = r.outStats
+	return out
+}
+
+// AggregateUsingIndex is GraphX's message-combining shuffle: messages
+// are reduced into the vertex index. agg describes the user merge
+// function over per-vertex state.
+func (r *RDD) AggregateUsingIndex(agg exec.FuncSpec, partitions int) *RDD {
+	if partitions <= 0 {
+		partitions = r.partitions
+	}
+	out := r.ctx.newRDD("VertexRDD", depShuffle)
+	out.parent = r
+	out.partitions = partitions
+	a := agg
+	out.shuffle = &shuffleSpec{combine: true, aggregate: &a, graphx: true}
+	in := r.outStats
+	out.outStats = exec.PartStats{
+		Records:      minI64(in.Records, in.DistinctKeys),
+		DistinctKeys: in.DistinctKeys,
+		Skew:         in.Skew,
+	}
+	out.outStats.Bytes = int64(float64(out.outStats.Records) * 16)
+	return out
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,351 @@
+package spark
+
+import (
+	"fmt"
+
+	"simprof/internal/cpu"
+	"simprof/internal/exec"
+	"simprof/internal/jvm"
+	"simprof/internal/model"
+)
+
+// job is one action: it forces the lineage ending at final.
+type job struct {
+	name  string
+	final *RDD
+	save  bool // write the result to HDFS
+}
+
+// SaveAsTextFile registers an action that writes the RDD to HDFS.
+func (r *RDD) SaveAsTextFile(path string) {
+	r.ctx.jobs = append(r.ctx.jobs, &job{name: "saveAsTextFile:" + path, final: r, save: true})
+}
+
+// Count registers a counting action (no output IO).
+func (r *RDD) Count() {
+	r.ctx.jobs = append(r.ctx.jobs, &job{name: "count", final: r})
+}
+
+// Collect registers a collect action (results stream back to the
+// driver; negligible executor-side IO).
+func (r *RDD) Collect() {
+	r.ctx.jobs = append(r.ctx.jobs, &job{name: "collect", final: r})
+}
+
+// pipeline is one narrow-op chain executed inside a task.
+type pipeline struct {
+	head       *RDD // depSource or depShuffle RDD providing the input
+	ops        []exec.FuncSpec
+	partitions int
+}
+
+// stage is a set of tasks separated from the rest of the job by shuffle
+// boundaries.
+type stage struct {
+	id         int
+	pipelines  []pipeline
+	out        *RDD         // last RDD computed by the stage
+	feeds      *shuffleSpec // non-nil: ShuffleMapTask writing this shuffle
+	feedsParts int
+	isResult   bool
+	save       bool
+}
+
+// NumTasks returns the stage's task count.
+func (s *stage) NumTasks() int {
+	n := 0
+	for _, p := range s.pipelines {
+		n += p.partitions
+	}
+	return n
+}
+
+// planStages flattens the lineage of a job's final RDD into stages in
+// execution order (parents before consumers), exactly like Spark's
+// DAGScheduler: narrow dependencies pipeline into one stage, shuffle
+// dependencies cut.
+func (c *Context) planStages(j *job) []*stage {
+	var stages []*stage
+	planned := map[int]bool{} // shuffle-RDD id → stage already planned
+	var plan func(target *RDD, result bool) *stage
+	plan = func(target *RDD, result bool) *stage {
+		// Walk narrow deps back to the stage inputs, collecting ops.
+		var pipes []pipeline
+		var walk func(r *RDD) pipeline
+		walk = func(r *RDD) pipeline {
+			switch r.dep {
+			case depSource:
+				return pipeline{head: r, partitions: r.partitions}
+			case depShuffle:
+				if !planned[r.id] {
+					planned[r.id] = true
+					stages = append(stages, plan(r.parent, false))
+					// Tag the parent stage with the shuffle it feeds.
+					parentStage := stages[len(stages)-1]
+					parentStage.feeds = r.shuffle
+					parentStage.feedsParts = r.partitions
+				}
+				return pipeline{head: r, partitions: r.partitions}
+			case depNarrow:
+				p := walk(r.parent)
+				p.ops = append(p.ops, r.fns...)
+				return p
+			case depUnion:
+				p1 := walk(r.parent)
+				p2 := walk(r.parent2)
+				pipes = append(pipes, p2) // second branch becomes its own pipeline
+				return pipeline{head: p1.head, ops: p1.ops, partitions: p1.partitions}
+			default:
+				panic(fmt.Sprintf("spark: unknown dep %d", r.dep))
+			}
+		}
+		main := walk(target)
+		pipes = append([]pipeline{main}, pipes...)
+		return &stage{pipelines: pipes, out: target, isResult: result, save: result && j.save}
+	}
+	final := plan(j.final, true)
+	stages = append(stages, final)
+	for i, s := range stages {
+		s.id = i
+	}
+	return stages
+}
+
+// divideStats splits whole-RDD stats across n tasks. Distinct keys do
+// not divide for map-side structures (every partition of a text corpus
+// sees most of the vocabulary) but do divide for hash-partitioned
+// reduce sides; callers pick via divideKeys.
+func divideStats(st exec.PartStats, n int, divideKeys bool) exec.PartStats {
+	if n <= 0 {
+		n = 1
+	}
+	out := st
+	out.Records = st.Records / int64(n)
+	out.Bytes = st.Bytes / int64(n)
+	if divideKeys {
+		out.DistinctKeys = st.DistinctKeys / int64(n)
+	}
+	if out.DistinctKeys > out.Records {
+		out.DistinctKeys = out.Records
+	}
+	if out.Records == 0 {
+		out.Records = 1
+	}
+	return out
+}
+
+// Framework cost constants (instructions per record/byte for the
+// engine-internal routines).
+const (
+	combineInstrPerRec = 60.0 // Aggregator hash-map insert/merge
+	fetchInstrPerByte  = 1.2  // shuffle fetch + deserialize
+	writeInstrPerByte  = 1.6  // shuffle serialize + write
+	sortInstrPerRec    = 110.0
+)
+
+// Run compiles every registered action into executor threads, one per
+// core, scheduling tasks stage by stage onto the least-loaded thread
+// (Spark's executor pulls tasks greedily, which this reproduces in
+// expectation). The returned threads plug into cpu.Machine.Run.
+func (c *Context) Run() ([]*cpu.Thread, error) {
+	if len(c.jobs) == 0 {
+		return nil, fmt.Errorf("spark: no actions registered on context %q", c.name)
+	}
+	tbl := c.vm.Table
+	frameThreadRun := tbl.Intern("java.lang.Thread", "run", model.KindFramework)
+	frameWorker := tbl.Intern("java.util.concurrent.ThreadPoolExecutor$Worker", "run", model.KindFramework)
+	frameTaskRunner := tbl.Intern("org.apache.spark.executor.Executor$TaskRunner", "run", model.KindFramework)
+	frameShuffleTask := tbl.Intern("org.apache.spark.scheduler.ShuffleMapTask", "runTask", model.KindFramework)
+	frameResultTask := tbl.Intern("org.apache.spark.scheduler.ResultTask", "runTask", model.KindFramework)
+	frameIter := tbl.Intern("org.apache.spark.rdd.RDD", "iterator", model.KindFramework)
+
+	builders := make([]*jvmBuilder, c.cfg.Cores)
+	for i := range builders {
+		b := c.vm.SpawnThread(fmt.Sprintf("Executor task launch worker-%d", i))
+		b.Push(frameThreadRun).Push(frameWorker).Push(frameTaskRunner)
+		builders[i] = &jvmBuilder{b: b}
+	}
+
+	taskID := 0
+	stageID := 0
+	for _, j := range c.jobs {
+		stages := c.planStages(j)
+		for _, s := range stages {
+			gid := stageID
+			stageID++
+			for _, p := range s.pipelines {
+				for t := 0; t < p.partitions; t++ {
+					bb := leastLoaded(builders)
+					bb.b.SetTask(taskID, gid)
+					taskID++
+					if s.feeds != nil {
+						bb.b.Push(frameShuffleTask)
+					} else {
+						bb.b.Push(frameResultTask)
+					}
+					bb.b.Push(frameIter)
+					c.emitTask(bb.b, s, p)
+					bb.b.PopN(2)
+				}
+			}
+		}
+	}
+	for _, bb := range builders {
+		bb.b.PopN(3)
+	}
+	return c.vm.Threads(), nil
+}
+
+type jvmBuilder struct {
+	b *jvm.ThreadBuilder
+}
+
+// leastLoaded picks the builder with the fewest instructions so far.
+func leastLoaded(bs []*jvmBuilder) *jvmBuilder {
+	best := bs[0]
+	bestN := best.b.Thread().Instructions()
+	for _, bb := range bs[1:] {
+		if n := bb.b.Thread().Instructions(); n < bestN {
+			best, bestN = bb, n
+		}
+	}
+	return best
+}
+
+// emitTask emits one task. Operations that execute as one record-at-a-
+// time iterator chain (source read, narrow transformations, map-side
+// combine, shuffle/save writes) are emitted *interleaved* as one group —
+// a snapshot window over the group observes all of their stacks mixed,
+// which is why a pipelined Spark stage forms a single phase (Fig. 14).
+// Materializing operations at a shuffle's reduce side (hash-map
+// aggregation, external sort) run to completion before the downstream
+// chain iterates their output, so they close their own group.
+func (c *Context) emitTask(b *jvm.ThreadBuilder, s *stage, p pipeline) {
+	em := c.emitter
+	var group []exec.OpRun
+	var cur exec.PartStats
+
+	switch p.head.dep {
+	case depSource:
+		cur = divideStats(p.head.outStats, p.partitions, false)
+		read := exec.FuncSpec{
+			Class: "org.apache.hadoop.hdfs.DFSInputStream", Method: "read",
+			Kind: model.KindIO, BaseCPI: 0.9,
+			Pattern: cpu.PatternSequential,
+			WS:      exec.WorkingSet{Kind: exec.WSFixed, Fixed: c.cfg.IOCost.BufferBytes},
+			Refs:    0.35,
+		}
+		group = append(group, exec.OpRun{Spec: read, Total: c.cfg.IOCost.ReadInstr(cur.Bytes), Stats: cur})
+	case depShuffle:
+		spec := p.head.shuffle
+		mapOut := p.head.parent.outStats
+		if spec.combine {
+			// Map-side combine already shrank the data crossing the wire.
+			mapOut.Records = minI64(mapOut.Records, mapOut.DistinctKeys*int64(maxInt(1, p.head.parent.partitions/4)))
+			mapOut.Bytes = int64(float64(mapOut.Records) * p.head.parent.outStats.AvgRecordBytes())
+		}
+		perTask := divideStats(mapOut, p.partitions, true)
+		fetch := exec.FuncSpec{
+			Class: "org.apache.spark.storage.ShuffleBlockFetcherIterator", Method: "next",
+			Kind: model.KindIO, BaseCPI: 1.0,
+			Pattern: cpu.PatternSequential,
+			WS:      exec.WorkingSet{Kind: exec.WSFixed, Fixed: 2 << 20},
+			Refs:    0.35,
+		}
+		fetchRun := exec.OpRun{Spec: fetch, Total: uint64(fetchInstrPerByte * float64(perTask.Bytes)), Stats: perTask}
+		switch {
+		case spec.sortSide:
+			sorter := exec.FuncSpec{
+				Class: "org.apache.spark.util.collection.ExternalSorter", Method: "insertAll",
+				Kind: model.KindSort, InstrPerRec: sortInstrPerRec, BaseCPI: 0.75,
+				Pattern: cpu.PatternSawtooth,
+				WS:      exec.WorkingSet{Kind: exec.WSPartitionBytes},
+				Refs:    0.33,
+			}
+			// The sort materializes: fetch+insert interleave, then the
+			// downstream chain iterates sorted output.
+			em.EmitGroup(b, c.vm, []exec.OpRun{fetchRun, {Spec: sorter, Stats: perTask}}, true)
+		case spec.aggregate != nil:
+			agg := *spec.aggregate
+			em.EmitGroup(b, c.vm, []exec.OpRun{fetchRun, {Spec: agg, Stats: perTask}}, true)
+		default:
+			// Pure repartition: the fetch iterator pipelines straight
+			// into the downstream chain.
+			group = append(group, fetchRun)
+		}
+		cur = divideStats(p.head.outStats, p.partitions, true)
+	default:
+		panic("spark: pipeline head must be source or shuffle")
+	}
+
+	for _, f := range p.ops {
+		if f.Materialize {
+			// Flush the pipeline so far; the materializing op forms its
+			// own block (and phase).
+			em.EmitGroup(b, c.vm, group, true)
+			group = nil
+			cur = em.EmitOp(b, c.vm, f, cur)
+			continue
+		}
+		group = append(group, exec.OpRun{Spec: f, Stats: cur})
+		cur = f.Out(cur)
+	}
+
+	if s.feeds != nil {
+		spec := s.feeds
+		if spec.combine && spec.aggregate != nil {
+			// Map-side combine: Aggregator.combineValuesByKey inserting
+			// into the append-only map, pipelined with the upstream
+			// chain (Fig. 14's dominant mixed phase).
+			agg := *spec.aggregate
+			mapSide := exec.FuncSpec{
+				Class: "org.apache.spark.Aggregator", Method: "combineValuesByKey",
+				Kind:        model.KindReduce,
+				InstrPerRec: combineInstrPerRec + agg.InstrPerRec,
+				BaseCPI:     agg.BaseCPI,
+				Pattern:     agg.Pattern,
+				WS:          agg.WS,
+				Refs:        agg.Refs,
+			}
+			if spec.graphx {
+				mapSide.Class = "org.apache.spark.graphx.impl.EdgePartition"
+				mapSide.Method = "aggregateMessagesEdgeScan"
+			}
+			inner := []exec.FuncSpec{{
+				Class: "org.apache.spark.util.collection.ExternalAppendOnlyMap", Method: "insertAll",
+				Kind: model.KindReduce,
+			}}
+			cur.DistinctKeys = minI64(s.out.outStats.DistinctKeys, cur.Records)
+			group = append(group, exec.OpRun{Spec: mapSide, Inner: inner, Stats: cur})
+			out := mapSide.Out(cur)
+			out.Records = minI64(cur.Records, cur.DistinctKeys)
+			out.Bytes = int64(float64(out.Records) * cur.AvgRecordBytes())
+			cur = out
+		}
+		write := exec.FuncSpec{
+			Class: "org.apache.spark.storage.DiskBlockObjectWriter", Method: "write",
+			Kind: model.KindIO, BaseCPI: 1.05,
+			Pattern: cpu.PatternSequential,
+			WS:      exec.WorkingSet{Kind: exec.WSFixed, Fixed: 1 << 20},
+			Refs:    0.35,
+		}
+		group = append(group, exec.OpRun{Spec: write, Total: uint64(writeInstrPerByte * float64(cur.Bytes)), Stats: cur})
+	} else if s.save {
+		save := exec.FuncSpec{
+			Class: "org.apache.hadoop.hdfs.DFSOutputStream", Method: "write",
+			Kind: model.KindIO, BaseCPI: 1.1,
+			Pattern: cpu.PatternRandom, // serializing heterogeneous objects
+			WS:      exec.WorkingSet{Kind: exec.WSFixed, Fixed: 24 << 20},
+			Refs:    0.03,
+		}
+		group = append(group, exec.OpRun{Spec: save, Total: c.cfg.IOCost.WriteInstr(cur.Bytes, false), Stats: cur})
+	}
+	em.EmitGroup(b, c.vm, group, true)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,287 @@
+package spark
+
+import (
+	"strings"
+	"testing"
+
+	"simprof/internal/cpu"
+	"simprof/internal/exec"
+	"simprof/internal/model"
+	"simprof/internal/synth"
+)
+
+func textInput() synth.InputStats {
+	return synth.InputStats{Name: "t", Records: 1_000_000, Bytes: 8 << 20, DistinctKeys: 10_000, Skew: 1.1}
+}
+
+func mapSpec(name string, instr float64) exec.FuncSpec {
+	return exec.FuncSpec{
+		Class: "app." + name, Method: "apply", Kind: model.KindMap,
+		InstrPerRec: instr, BaseCPI: 0.55,
+		Pattern: cpu.PatternSequential,
+		WS:      exec.WorkingSet{Kind: exec.WSPartitionBytes},
+	}
+}
+
+func aggSpec() exec.FuncSpec {
+	return exec.FuncSpec{
+		Class: "org.apache.spark.Aggregator", Method: "combineCombinersByKey",
+		Kind: model.KindReduce, InstrPerRec: 50, BaseCPI: 0.65,
+		Pattern: cpu.PatternRandom,
+		WS:      exec.WorkingSet{Kind: exec.WSDistinctKeys},
+	}
+}
+
+func newCtx(t *testing.T) *Context {
+	t.Helper()
+	ctx, err := NewContext("test", Config{Cores: 4, Seed: 1, ChunkInstr: 500_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func TestNewContextValidation(t *testing.T) {
+	if _, err := NewContext("x", Config{Cores: 0}); err == nil {
+		t.Fatal("Cores=0 should fail")
+	}
+}
+
+func TestRunWithoutActionFails(t *testing.T) {
+	ctx := newCtx(t)
+	ctx.TextFile(textInput(), 8)
+	if _, err := ctx.Run(); err == nil {
+		t.Fatal("Run without action should fail")
+	}
+}
+
+func TestWordCountStagePlan(t *testing.T) {
+	ctx := newCtx(t)
+	lines := ctx.TextFile(textInput(), 8)
+	counts := lines.FlatMap(mapSpec("tok", 80)).Map(mapSpec("pair", 40)).ReduceByKey(aggSpec(), 8)
+	counts.SaveAsTextFile("out")
+	stages := ctx.planStages(ctx.jobs[0])
+	if len(stages) != 2 {
+		t.Fatalf("stages=%d want 2", len(stages))
+	}
+	if stages[0].feeds == nil || !stages[0].feeds.combine {
+		t.Fatal("map stage should feed a combining shuffle")
+	}
+	if stages[1].feeds != nil || !stages[1].isResult || !stages[1].save {
+		t.Fatalf("result stage wrong: %+v", stages[1])
+	}
+	if stages[0].NumTasks() != 8 || stages[1].NumTasks() != 8 {
+		t.Fatalf("task counts %d/%d", stages[0].NumTasks(), stages[1].NumTasks())
+	}
+	if len(stages[0].pipelines[0].ops) != 2 {
+		t.Fatalf("map stage ops=%d want 2 pipelined", len(stages[0].pipelines[0].ops))
+	}
+}
+
+func TestGrepSingleStage(t *testing.T) {
+	ctx := newCtx(t)
+	f := mapSpec("grep", 60)
+	f.Selectivity = 0.001
+	ctx.TextFile(textInput(), 8).Filter(f).Count()
+	stages := ctx.planStages(ctx.jobs[0])
+	if len(stages) != 1 {
+		t.Fatalf("grep stages=%d want 1", len(stages))
+	}
+	if stages[0].feeds != nil || stages[0].save {
+		t.Fatal("grep stage should be a pure result stage")
+	}
+}
+
+func TestIterativeLineageManyStages(t *testing.T) {
+	ctx := newCtx(t)
+	cur := ctx.TextFile(textInput(), 4).Map(mapSpec("seed", 10))
+	for i := 0; i < 5; i++ {
+		cur = cur.Map(mapSpec("scan", 20)).AggregateUsingIndex(aggSpec(), 4)
+	}
+	cur.Count()
+	stages := ctx.planStages(ctx.jobs[0])
+	if len(stages) != 6 {
+		t.Fatalf("stages=%d want 6 (5 shuffles + result)", len(stages))
+	}
+}
+
+func TestRunProducesExecutorThreads(t *testing.T) {
+	ctx := newCtx(t)
+	lines := ctx.TextFile(textInput(), 8)
+	lines.FlatMap(mapSpec("tok", 80)).ReduceByKey(aggSpec(), 8).SaveAsTextFile("out")
+	threads, err := ctx.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(threads) != 4 {
+		t.Fatalf("threads=%d want cores=4", len(threads))
+	}
+	for _, th := range threads {
+		if !strings.Contains(th.Name, "Executor task launch worker") {
+			t.Fatalf("thread name %q", th.Name)
+		}
+		if len(th.Segments) == 0 {
+			t.Fatal("idle executor thread")
+		}
+		// Base frames on every segment.
+		for _, seg := range th.Segments {
+			if len(seg.Stack) < 4 {
+				t.Fatalf("segment stack too shallow: %v", seg.Stack)
+			}
+			fqn := ctx.VM().Table.FQN(seg.Stack[0])
+			if fqn != "java.lang.Thread.run" {
+				t.Fatalf("outermost frame %q", fqn)
+			}
+		}
+	}
+}
+
+// stackFQNs renders all distinct leaf FQNs across threads.
+func stackFQNs(t *testing.T, ctx *Context, threads []*cpu.Thread) map[string]bool {
+	t.Helper()
+	out := map[string]bool{}
+	for _, th := range threads {
+		for _, seg := range th.Segments {
+			out[ctx.VM().Table.FQN(seg.Stack.Leaf())] = true
+		}
+	}
+	return out
+}
+
+func TestMapSideCombineFramesPresent(t *testing.T) {
+	ctx := newCtx(t)
+	ctx.TextFile(textInput(), 8).
+		Map(mapSpec("pair", 40)).
+		ReduceByKey(aggSpec(), 8).
+		SaveAsTextFile("out")
+	threads, err := ctx.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := stackFQNs(t, ctx, threads)
+	if !leaves["org.apache.spark.util.collection.ExternalAppendOnlyMap.insertAll"] {
+		t.Fatalf("map-side combine frames missing; leaves=%v", keys(leaves))
+	}
+	if !leaves["org.apache.spark.storage.ShuffleBlockFetcherIterator.next"] {
+		t.Fatal("shuffle fetch frames missing")
+	}
+	if !leaves["org.apache.hadoop.hdfs.DFSOutputStream.write"] {
+		t.Fatal("save frames missing")
+	}
+	// The Aggregator frame must appear as a parent of insertAll.
+	found := false
+	for _, th := range threads {
+		for _, seg := range th.Segments {
+			for _, id := range seg.Stack {
+				if ctx.VM().Table.FQN(id) == "org.apache.spark.Aggregator.combineValuesByKey" {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("Aggregator.combineValuesByKey not on any stack")
+	}
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestSortByKeyEmitsSorter(t *testing.T) {
+	ctx := newCtx(t)
+	ctx.TextFile(textInput(), 8).Map(mapSpec("parse", 30)).SortByKey(8).SaveAsTextFile("out")
+	threads, _ := ctx.Run()
+	leaves := stackFQNs(t, ctx, threads)
+	if !leaves["org.apache.spark.util.collection.ExternalSorter.insertAll"] {
+		t.Fatal("sorter frames missing")
+	}
+}
+
+func TestUnionPipelines(t *testing.T) {
+	ctx := newCtx(t)
+	a := ctx.TextFile(textInput(), 4).Map(mapSpec("a", 30))
+	b := ctx.TextFile(textInput(), 3).Map(mapSpec("b", 30))
+	u := a.Union(b)
+	u.Count()
+	stages := ctx.planStages(ctx.jobs[0])
+	if len(stages) != 1 {
+		t.Fatalf("union stages=%d want 1", len(stages))
+	}
+	if len(stages[0].pipelines) != 2 {
+		t.Fatalf("pipelines=%d want 2", len(stages[0].pipelines))
+	}
+	if stages[0].NumTasks() != 7 {
+		t.Fatalf("tasks=%d want 7", stages[0].NumTasks())
+	}
+	if u.Stats().Records != 2*textInput().Records {
+		t.Fatalf("union records=%d", u.Stats().Records)
+	}
+}
+
+func TestStatsPropagation(t *testing.T) {
+	ctx := newCtx(t)
+	in := textInput()
+	lines := ctx.TextFile(in, 8)
+	if lines.Stats().Records != in.Records {
+		t.Fatal("source stats wrong")
+	}
+	f := mapSpec("fan", 10)
+	f.Fanout = 2
+	doubled := lines.FlatMap(f)
+	if doubled.Stats().Records != 2*in.Records {
+		t.Fatalf("fanout records=%d", doubled.Stats().Records)
+	}
+	reduced := doubled.ReduceByKey(aggSpec(), 8)
+	if reduced.Stats().Records != in.DistinctKeys {
+		t.Fatalf("reduceByKey records=%d want distinct=%d", reduced.Stats().Records, in.DistinctKeys)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	build := func() []*cpu.Thread {
+		ctx := newCtx(t)
+		ctx.TextFile(textInput(), 8).FlatMap(mapSpec("tok", 80)).
+			ReduceByKey(aggSpec(), 8).SaveAsTextFile("out")
+		threads, err := ctx.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return threads
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatal("thread counts differ")
+	}
+	for i := range a {
+		if len(a[i].Segments) != len(b[i].Segments) {
+			t.Fatalf("thread %d segment counts differ", i)
+		}
+		if a[i].Instructions() != b[i].Instructions() {
+			t.Fatalf("thread %d instruction counts differ", i)
+		}
+	}
+}
+
+func TestTasksBalancedAcrossThreads(t *testing.T) {
+	ctx := newCtx(t)
+	ctx.TextFile(textInput(), 16).Map(mapSpec("m", 100)).Count()
+	threads, _ := ctx.Run()
+	var minI, maxI uint64 = ^uint64(0), 0
+	for _, th := range threads {
+		n := th.Instructions()
+		if n < minI {
+			minI = n
+		}
+		if n > maxI {
+			maxI = n
+		}
+	}
+	if float64(maxI) > 1.6*float64(minI) {
+		t.Fatalf("load imbalance: min=%d max=%d", minI, maxI)
+	}
+}

@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// NormalCDF returns Φ(x), the standard normal cumulative distribution.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// NormalQuantile returns Φ⁻¹(p) for p in (0,1) using Acklam's rational
+// approximation refined by one Halley step; absolute error is below 1e-9
+// over the full domain. It panics outside (0,1).
+func NormalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("stats: NormalQuantile p=%v out of (0,1)", p))
+	}
+	// Coefficients for Acklam's algorithm.
+	a := [...]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [...]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [...]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [...]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+
+	const pLow, pHigh = 0.02425, 1 - 0.02425
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= pHigh:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Halley refinement step.
+	e := NormalCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x = x - u/(1+x*u/2)
+	return x
+}
+
+// ZForConfidence returns the two-sided z score for confidence level
+// (1-α), e.g. 0.95 → 1.96, 0.997 → 3.0 (the "3 sigma" level used by the
+// paper's Fig. 8). It panics for levels outside (0,1).
+func ZForConfidence(level float64) float64 {
+	if level <= 0 || level >= 1 {
+		panic(fmt.Sprintf("stats: confidence level %v out of (0,1)", level))
+	}
+	return NormalQuantile(0.5 + level/2)
+}
+
+// Interval is a symmetric confidence interval around a point estimate.
+type Interval struct {
+	Mean   float64
+	Margin float64 // z · SE, the margin of error (Eq. 3)
+	Level  float64 // confidence level, e.g. 0.997
+}
+
+// Lo returns the lower bound of the interval.
+func (ci Interval) Lo() float64 { return ci.Mean - ci.Margin }
+
+// Hi returns the upper bound of the interval.
+func (ci Interval) Hi() float64 { return ci.Mean + ci.Margin }
+
+// Contains reports whether v lies inside the interval.
+func (ci Interval) Contains(v float64) bool { return v >= ci.Lo() && v <= ci.Hi() }
+
+// String renders the interval as "mean ± margin (level)".
+func (ci Interval) String() string {
+	return fmt.Sprintf("%.4f ± %.4f (%.1f%%)", ci.Mean, ci.Margin, ci.Level*100)
+}
+
+// ConfidenceInterval builds the interval mean ± z·se at the given
+// confidence level (Eq. 2–3 of the paper).
+func ConfidenceInterval(mean, se, level float64) Interval {
+	return Interval{Mean: mean, Margin: ZForConfidence(level) * se, Level: level}
+}

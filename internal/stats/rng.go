@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// NewRNG returns a deterministic PCG-backed generator for the given seed.
+// Every stochastic component of the simulator owns one of these so whole
+// experiments replay bit-for-bit from a single top-level seed.
+func NewRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+// SplitSeed derives a child seed from a parent seed and a stream label,
+// using a SplitMix64 finalizer so sibling components are decorrelated.
+func SplitSeed(seed uint64, stream uint64) uint64 {
+	z := seed + 0x9e3779b97f4a7c15*(stream+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// LogNormal draws from a log-normal distribution with the given mean and
+// coefficient of variation of the *resulting* distribution (not of the
+// underlying normal). A cov of 0 returns mean exactly. This is the noise
+// shape used by the CPI model: strictly positive with occasional
+// right-tail excursions, like real machine CPI jitter.
+func LogNormal(r *rand.Rand, mean, cov float64) float64 {
+	if mean <= 0 || cov <= 0 {
+		return mean
+	}
+	sigma2 := math.Log(1 + cov*cov)
+	mu := math.Log(mean) - sigma2/2
+	return math.Exp(mu + math.Sqrt(sigma2)*r.NormFloat64())
+}
+
+// SampleWithoutReplacement returns k distinct indices drawn uniformly
+// from [0,n) using Floyd's algorithm; the result is in random order.
+// If k >= n all indices are returned (shuffled).
+func SampleWithoutReplacement(r *rand.Rand, n, k int) []int {
+	if k >= n {
+		out := r.Perm(n)
+		return out
+	}
+	chosen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for j := n - k; j < n; j++ {
+		t := r.IntN(j + 1)
+		if _, dup := chosen[t]; dup {
+			t = j
+		}
+		chosen[t] = struct{}{}
+		out = append(out, t)
+	}
+	r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// Zipf draws ranks in [0, n) with probability ∝ 1/(rank+1)^s. It wraps
+// math/rand/v2's Zipf with the parameterization used by the text
+// synthesizer (s>1 handled natively, s<=1 via a bounded rejection walk).
+type Zipf struct {
+	n   int
+	s   float64
+	r   *rand.Rand
+	cum []float64 // cumulative weights, lazily built for small n
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s (>0).
+func NewZipf(r *rand.Rand, n int, s float64) *Zipf {
+	z := &Zipf{n: n, s: s, r: r}
+	// For realistic vocabulary sizes an explicit CDF is fine and exact.
+	z.cum = make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		total += math.Pow(float64(i+1), -s)
+		z.cum[i] = total
+	}
+	for i := range z.cum {
+		z.cum[i] /= total
+	}
+	return z
+}
+
+// Next draws one rank in [0, n).
+func (z *Zipf) Next() int {
+	u := z.r.Float64()
+	lo, hi := 0, z.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestSplitSeedDecorrelates(t *testing.T) {
+	seen := map[uint64]bool{}
+	for s := uint64(0); s < 1000; s++ {
+		v := SplitSeed(7, s)
+		if seen[v] {
+			t.Fatalf("SplitSeed collision at stream %d", s)
+		}
+		seen[v] = true
+	}
+	if SplitSeed(7, 0) == SplitSeed(8, 0) {
+		t.Fatal("different parents, same child")
+	}
+}
+
+func TestLogNormalMoments(t *testing.T) {
+	rng := NewRNG(1)
+	const n = 200000
+	mean, cov := 1.5, 0.3
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = LogNormal(rng, mean, cov)
+		if xs[i] <= 0 {
+			t.Fatal("LogNormal produced non-positive value")
+		}
+	}
+	s := Summarize(xs)
+	if math.Abs(s.Mean-mean) > 0.02 {
+		t.Fatalf("LogNormal mean=%v want≈%v", s.Mean, mean)
+	}
+	if math.Abs(s.CoV-cov) > 0.02 {
+		t.Fatalf("LogNormal cov=%v want≈%v", s.CoV, cov)
+	}
+	if LogNormal(rng, 2.0, 0) != 2.0 {
+		t.Fatal("cov=0 should return mean exactly")
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	rng := NewRNG(9)
+	got := SampleWithoutReplacement(rng, 100, 20)
+	if len(got) != 20 {
+		t.Fatalf("len=%d want 20", len(got))
+	}
+	seen := map[int]bool{}
+	for _, i := range got {
+		if i < 0 || i >= 100 {
+			t.Fatalf("index %d out of range", i)
+		}
+		if seen[i] {
+			t.Fatalf("duplicate index %d", i)
+		}
+		seen[i] = true
+	}
+	all := SampleWithoutReplacement(rng, 5, 10)
+	if len(all) != 5 {
+		t.Fatalf("k>n should return n indices, got %d", len(all))
+	}
+}
+
+func TestSampleWithoutReplacementProperty(t *testing.T) {
+	rng := NewRNG(11)
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		k := int(kRaw % 60)
+		got := SampleWithoutReplacement(rng, n, k)
+		want := k
+		if k > n {
+			want = n
+		}
+		if len(got) != want {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, i := range got {
+			if i < 0 || i >= n || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	rng := NewRNG(5)
+	z := NewZipf(rng, 1000, 1.1)
+	counts := make([]int, 1000)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[10] || counts[10] <= counts[500] {
+		t.Fatalf("Zipf not monotone: c0=%d c10=%d c500=%d", counts[0], counts[10], counts[500])
+	}
+	// Rank 0 should dominate: with s=1.1 over 1000 ranks it holds >10%.
+	if float64(counts[0])/n < 0.08 {
+		t.Fatalf("rank-0 share %v too small for s=1.1", float64(counts[0])/n)
+	}
+}

@@ -1,0 +1,229 @@
+// Package stats provides the statistical machinery SimProf builds on:
+// descriptive statistics (mean, variance, coefficient of variation),
+// normal quantiles and confidence intervals, Pearson correlation and the
+// univariate linear-regression feature score (f_regression) used for
+// method selection, and seeded RNG constructors so that every experiment
+// is reproducible.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by estimators that need at least one observation.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (divisor n-1).
+// It returns 0 for samples with fewer than two observations.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// PopVariance returns the population variance (divisor n).
+func PopVariance(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// CoV returns the coefficient of variation (sample stddev over mean).
+// It returns 0 when the mean is 0.
+func CoV(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(xs) / math.Abs(m)
+}
+
+// Summary holds the descriptive statistics of one sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Var    float64 // unbiased sample variance
+	Std    float64
+	CoV    float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary of xs. A zero Summary is returned for an
+// empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Mean: Mean(xs), Var: Variance(xs)}
+	s.Std = math.Sqrt(s.Var)
+	if s.Mean != 0 {
+		s.CoV = s.Std / math.Abs(s.Mean)
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	for _, x := range xs {
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// WeightedMean returns Σ w_i x_i / Σ w_i. Weights must be non-negative;
+// it returns 0 when the total weight is 0.
+func WeightedMean(xs, ws []float64) float64 {
+	if len(xs) != len(ws) {
+		panic("stats: WeightedMean length mismatch")
+	}
+	var sw, sx float64
+	for i, x := range xs {
+		sw += ws[i]
+		sx += ws[i] * x
+	}
+	if sw == 0 {
+		return 0
+	}
+	return sx / sw
+}
+
+// Pearson returns the Pearson correlation coefficient of (xs, ys).
+// It returns 0 when either sample is constant.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: Pearson length mismatch")
+	}
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// FScore converts a Pearson correlation r over n observations into the
+// univariate linear-regression F statistic used by f_regression:
+//
+//	F = r²/(1-r²) · (n-2)
+//
+// A perfectly correlated feature gets +Inf.
+func FScore(r float64, n int) float64 {
+	if n < 3 {
+		return 0
+	}
+	r2 := r * r
+	if r2 >= 1 {
+		return math.Inf(1)
+	}
+	return r2 / (1 - r2) * float64(n-2)
+}
+
+// FRegression scores each feature column against the target with the
+// univariate linear-regression test. features is row-major: features[i]
+// is observation i with d dimensions; target has one entry per row. The
+// returned slice has one F score per feature dimension.
+func FRegression(features [][]float64, target []float64) []float64 {
+	n := len(features)
+	if n == 0 {
+		return nil
+	}
+	if n != len(target) {
+		panic("stats: FRegression rows/target mismatch")
+	}
+	d := len(features[0])
+	scores := make([]float64, d)
+	col := make([]float64, n)
+	for j := 0; j < d; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = features[i][j]
+		}
+		scores[j] = FScore(Pearson(col, target), n)
+	}
+	return scores
+}
+
+// TopK returns the indices of the k largest scores, in descending score
+// order (ties broken by lower index). NaN scores rank last. If k exceeds
+// the number of scores, all indices are returned.
+func TopK(scores []float64, k int) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		sa, sb := scores[idx[a]], scores[idx[b]]
+		if math.IsNaN(sa) {
+			return false
+		}
+		if math.IsNaN(sb) {
+			return true
+		}
+		return sa > sb
+	})
+	if k < len(idx) {
+		idx = idx[:k]
+	}
+	return idx
+}
+
+// RelErr returns |got-want|/|want|, or 0 when both are zero. It is the
+// error metric used throughout the evaluation (predicted vs oracle CPI).
+func RelErr(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}

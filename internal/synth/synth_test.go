@@ -1,0 +1,231 @@
+package synth
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTextSpecValidate(t *testing.T) {
+	if err := DefaultText("t", 1<<20, 1).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []TextSpec{
+		{SizeBytes: 0, Vocab: 10, ZipfS: 1, AvgWordLen: 5},
+		{SizeBytes: 10, Vocab: 0, ZipfS: 1, AvgWordLen: 5},
+		{SizeBytes: 10, Vocab: 10, ZipfS: 0, AvgWordLen: 5},
+		{SizeBytes: 10, Vocab: 10, ZipfS: 1, AvgWordLen: 0},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d validated", i)
+		}
+	}
+}
+
+func TestTextGenerate(t *testing.T) {
+	spec := TextSpec{Name: "t", SizeBytes: 64 << 10, Vocab: 1000, ZipfS: 1.1, AvgWordLen: 6, Seed: 3}
+	var buf bytes.Buffer
+	n, words, err := spec.Generate(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < spec.SizeBytes || int64(buf.Len()) != n {
+		t.Fatalf("bytes=%d want ≥%d", n, spec.SizeBytes)
+	}
+	if words <= 0 {
+		t.Fatal("no words")
+	}
+	// Skew: the most frequent word should dominate.
+	counts := map[string]int{}
+	for _, w := range strings.Fields(buf.String()) {
+		counts[w]++
+	}
+	max, total := 0, 0
+	for _, c := range counts {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max)/float64(total) < 0.05 {
+		t.Fatalf("top word share %v too small for Zipf 1.1", float64(max)/float64(total))
+	}
+	// Determinism.
+	var buf2 bytes.Buffer
+	spec.Generate(&buf2)
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("text generation not deterministic")
+	}
+}
+
+func TestTextStats(t *testing.T) {
+	spec := DefaultText("corpus", 70<<20, 1)
+	st := spec.Stats()
+	if st.Records != spec.Words() || st.Bytes != spec.SizeBytes {
+		t.Fatalf("stats=%+v", st)
+	}
+	if st.DistinctKeys != int64(spec.Vocab) {
+		t.Fatalf("distinct=%d want vocab", st.DistinctKeys)
+	}
+	// Tiny corpus: distinct clamps to word count.
+	tiny := TextSpec{Name: "tiny", SizeBytes: 70, Vocab: 100000, ZipfS: 1.1, AvgWordLen: 6}
+	if s := tiny.Stats(); s.DistinctKeys != s.Records {
+		t.Fatalf("tiny distinct=%d records=%d", s.DistinctKeys, s.Records)
+	}
+	if st.RecordBytes() <= 0 {
+		t.Fatal("RecordBytes should be positive")
+	}
+}
+
+func TestKVGenerate(t *testing.T) {
+	spec := KVSpec{Name: "kv", Records: 500, KeyBytes: 10, ValBytes: 90, Seed: 7}
+	var buf bytes.Buffer
+	n, err := spec.Generate(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 500 {
+		t.Fatalf("lines=%d", len(lines))
+	}
+	if n != int64(500*(10+90+2)) {
+		t.Fatalf("bytes=%d", n)
+	}
+	for _, l := range lines[:5] {
+		parts := strings.Split(l, "\t")
+		if len(parts) != 2 || len(parts[0]) != 10 || len(parts[1]) != 90 {
+			t.Fatalf("malformed record %q", l)
+		}
+	}
+	if _, err := (KVSpec{Records: 0, KeyBytes: 1}).Generate(&buf); err == nil {
+		t.Fatal("invalid KVSpec should fail")
+	}
+}
+
+func TestKVStats(t *testing.T) {
+	s := KVSpec{Name: "kv", Records: 1000, KeyBytes: 10, ValBytes: 90}
+	st := s.Stats()
+	if st.DistinctKeys != 1000 {
+		t.Fatalf("all-unique distinct=%d", st.DistinctKeys)
+	}
+	s.Distinct = 50
+	if s.Stats().DistinctKeys != 50 {
+		t.Fatal("explicit distinct ignored")
+	}
+	s.Distinct = 99999
+	if s.Stats().DistinctKeys != 1000 {
+		t.Fatal("distinct should clamp to records")
+	}
+}
+
+func TestKroneckerValidate(t *testing.T) {
+	good := KroneckerSpec{Name: "g", Scale: 10, EdgeFactor: 8, A: 0.57, B: 0.19, C: 0.19, D: 0.05}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.A = 0.9 // sums > 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("non-stochastic initiator validated")
+	}
+	bad = good
+	bad.Scale = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("scale 0 validated")
+	}
+}
+
+func TestKroneckerGenerate(t *testing.T) {
+	spec := KroneckerSpec{Name: "g", Scale: 12, EdgeFactor: 8, A: 0.57, B: 0.19, C: 0.19, D: 0.05, Seed: 5}
+	g, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 4096 || int64(len(g.Edges)) != spec.Edges() {
+		t.Fatalf("graph shape: n=%d e=%d", g.N, len(g.Edges))
+	}
+	for _, e := range g.Edges[:100] {
+		if e[0] < 0 || int64(e[0]) >= g.N || e[1] < 0 || int64(e[1]) >= g.N {
+			t.Fatalf("edge out of range: %v", e)
+		}
+	}
+	if g.MaxDeg <= 8 {
+		t.Fatalf("skewed graph max degree %d suspiciously low", g.MaxDeg)
+	}
+}
+
+func TestKroneckerSkewOrdering(t *testing.T) {
+	// A web graph (imbalanced initiator) must be more skewed than a
+	// road network (near-uniform initiator), both in the measured
+	// degree CoV and in the analytic Stats summary.
+	web := KroneckerSpec{Name: "web", Scale: 13, EdgeFactor: 8, A: 0.57, B: 0.19, C: 0.19, D: 0.05, Seed: 1}
+	road := KroneckerSpec{Name: "road", Scale: 13, EdgeFactor: 8, A: 0.26, B: 0.25, C: 0.25, D: 0.24, Seed: 2}
+	gw, _ := web.Generate()
+	gr, _ := road.Generate()
+	if gw.DegreeCoV() <= gr.DegreeCoV() {
+		t.Fatalf("web CoV %v not above road CoV %v", gw.DegreeCoV(), gr.DegreeCoV())
+	}
+	if web.Stats().Skew <= road.Stats().Skew {
+		t.Fatalf("analytic skew ordering wrong: %v vs %v", web.Stats().Skew, road.Stats().Skew)
+	}
+}
+
+func TestKroneckerDeterminism(t *testing.T) {
+	spec := KroneckerSpec{Name: "g", Scale: 10, EdgeFactor: 4, A: 0.45, B: 0.22, C: 0.22, D: 0.11, Seed: 9}
+	a, _ := spec.Generate()
+	b, _ := spec.Generate()
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}
+
+func TestTableII(t *testing.T) {
+	inputs := TableII(14, 1)
+	if len(inputs) != 8 {
+		t.Fatalf("TableII has %d inputs want 8", len(inputs))
+	}
+	training := 0
+	names := map[string]bool{}
+	for _, in := range inputs {
+		if err := in.Spec.Validate(); err != nil {
+			t.Fatalf("%s: %v", in.Spec.Name, err)
+		}
+		if in.Training {
+			training++
+		}
+		if names[in.Spec.Name] {
+			t.Fatalf("duplicate input %s", in.Spec.Name)
+		}
+		names[in.Spec.Name] = true
+	}
+	if training != 1 {
+		t.Fatalf("training inputs=%d want 1 (google)", training)
+	}
+	st := TableIIStats(14, 1)
+	if st[0].Name != "google" {
+		t.Fatalf("training input first, got %s", st[0].Name)
+	}
+	// The road network must be the least skewed of the set.
+	var road, maxOther float64
+	for _, s := range st {
+		if s.Name == "road" {
+			road = s.Skew
+		} else if s.Skew > maxOther {
+			maxOther = s.Skew
+		}
+	}
+	if road >= maxOther {
+		t.Fatalf("road skew %v should be minimal (max other %v)", road, maxOther)
+	}
+}
+
+func TestZipfExpectedTopShare(t *testing.T) {
+	// Harmonic series over 10 ranks at s=1: top share = 1/H(10) ≈ 0.3414.
+	got := ZipfExpectedTopShare(10, 1)
+	if got < 0.33 || got > 0.35 {
+		t.Fatalf("top share=%v", got)
+	}
+}

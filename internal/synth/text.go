@@ -1,0 +1,203 @@
+// Package synth provides the data synthesizers the paper relies on
+// (BigDataBench's text generator and the Kronecker graph generator used
+// to scale the SNAP seed graphs of Table II). Each synthesizer can both
+// materialize actual data (for the datagen CLI and tests) and summarize
+// itself into the statistics the execution engines consume: record
+// counts, distinct-key cardinalities and skew, which drive working-set
+// sizes and therefore cache behaviour.
+package synth
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"simprof/internal/stats"
+)
+
+// TextSpec describes a synthetic text corpus with a Zipfian word
+// distribution, the standard model for natural-language word frequency.
+type TextSpec struct {
+	Name       string
+	SizeBytes  int64
+	Vocab      int     // distinct words
+	ZipfS      float64 // Zipf exponent (≈1.1 for natural text)
+	AvgWordLen int     // bytes per word, excluding the separator
+	Seed       uint64
+}
+
+// Validate checks the spec.
+func (s TextSpec) Validate() error {
+	if s.SizeBytes <= 0 {
+		return fmt.Errorf("synth: SizeBytes=%d must be positive", s.SizeBytes)
+	}
+	if s.Vocab <= 0 {
+		return fmt.Errorf("synth: Vocab=%d must be positive", s.Vocab)
+	}
+	if s.ZipfS <= 0 {
+		return fmt.Errorf("synth: ZipfS=%v must be positive", s.ZipfS)
+	}
+	if s.AvgWordLen <= 0 {
+		return fmt.Errorf("synth: AvgWordLen=%d must be positive", s.AvgWordLen)
+	}
+	return nil
+}
+
+// DefaultText returns the microbenchmark input: a scaled-down stand-in
+// for the paper's 10GB text corpus (sizes are parameters; the default
+// keeps laptop runs fast while preserving the skew structure).
+func DefaultText(name string, size int64, seed uint64) TextSpec {
+	return TextSpec{Name: name, SizeBytes: size, Vocab: 600_000, ZipfS: 1.1, AvgWordLen: 6, Seed: seed}
+}
+
+// Words estimates the number of word records in the corpus.
+func (s TextSpec) Words() int64 {
+	return s.SizeBytes / int64(s.AvgWordLen+1) // +1 for the separator
+}
+
+// Stats summarizes the corpus for the engines.
+func (s TextSpec) Stats() InputStats {
+	words := s.Words()
+	distinct := int64(s.Vocab)
+	if words < distinct {
+		distinct = words
+	}
+	return InputStats{
+		Name:         s.Name,
+		Records:      words,
+		Bytes:        s.SizeBytes,
+		DistinctKeys: distinct,
+		Skew:         s.ZipfS,
+	}
+}
+
+// vocabulary deterministically names word rank r.
+func vocabWord(r int, avgLen int) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	buf := make([]byte, 0, avgLen+4)
+	v := r + 1
+	for v > 0 {
+		buf = append(buf, letters[v%26])
+		v /= 26
+	}
+	for len(buf) < avgLen {
+		buf = append(buf, letters[(r*7+len(buf))%26])
+	}
+	return string(buf)
+}
+
+// Generate writes the synthetic corpus to w, up to SizeBytes. It returns
+// the number of bytes and words written. The output is lines of
+// space-separated words, ~80 bytes per line.
+func (s TextSpec) Generate(w io.Writer) (bytes int64, words int64, err error) {
+	if err := s.Validate(); err != nil {
+		return 0, 0, err
+	}
+	rng := stats.NewRNG(s.Seed)
+	z := stats.NewZipf(rng, s.Vocab, s.ZipfS)
+	line := make([]byte, 0, 96)
+	for bytes < s.SizeBytes {
+		line = line[:0]
+		for len(line) < 80 {
+			word := vocabWord(z.Next(), s.AvgWordLen)
+			if len(line) > 0 {
+				line = append(line, ' ')
+			}
+			line = append(line, word...)
+			words++
+		}
+		line = append(line, '\n')
+		n, werr := w.Write(line)
+		bytes += int64(n)
+		if werr != nil {
+			return bytes, words, fmt.Errorf("synth: generate text: %w", werr)
+		}
+	}
+	return bytes, words, nil
+}
+
+// InputStats is the statistics summary of an input that the execution
+// engines consume. It is the common currency between synthesizers and
+// workloads.
+type InputStats struct {
+	Name         string
+	Records      int64   // logical records (words, key-value pairs, edges)
+	Bytes        int64   // raw size
+	DistinctKeys int64   // key cardinality (vocabulary, vertices, ...)
+	Skew         float64 // skew parameter of the key distribution
+	Vertices     int64   // graphs only
+	MaxDegree    int64   // graphs only
+}
+
+// RecordBytes returns the average record size.
+func (s InputStats) RecordBytes() float64 {
+	if s.Records == 0 {
+		return 0
+	}
+	return float64(s.Bytes) / float64(s.Records)
+}
+
+// KVSpec describes a synthetic key-value data set (the Sort
+// microbenchmark input).
+type KVSpec struct {
+	Name     string
+	Records  int64
+	KeyBytes int
+	ValBytes int
+	Distinct int64 // distinct keys; 0 means all unique
+	Seed     uint64
+}
+
+// Stats summarizes the data set.
+func (s KVSpec) Stats() InputStats {
+	distinct := s.Distinct
+	if distinct == 0 || distinct > s.Records {
+		distinct = s.Records
+	}
+	return InputStats{
+		Name:         s.Name,
+		Records:      s.Records,
+		Bytes:        s.Records * int64(s.KeyBytes+s.ValBytes),
+		DistinctKeys: distinct,
+		Skew:         0,
+	}
+}
+
+// Generate writes records as "key\tvalue\n" lines.
+func (s KVSpec) Generate(w io.Writer) (int64, error) {
+	if s.Records <= 0 || s.KeyBytes <= 0 {
+		return 0, fmt.Errorf("synth: invalid KVSpec %+v", s)
+	}
+	rng := stats.NewRNG(s.Seed)
+	var written int64
+	buf := make([]byte, 0, s.KeyBytes+s.ValBytes+2)
+	const hexdigits = "0123456789abcdef"
+	for i := int64(0); i < s.Records; i++ {
+		buf = buf[:0]
+		for j := 0; j < s.KeyBytes; j++ {
+			buf = append(buf, hexdigits[rng.IntN(16)])
+		}
+		buf = append(buf, '\t')
+		for j := 0; j < s.ValBytes; j++ {
+			buf = append(buf, hexdigits[rng.IntN(16)])
+		}
+		buf = append(buf, '\n')
+		n, err := w.Write(buf)
+		written += int64(n)
+		if err != nil {
+			return written, fmt.Errorf("synth: generate kv: %w", err)
+		}
+	}
+	return written, nil
+}
+
+// ZipfExpectedTopShare returns the expected share of occurrences of the
+// most frequent key under Zipf(s) over n ranks — used by tests and by
+// the engines to size per-key value lists.
+func ZipfExpectedTopShare(n int, s float64) float64 {
+	var total float64
+	for i := 1; i <= n; i++ {
+		total += math.Pow(float64(i), -s)
+	}
+	return 1 / total
+}

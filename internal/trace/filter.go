@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"strconv"
+
+	"simprof/internal/model"
+)
+
+// FilterUnits returns a shallow copy of the trace containing only the
+// units for which keep returns true; unit IDs are re-densified so the
+// result is a valid standalone trace (the phase/sampling layers assume
+// dense ids).
+func (t *Trace) FilterUnits(keep func(Unit) bool) *Trace {
+	out := *t
+	out.Units = nil
+	for _, u := range t.Units {
+		if keep(u) {
+			u.ID = len(out.Units)
+			out.Units = append(out.Units, u)
+		}
+	}
+	return &out
+}
+
+// ByStage returns the units that observed the given engine stage.
+func (t *Trace) ByStage(stage int) *Trace {
+	return t.FilterUnits(func(u Unit) bool {
+		for _, s := range u.Stages {
+			if s == stage {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// ByThread returns the units of one profiled (merged) thread.
+func (t *Trace) ByThread(thread int) *Trace {
+	return t.FilterUnits(func(u Unit) bool { return u.Thread == thread })
+}
+
+// Threads returns the distinct profiled thread indices, ascending.
+func (t *Trace) Threads() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, u := range t.Units {
+		if !seen[u.Thread] {
+			seen[u.Thread] = true
+			out = append(out, u.Thread)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// MethodProfile aggregates, per method, the fraction of snapshot stacks
+// it appears in — the flat "where does time go" view an architect reads
+// before diving into phases.
+type MethodProfile struct {
+	Method model.Method
+	Share  float64 // fraction of snapshots containing the method
+}
+
+// MethodProfiles returns the per-method snapshot shares, descending.
+func (t *Trace) MethodProfiles() []MethodProfile {
+	counts := make([]int, len(t.Methods))
+	total := 0
+	for _, u := range t.Units {
+		for _, snap := range u.Snapshots {
+			total++
+			seen := map[model.MethodID]bool{}
+			for _, id := range snap {
+				if !seen[id] {
+					seen[id] = true
+					if int(id) < len(counts) {
+						counts[id]++
+					}
+				}
+			}
+		}
+	}
+	out := make([]MethodProfile, 0, len(counts))
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		out = append(out, MethodProfile{Method: t.Methods[i], Share: float64(c) / float64(total)})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Share > out[j-1].Share; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Validate checks the structural invariants consumers rely on: dense
+// unit ids, non-zero instruction counts, snapshots referring to interned
+// methods. It returns the first problem found.
+func (t *Trace) Validate() error {
+	for i, u := range t.Units {
+		if u.ID != i {
+			return &ValidationError{Unit: i, Problem: "non-dense unit id"}
+		}
+		if u.Counters.Instructions == 0 {
+			return &ValidationError{Unit: i, Problem: "zero instructions"}
+		}
+		if u.Counters.Cycles == 0 {
+			return &ValidationError{Unit: i, Problem: "zero cycles"}
+		}
+		for _, snap := range u.Snapshots {
+			for _, id := range snap {
+				if int(id) < 0 || int(id) >= len(t.Methods) {
+					return &ValidationError{Unit: i, Problem: "snapshot references unknown method"}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ValidationError describes a malformed trace.
+type ValidationError struct {
+	Unit    int
+	Problem string
+}
+
+// Error implements the error interface.
+func (e *ValidationError) Error() string {
+	return "trace: unit " + strconv.Itoa(e.Unit) + ": " + e.Problem
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"simprof/internal/model"
+)
+
+// multiTrace builds a trace with units across 2 threads and 2 stages.
+func multiTrace() *Trace {
+	tbl := model.NewTable()
+	m1 := tbl.Intern("A", "map", model.KindMap)
+	m2 := tbl.Intern("B", "reduce", model.KindReduce)
+	tr := &Trace{Benchmark: "x", Framework: "spark", Methods: tbl.Methods()}
+	add := func(thread, stage int, m model.MethodID) {
+		u := Unit{
+			ID: len(tr.Units), Thread: thread, Stages: []int{stage},
+			Counters:  Counters{Instructions: 100, Cycles: 150},
+			Snapshots: []model.Stack{{m}},
+		}
+		tr.Units = append(tr.Units, u)
+	}
+	add(0, 0, m1)
+	add(0, 0, m1)
+	add(0, 1, m2)
+	add(1, 0, m1)
+	add(1, 1, m2)
+	return tr
+}
+
+func TestFilterUnitsDensifies(t *testing.T) {
+	tr := multiTrace()
+	odd := tr.FilterUnits(func(u Unit) bool { return u.Thread == 1 })
+	if len(odd.Units) != 2 {
+		t.Fatalf("units=%d", len(odd.Units))
+	}
+	for i, u := range odd.Units {
+		if u.ID != i {
+			t.Fatalf("ids not densified: %d at %d", u.ID, i)
+		}
+	}
+	// Original untouched.
+	if len(tr.Units) != 5 || tr.Units[3].ID != 3 {
+		t.Fatal("source trace mutated")
+	}
+	if err := odd.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByStageAndByThread(t *testing.T) {
+	tr := multiTrace()
+	if got := len(tr.ByStage(0).Units); got != 3 {
+		t.Fatalf("stage 0 units=%d", got)
+	}
+	if got := len(tr.ByStage(1).Units); got != 2 {
+		t.Fatalf("stage 1 units=%d", got)
+	}
+	if got := len(tr.ByThread(0).Units); got != 3 {
+		t.Fatalf("thread 0 units=%d", got)
+	}
+	threads := tr.Threads()
+	if len(threads) != 2 || threads[0] != 0 || threads[1] != 1 {
+		t.Fatalf("Threads=%v", threads)
+	}
+}
+
+func TestMethodProfiles(t *testing.T) {
+	tr := multiTrace()
+	profs := tr.MethodProfiles()
+	if len(profs) != 2 {
+		t.Fatalf("profiles=%d", len(profs))
+	}
+	if !strings.Contains(profs[0].Method.FQN(), "A.map") {
+		t.Fatalf("top method %s; A.map appears in 3/5 snapshots", profs[0].Method.FQN())
+	}
+	if profs[0].Share != 0.6 || profs[1].Share != 0.4 {
+		t.Fatalf("shares %v/%v", profs[0].Share, profs[1].Share)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	good := multiTrace()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	nonDense := multiTrace()
+	nonDense.Units[2].ID = 99
+	if err := nonDense.Validate(); err == nil {
+		t.Fatal("non-dense ids not caught")
+	} else if !strings.Contains(err.Error(), "non-dense") {
+		t.Fatalf("wrong error: %v", err)
+	}
+
+	zeroInstr := multiTrace()
+	zeroInstr.Units[1].Counters.Instructions = 0
+	if err := zeroInstr.Validate(); err == nil {
+		t.Fatal("zero instructions not caught")
+	}
+
+	badMethod := multiTrace()
+	badMethod.Units[0].Snapshots[0] = model.Stack{42}
+	if err := badMethod.Validate(); err == nil {
+		t.Fatal("unknown method not caught")
+	}
+}

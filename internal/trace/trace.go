@@ -1,0 +1,155 @@
+// Package trace defines the on-disk and in-memory representation of a
+// profiling run: the sampling units (the paper's 100M-instruction
+// intervals) with their call-stack snapshots and hardware counters, plus
+// the interned method table needed to interpret them. Traces serialize
+// to gob (compact) and JSON (interoperable).
+package trace
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"simprof/internal/model"
+)
+
+// Counters are the per-unit hardware counter values the profiler's
+// perf_event-like collector reads.
+type Counters struct {
+	Instructions uint64
+	Cycles       uint64
+	L1Misses     uint64
+	L2Misses     uint64
+	LLCMisses    uint64
+}
+
+// CPI returns cycles per instruction (0 for an empty unit).
+func (c Counters) CPI() float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return float64(c.Cycles) / float64(c.Instructions)
+}
+
+// IPC returns instructions per cycle (0 for an empty unit).
+func (c Counters) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Instructions) / float64(c.Cycles)
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(o Counters) {
+	c.Instructions += o.Instructions
+	c.Cycles += o.Cycles
+	c.L1Misses += o.L1Misses
+	c.L2Misses += o.L2Misses
+	c.LLCMisses += o.LLCMisses
+}
+
+// Unit is one sampling unit: a fixed-length instruction interval within
+// one (possibly merged) executor thread, carrying the call-stack
+// snapshots taken inside it and its counters.
+type Unit struct {
+	ID         int // dense id within the trace
+	Thread     int // profiled (merged) thread index
+	Index      int // position within that thread
+	StartCycle uint64
+	Counters   Counters
+	Snapshots  []model.Stack // one per snapshot interval
+	Stages     []int         // engine stages observed in the unit (sorted, unique)
+}
+
+// CPI is shorthand for u.Counters.CPI().
+func (u Unit) CPI() float64 { return u.Counters.CPI() }
+
+// Trace is a full profiling run of one workload on one input.
+type Trace struct {
+	Benchmark string
+	Framework string // "spark" or "hadoop"
+	Input     string
+	Seed      uint64
+
+	UnitInstr     uint64 // sampling unit size (paper: 100M)
+	SnapshotEvery uint64 // snapshot cadence (paper: 10M)
+
+	Methods []model.Method // interned table, id-ordered
+	Units   []Unit
+}
+
+// Name returns "benchmark_fw" in the paper's abbreviation style
+// (e.g. "wc_sp").
+func (t *Trace) Name() string {
+	suffix := map[string]string{"spark": "sp", "hadoop": "hp"}[t.Framework]
+	if suffix == "" {
+		suffix = t.Framework
+	}
+	return t.Benchmark + "_" + suffix
+}
+
+// Table reconstructs a model.Table from the serialized methods.
+func (t *Trace) Table() *model.Table {
+	tbl := model.NewTable()
+	for _, m := range t.Methods {
+		id := tbl.Intern(m.Class, m.Name, m.Kind)
+		if id != m.ID {
+			panic(fmt.Sprintf("trace: method table not id-ordered (%d != %d)", id, m.ID))
+		}
+	}
+	return tbl
+}
+
+// CPIs returns the CPI of every unit, in unit order — the population the
+// sampling approaches draw from.
+func (t *Trace) CPIs() []float64 {
+	out := make([]float64, len(t.Units))
+	for i, u := range t.Units {
+		out[i] = u.CPI()
+	}
+	return out
+}
+
+// OracleCPI is the average CPI over all sampling units: the quantity
+// every sampling approach tries to estimate (§IV-C).
+func (t *Trace) OracleCPI() float64 {
+	if len(t.Units) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, u := range t.Units {
+		sum += u.CPI()
+	}
+	return sum / float64(len(t.Units))
+}
+
+// EncodeGob writes the trace in gob format.
+func (t *Trace) EncodeGob(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(t)
+}
+
+// DecodeGob reads a gob-encoded trace.
+func DecodeGob(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := gob.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decode gob: %w", err)
+	}
+	return &t, nil
+}
+
+// EncodeJSON writes the trace as indented JSON.
+func (t *Trace) EncodeJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(t)
+}
+
+// DecodeJSON reads a JSON-encoded trace.
+func DecodeJSON(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decode json: %w", err)
+	}
+	return &t, nil
+}

@@ -1,0 +1,435 @@
+// Package workloads implements the paper's Table I benchmark suite —
+// Sort, WordCount, Grep (microbenchmarks), NaiveBayes (machine
+// learning), Connected Components and PageRank (graph analytics) — each
+// on both the Spark and Hadoop execution engines, with per-operation
+// cost models shaped after the behaviours the paper reports (map-side
+// reduce in wc_sp, quicksort phases in wc_hp, GraphX operator phases in
+// cc_sp, ...).
+package workloads
+
+import (
+	"fmt"
+
+	"simprof/internal/cpu"
+	"simprof/internal/exec"
+	"simprof/internal/graphx"
+	"simprof/internal/hadoop"
+	"simprof/internal/model"
+	"simprof/internal/spark"
+	"simprof/internal/synth"
+)
+
+// Benchmarks lists the Table I benchmark names in paper order.
+func Benchmarks() []string { return []string{"sort", "wc", "grep", "bayes", "cc", "rank"} }
+
+// Frameworks lists the evaluated frameworks.
+func Frameworks() []string { return []string{"hadoop", "spark"} }
+
+// Options sizes a run. Zero values select defaults tuned so that every
+// workload produces a few hundred to ~1500 sampling units at the
+// experiment unit size — the same regime as the paper's populations.
+type Options struct {
+	Cores      int
+	Seed       uint64
+	ChunkInstr uint64
+
+	TextBytes        int64   // corpus size for wc/grep/bayes (default 256MB)
+	SortBytes        int64   // data size for sort (default 512MB)
+	GraphScale       int     // Kronecker scale for cc/rank (default 19)
+	GraphEdgeFactor  float64 // edges per vertex (default 20)
+	SparkIterations  int     // graph supersteps on Spark (default 8)
+	HadoopIterations int     // MapReduce iterations for cc/rank (default 3)
+	Partitions       int     // spark partitions per stage (default 4×cores)
+	// GC enables the JVM garbage-collection model (exec.GCConfig
+	// defaults) on both engines.
+	GC exec.GCConfig
+}
+
+// WithDefaults fills in unset fields.
+func (o Options) WithDefaults() Options {
+	if o.Cores <= 0 {
+		o.Cores = 4
+	}
+	if o.TextBytes <= 0 {
+		o.TextBytes = 256 << 20
+	}
+	if o.SortBytes <= 0 {
+		o.SortBytes = 512 << 20
+	}
+	if o.GraphScale <= 0 {
+		o.GraphScale = 19
+	}
+	if o.GraphEdgeFactor <= 0 {
+		o.GraphEdgeFactor = 20
+	}
+	if o.SparkIterations <= 0 {
+		o.SparkIterations = 8
+	}
+	if o.HadoopIterations <= 0 {
+		o.HadoopIterations = 3
+	}
+	if o.Partitions <= 0 {
+		o.Partitions = o.Cores * 4
+	}
+	return o
+}
+
+// DefaultInput synthesizes the standard input of a benchmark (the
+// paper's "10G text / 2^24-node graph", scaled).
+func DefaultInput(bench string, o Options) (synth.InputStats, error) {
+	o = o.WithDefaults()
+	switch bench {
+	case "wc", "grep", "bayes":
+		return synth.DefaultText("text", o.TextBytes, o.Seed+11).Stats(), nil
+	case "sort":
+		return synth.KVSpec{
+			Name: "kv", Records: o.SortBytes / 100, KeyBytes: 10, ValBytes: 90,
+			Seed: o.Seed + 13,
+		}.Stats(), nil
+	case "cc", "rank":
+		spec := synth.KroneckerSpec{
+			Name: "graph", Scale: o.GraphScale, EdgeFactor: o.GraphEdgeFactor,
+			A: 0.57, B: 0.19, C: 0.19, D: 0.05, // web-graph initiator (the training input)
+			Seed: o.Seed + 17,
+		}
+		return spec.Stats(), nil
+	default:
+		return synth.InputStats{}, fmt.Errorf("workloads: unknown benchmark %q", bench)
+	}
+}
+
+// Build compiles a benchmark on a framework into executor threads ready
+// for cpu.Machine.Run, plus the method table describing their stacks.
+func Build(bench, framework string, in synth.InputStats, o Options) ([]*cpu.Thread, *model.Table, error) {
+	o = o.WithDefaults()
+	switch framework {
+	case "spark":
+		return buildSpark(bench, in, o)
+	case "hadoop":
+		return buildHadoop(bench, in, o)
+	default:
+		return nil, nil, fmt.Errorf("workloads: unknown framework %q", framework)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Spark implementations
+// ---------------------------------------------------------------------
+
+func buildSpark(bench string, in synth.InputStats, o Options) ([]*cpu.Thread, *model.Table, error) {
+	ctx, err := spark.NewContext(bench, spark.Config{
+		Cores: o.Cores, Seed: o.Seed, ChunkInstr: o.ChunkInstr, GC: o.GC,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	switch bench {
+	case "wc":
+		buildWordCountSpark(ctx, in, o)
+	case "grep":
+		buildGrepSpark(ctx, in, o)
+	case "sort":
+		buildSortSpark(ctx, in, o)
+	case "bayes":
+		buildBayesSpark(ctx, in, o)
+	case "cc":
+		if err := buildCCSpark(ctx, in, o); err != nil {
+			return nil, nil, err
+		}
+	case "rank":
+		if err := buildRankSpark(ctx, in, o); err != nil {
+			return nil, nil, err
+		}
+	default:
+		return nil, nil, fmt.Errorf("workloads: unknown benchmark %q", bench)
+	}
+	threads, err := ctx.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	return threads, ctx.VM().Table, nil
+}
+
+// sumAggregator is the reduce-side merge of wordcount-style sums:
+// random probes into the per-partition hash map.
+func sumAggregator(instr float64, bytesPerKey uint64) exec.FuncSpec {
+	return exec.FuncSpec{
+		Class: "org.apache.spark.Aggregator", Method: "combineCombinersByKey",
+		Kind: model.KindReduce, InstrPerRec: instr, BaseCPI: 0.65,
+		Pattern: cpu.PatternRandom,
+		// Zipf-skewed keys concentrate probes on the hot head of the
+		// map, so the effective working set shrinks with skew.
+		WS:   exec.WorkingSet{Kind: exec.WSDistinctKeys, BytesPerKey: bytesPerKey, SkewShrink: 2.0},
+		Refs: 0.04,
+	}
+}
+
+func buildWordCountSpark(ctx *spark.Context, in synth.InputStats, o Options) {
+	lines := ctx.TextFile(in, o.Partitions)
+	tokenize := exec.FuncSpec{
+		Class: "io.bigdatabench.spark.WordCount$$anonfun$1", Method: "apply",
+		Kind: model.KindMap, InstrPerRec: 90, BaseCPI: 0.55,
+		Pattern: cpu.PatternSequential,
+		WS:      exec.WorkingSet{Kind: exec.WSPartitionBytes},
+		Refs:    0.3,
+	}
+	pair := exec.FuncSpec{
+		Class: "io.bigdatabench.spark.WordCount$$anonfun$2", Method: "apply",
+		Kind: model.KindMap, InstrPerRec: 55, BaseCPI: 0.55,
+		Pattern:     cpu.PatternSequential,
+		WS:          exec.WorkingSet{Kind: exec.WSRecord},
+		Refs:        0.3,
+		OutRecBytes: 16,
+	}
+	words := lines.FlatMap(tokenize)
+	pairs := words.Map(pair)
+	counts := pairs.ReduceByKey(sumAggregator(50, 56), o.Partitions)
+	counts.SaveAsTextFile("hdfs://out/wc")
+}
+
+func buildGrepSpark(ctx *spark.Context, in synth.InputStats, o Options) {
+	lines := ctx.TextFile(in, o.Partitions)
+	match := exec.FuncSpec{
+		Class: "io.bigdatabench.spark.Grep$$anonfun$1", Method: "apply",
+		Kind: model.KindMap, InstrPerRec: 75, BaseCPI: 0.55,
+		Pattern:     cpu.PatternSequential,
+		WS:          exec.WorkingSet{Kind: exec.WSPartitionBytes},
+		Refs:        0.3,
+		Selectivity: 0.001,
+	}
+	lines.Filter(match).Count() // single stage, single phase
+}
+
+func buildSortSpark(ctx *spark.Context, in synth.InputStats, o Options) {
+	records := ctx.TextFile(in, o.Partitions)
+	parse := exec.FuncSpec{
+		Class: "io.bigdatabench.spark.Sort$$anonfun$1", Method: "apply",
+		Kind: model.KindMap, InstrPerRec: 45, BaseCPI: 0.55,
+		Pattern: cpu.PatternSequential,
+		WS:      exec.WorkingSet{Kind: exec.WSPartitionBytes},
+		Refs:    0.3,
+	}
+	sorted := records.Map(parse).SortByKey(o.Partitions)
+	sorted.SaveAsTextFile("hdfs://out/sort")
+}
+
+func buildBayesSpark(ctx *spark.Context, in synth.InputStats, o Options) {
+	docs := ctx.TextFile(in, o.Partitions)
+	featurize := exec.FuncSpec{
+		Class: "io.bigdatabench.spark.NaiveBayes$$anonfun$train$1", Method: "apply",
+		Kind: model.KindMap, InstrPerRec: 140, BaseCPI: 0.6,
+		Pattern: cpu.PatternRandom,
+		WS:      exec.WorkingSet{Kind: exec.WSFixed, Fixed: 3 << 20}, // model weights
+		Refs:    0.04,
+		// MLlib scores the cached feature matrix as its own stage.
+		Materialize: true,
+	}
+	emit := exec.FuncSpec{
+		Class: "io.bigdatabench.spark.NaiveBayes$$anonfun$train$2", Method: "apply",
+		Kind: model.KindMap, InstrPerRec: 40, BaseCPI: 0.55,
+		Pattern:     cpu.PatternSequential,
+		WS:          exec.WorkingSet{Kind: exec.WSRecord},
+		Refs:        0.3,
+		OutRecBytes: 20,
+	}
+	features := docs.Map(featurize).Map(emit)
+	modelRDD := features.ReduceByKey(sumAggregator(45, 48), o.Partitions)
+	modelRDD.Collect()
+}
+
+func buildCCSpark(ctx *spark.Context, in synth.InputStats, o Options) error {
+	// Graph stages use one partition per core (Spark's default
+	// parallelism): tasks must span many sampling units for the GraphX
+	// operator blocks to be visible as phases.
+	g, err := graphx.Load(ctx, in, o.Cores)
+	if err != nil {
+		return err
+	}
+	graphx.ConnectedComponents(g, o.SparkIterations+2).Count()
+	return nil
+}
+
+func buildRankSpark(ctx *spark.Context, in synth.InputStats, o Options) error {
+	g, err := graphx.Load(ctx, in, o.Cores)
+	if err != nil {
+		return err
+	}
+	graphx.PageRank(g, o.SparkIterations).SaveAsTextFile("hdfs://out/rank")
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Hadoop implementations
+// ---------------------------------------------------------------------
+
+func buildHadoop(bench string, in synth.InputStats, o Options) ([]*cpu.Thread, *model.Table, error) {
+	cfg := hadoop.DefaultConfig()
+	cfg.Cores = o.Cores
+	cfg.Seed = o.Seed
+	cfg.ChunkInstr = o.ChunkInstr
+	cfg.GC = o.GC
+	d, err := hadoop.NewDriver(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	var jobs []*hadoop.Job
+	switch bench {
+	case "wc":
+		jobs = []*hadoop.Job{wordCountHadoop(in, o)}
+	case "grep":
+		jobs = []*hadoop.Job{grepHadoop(in, o)}
+	case "sort":
+		jobs = []*hadoop.Job{sortHadoop(in, o)}
+	case "bayes":
+		jobs = []*hadoop.Job{bayesHadoop(in, o)}
+	case "cc":
+		jobs = graphHadoop("cc", in, o, 42, 40)
+	case "rank":
+		jobs = graphHadoop("rank", in, o, 48, 45)
+	default:
+		return nil, nil, fmt.Errorf("workloads: unknown benchmark %q", bench)
+	}
+	threads, err := d.Run(jobs...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return threads, d.VM().Table, nil
+}
+
+func splitBytesFor(in synth.InputStats, o Options) int64 {
+	// Aim for ~4 map waves over the cores so that per-core merged
+	// streams are long.
+	waves := int64(4 * o.Cores)
+	split := in.Bytes / waves
+	if split < 8<<20 {
+		split = 8 << 20
+	}
+	return split
+}
+
+func wordCountHadoop(in synth.InputStats, o Options) *hadoop.Job {
+	sum := exec.FuncSpec{
+		Class: "org.apache.hadoop.examples.WordCount$IntSumReducer", Method: "reduce",
+		Kind: model.KindReduce, InstrPerRec: 45, BaseCPI: 0.65,
+		Pattern: cpu.PatternRandom,
+		WS:      exec.WorkingSet{Kind: exec.WSDistinctKeys, BytesPerKey: 48, SkewShrink: 2.0},
+		Refs:    0.04,
+	}
+	return &hadoop.Job{
+		Name: "wc", Input: in, SplitBytes: splitBytesFor(in, o),
+		Mapper: exec.FuncSpec{
+			Class: "org.apache.hadoop.examples.WordCount$TokenizerMapper", Method: "map",
+			Kind: model.KindMap, InstrPerRec: 110, BaseCPI: 0.52,
+			Pattern:     cpu.PatternSequential,
+			WS:          exec.WorkingSet{Kind: exec.WSPartitionBytes},
+			Refs:        0.3,
+			OutRecBytes: 16,
+		},
+		Combiner:    &sum,
+		Reducer:     sum,
+		NumReducers: o.Cores,
+	}
+}
+
+func grepHadoop(in synth.InputStats, o Options) *hadoop.Job {
+	sum := exec.FuncSpec{
+		Class: "org.apache.hadoop.mapreduce.lib.reduce.LongSumReducer", Method: "reduce",
+		Kind: model.KindReduce, InstrPerRec: 35, BaseCPI: 0.62,
+		Pattern: cpu.PatternRandom,
+		WS:      exec.WorkingSet{Kind: exec.WSDistinctKeys, BytesPerKey: 48, SkewShrink: 2.0},
+		Refs:    0.04,
+	}
+	return &hadoop.Job{
+		Name: "grep", Input: in, SplitBytes: splitBytesFor(in, o),
+		Mapper: exec.FuncSpec{
+			Class: "org.apache.hadoop.mapreduce.lib.map.RegexMapper", Method: "map",
+			Kind: model.KindMap, InstrPerRec: 130, BaseCPI: 0.53,
+			Pattern:     cpu.PatternSequential,
+			WS:          exec.WorkingSet{Kind: exec.WSPartitionBytes},
+			Refs:        0.3,
+			Selectivity: 0.001,
+		},
+		Combiner:    &sum,
+		Reducer:     sum,
+		NumReducers: 1,
+	}
+}
+
+func sortHadoop(in synth.InputStats, o Options) *hadoop.Job {
+	return &hadoop.Job{
+		Name: "sort", Input: in, SplitBytes: splitBytesFor(in, o),
+		Mapper: exec.FuncSpec{
+			Class: "org.apache.hadoop.examples.Sort$IdentityMapper", Method: "map",
+			Kind: model.KindMap, InstrPerRec: 25, BaseCPI: 0.55,
+			Pattern: cpu.PatternSequential,
+			WS:      exec.WorkingSet{Kind: exec.WSPartitionBytes},
+			Refs:    0.3,
+		},
+		Reducer: exec.FuncSpec{
+			Class: "org.apache.hadoop.examples.Sort$IdentityReducer", Method: "reduce",
+			Kind: model.KindReduce, InstrPerRec: 22, BaseCPI: 0.6,
+			Pattern: cpu.PatternSequential,
+			WS:      exec.WorkingSet{Kind: exec.WSPartitionBytes},
+			Refs:    0.3,
+		},
+		NumReducers: o.Cores,
+	}
+}
+
+func bayesHadoop(in synth.InputStats, o Options) *hadoop.Job {
+	sum := exec.FuncSpec{
+		Class: "io.bigdatabench.hadoop.NaiveBayes$WeightSumReducer", Method: "reduce",
+		Kind: model.KindReduce, InstrPerRec: 50, BaseCPI: 0.66,
+		Pattern: cpu.PatternRandom,
+		WS:      exec.WorkingSet{Kind: exec.WSDistinctKeys, BytesPerKey: 48, SkewShrink: 2.0},
+		Refs:    0.04,
+	}
+	return &hadoop.Job{
+		Name: "bayes", Input: in, SplitBytes: splitBytesFor(in, o),
+		Mapper: exec.FuncSpec{
+			Class: "io.bigdatabench.hadoop.NaiveBayes$FeatureMapper", Method: "map",
+			Kind: model.KindMap, InstrPerRec: 160, BaseCPI: 0.6,
+			Pattern:     cpu.PatternRandom,
+			WS:          exec.WorkingSet{Kind: exec.WSFixed, Fixed: 3 << 20},
+			Refs:        0.05,
+			OutRecBytes: 20,
+		},
+		Combiner:    &sum,
+		Reducer:     sum,
+		NumReducers: o.Cores,
+	}
+}
+
+// graphHadoop builds the iterative MapReduce implementation of cc/rank:
+// one job per iteration, mapping over edges and reducing per vertex
+// (the Pegasus formulation).
+func graphHadoop(name string, in synth.InputStats, o Options, mapInstr, redInstr float64) []*hadoop.Job {
+	var jobs []*hadoop.Job
+	for i := 0; i < o.HadoopIterations; i++ {
+		jobs = append(jobs, &hadoop.Job{
+			Name: fmt.Sprintf("%s-iter%d", name, i), Input: in,
+			SplitBytes: splitBytesFor(in, o),
+			Mapper: exec.FuncSpec{
+				Class: "io.bigdatabench.hadoop." + name + ".MessageMapper", Method: "map",
+				Kind: model.KindMap, InstrPerRec: mapInstr, BaseCPI: 0.58,
+				Pattern:     cpu.PatternSequential,
+				WS:          exec.WorkingSet{Kind: exec.WSPartitionBytes},
+				Refs:        0.3,
+				OutRecBytes: 12,
+			},
+			Reducer: exec.FuncSpec{
+				Class: "io.bigdatabench.hadoop." + name + ".VertexReducer", Method: "reduce",
+				Kind: model.KindReduce, InstrPerRec: redInstr, BaseCPI: 0.64,
+				Pattern: cpu.PatternRandom,
+				WS: exec.WorkingSet{
+					// Vertex state plus the per-key message list the
+					// reducer walks.
+					Kind: exec.WSDistinctKeys, BytesPerKey: 96, SkewShrink: 0.5,
+				},
+				Refs: 0.05,
+			},
+			NumReducers: o.Cores,
+		})
+	}
+	return jobs
+}

@@ -1,0 +1,201 @@
+package workloads
+
+import (
+	"testing"
+
+	"simprof/internal/cpu"
+	"simprof/internal/exec"
+	"simprof/internal/profiler"
+	"simprof/internal/synth"
+)
+
+// smallOpts keeps workload tests fast.
+func smallOpts() Options {
+	return Options{
+		Cores: 4, Seed: 7, ChunkInstr: 1_000_000,
+		TextBytes: 32 << 20, SortBytes: 48 << 20,
+		GraphScale: 15, GraphEdgeFactor: 12,
+		SparkIterations: 4, HadoopIterations: 2,
+	}
+}
+
+func TestDefaultInputs(t *testing.T) {
+	o := smallOpts()
+	for _, bench := range Benchmarks() {
+		in, err := DefaultInput(bench, o)
+		if err != nil {
+			t.Fatalf("%s: %v", bench, err)
+		}
+		if in.Records <= 0 || in.Bytes <= 0 || in.DistinctKeys <= 0 {
+			t.Fatalf("%s: degenerate input %+v", bench, in)
+		}
+		if (bench == "cc" || bench == "rank") && in.Vertices == 0 {
+			t.Fatalf("%s: graph input without vertices", bench)
+		}
+	}
+	if _, err := DefaultInput("nope", o); err == nil {
+		t.Fatal("unknown benchmark should fail")
+	}
+}
+
+func TestBuildAllTwelveWorkloads(t *testing.T) {
+	o := smallOpts()
+	for _, fw := range Frameworks() {
+		for _, bench := range Benchmarks() {
+			in, err := DefaultInput(bench, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			threads, table, err := Build(bench, fw, in, o)
+			if err != nil {
+				t.Fatalf("%s_%s: %v", bench, fw, err)
+			}
+			if len(threads) == 0 || table == nil || table.Len() == 0 {
+				t.Fatalf("%s_%s: empty build", bench, fw)
+			}
+			var instr uint64
+			for _, th := range threads {
+				instr += th.Instructions()
+			}
+			if instr < 100_000_000 {
+				t.Fatalf("%s_%s: only %d instructions", bench, fw, instr)
+			}
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	o := smallOpts()
+	in, _ := DefaultInput("wc", o)
+	if _, _, err := Build("nope", "spark", in, o); err == nil {
+		t.Fatal("unknown benchmark should fail")
+	}
+	if _, _, err := Build("wc", "flink", in, o); err == nil {
+		t.Fatal("unknown framework should fail")
+	}
+	if _, _, err := Build("cc", "spark", in, o); err == nil {
+		t.Fatal("cc on non-graph input should fail")
+	}
+}
+
+// runPipeline executes a workload through machine and profiler.
+func runPipeline(t *testing.T, bench, fw string) int {
+	t.Helper()
+	o := smallOpts()
+	in, err := DefaultInput(bench, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	threads, table, err := Build(bench, fw, in, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := cpu.DefaultConfig()
+	mcfg.Seed = o.Seed
+	m, err := cpu.NewMachine(mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := profiler.Collect(res, table, profiler.Config{
+		UnitInstr: 10_000_000, SnapshotEvery: 1_000_000, MergePerCore: fw == "hadoop",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(tr.Units)
+}
+
+func TestPipelineProducesUnits(t *testing.T) {
+	for _, c := range []struct {
+		bench, fw string
+		minUnits  int
+	}{
+		{"wc", "spark", 50},
+		{"wc", "hadoop", 50},
+		{"grep", "spark", 20},
+		{"cc", "spark", 20},
+		{"rank", "hadoop", 25},
+	} {
+		units := runPipeline(t, c.bench, c.fw)
+		if units < c.minUnits {
+			t.Errorf("%s_%s: %d units want ≥%d", c.bench, c.fw, units, c.minUnits)
+		}
+	}
+}
+
+func TestGrepSparkIsSingleStage(t *testing.T) {
+	o := smallOpts()
+	in, _ := DefaultInput("grep", o)
+	threads, _, err := Build("grep", "spark", in, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, th := range threads {
+		for _, seg := range th.Segments {
+			if seg.StageID != 0 {
+				t.Fatalf("grep_sp has stage %d; want single stage", seg.StageID)
+			}
+		}
+	}
+}
+
+func TestGraphWorkloadsSensitiveToInput(t *testing.T) {
+	// Different Table II inputs must change the instruction volume of
+	// cc (frontier decay depends on skew).
+	o := smallOpts()
+	inputs := synth.TableIIStats(14, 3)
+	var google, road synth.InputStats
+	for _, in := range inputs {
+		switch in.Name {
+		case "google":
+			google = in
+		case "road":
+			road = in
+		}
+	}
+	total := func(in synth.InputStats) uint64 {
+		threads, _, err := Build("cc", "spark", in, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var n uint64
+		for _, th := range threads {
+			n += th.Instructions()
+		}
+		return n
+	}
+	g, r := total(google), total(road)
+	// Road networks converge slowly → more active messages → more work
+	// per vertex... but google has far more edges; normalize by edges.
+	gPer := float64(g) / float64(google.Records)
+	rPer := float64(r) / float64(road.Records)
+	if rPer <= gPer {
+		t.Fatalf("slow-converging road should do more work per edge: %v vs %v", rPer, gPer)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.WithDefaults()
+	if o.Cores <= 0 || o.TextBytes <= 0 || o.GraphScale <= 0 || o.Partitions <= 0 {
+		t.Fatalf("defaults not filled: %+v", o)
+	}
+}
+
+func TestGCOptionPropagates(t *testing.T) {
+	o := smallOpts()
+	o.GC = exec.GCConfig{Enabled: true, YoungGenBytes: 16 << 20}
+	for _, fw := range Frameworks() {
+		in, _ := DefaultInput("wc", o)
+		_, table, err := Build("wc", fw, in, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := table.Lookup("sun.jvm.GCTaskThread", "run"); !ok {
+			t.Fatalf("%s: GC frames absent despite Options.GC", fw)
+		}
+	}
+}
