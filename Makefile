@@ -1,0 +1,23 @@
+# Developer entry points. `make check` is the CI gate: it must stay
+# green, including the race detector over the parallel compute kernels.
+
+GO ?= go
+
+.PHONY: build test bench race vet check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' ./internal/cluster/ ./internal/phase/
+
+check: ; ./scripts/check.sh

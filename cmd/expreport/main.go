@@ -23,6 +23,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "top-level random seed")
 	scale := flag.String("scale", "default", "experiment scale: quick or default")
 	repeats := flag.Int("repeats", 0, "override draws averaged for randomized methods")
+	workers := flag.Int("workers", 0, "worker goroutines for the compute kernels (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	cfg := experiments.Default()
@@ -33,6 +34,7 @@ func main() {
 	if *repeats > 0 {
 		cfg.Repeats = *repeats
 	}
+	cfg.Core.Workers = *workers
 	s := experiments.NewSuite(cfg)
 
 	runners := map[string]func(*experiments.Suite) error{

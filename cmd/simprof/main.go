@@ -136,13 +136,20 @@ func loadTrace(path string) (*trace.Trace, error) {
 	return trace.DecodeGob(f)
 }
 
-func formPhases(path string, seed uint64) (*trace.Trace, *phase.Phases, error) {
+// workersFlag registers the shared -workers knob: how many goroutines
+// the compute kernels may use. Results are identical for any value.
+func workersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("workers", 0, "worker goroutines for the compute kernels (0 = GOMAXPROCS, 1 = serial)")
+}
+
+func formPhases(path string, seed uint64, workers int) (*trace.Trace, *phase.Phases, error) {
 	tr, err := loadTrace(path)
 	if err != nil {
 		return nil, nil, err
 	}
 	cfg := core.DefaultConfig()
 	cfg.Seed = seed
+	cfg.Workers = workers
 	ph, err := core.FormPhases(tr, cfg)
 	return tr, ph, err
 }
@@ -151,11 +158,12 @@ func cmdPhases(args []string) error {
 	fs := flag.NewFlagSet("phases", flag.ExitOnError)
 	path := fs.String("trace", "", "trace file from 'simprof profile'")
 	seed := fs.Uint64("seed", 42, "random seed")
+	workers := workersFlag(fs)
 	fs.Parse(args)
 	if *path == "" {
 		return fmt.Errorf("phases: -trace is required")
 	}
-	tr, ph, err := formPhases(*path, *seed)
+	tr, ph, err := formPhases(*path, *seed, *workers)
 	if err != nil {
 		return err
 	}
@@ -188,16 +196,18 @@ func cmdSample(args []string) error {
 	n := fs.Int("n", 20, "number of simulation points")
 	conf := fs.Float64("confidence", 0.997, "confidence level for the interval")
 	seed := fs.Uint64("seed", 42, "random seed")
+	workers := workersFlag(fs)
 	fs.Parse(args)
 	if *path == "" {
 		return fmt.Errorf("sample: -trace is required")
 	}
-	tr, ph, err := formPhases(*path, *seed)
+	tr, ph, err := formPhases(*path, *seed, *workers)
 	if err != nil {
 		return err
 	}
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	sp, err := core.SelectPoints(ph, *n, cfg)
 	if err != nil {
 		return err
@@ -218,11 +228,12 @@ func cmdPlan(args []string) error {
 	errTarget := fs.Float64("err", 0.05, "target relative CPI error")
 	conf := fs.Float64("confidence", 0.997, "confidence level")
 	seed := fs.Uint64("seed", 42, "random seed")
+	workers := workersFlag(fs)
 	fs.Parse(args)
 	if *path == "" {
 		return fmt.Errorf("plan: -trace is required")
 	}
-	tr, ph, err := formPhases(*path, *seed)
+	tr, ph, err := formPhases(*path, *seed, *workers)
 	if err != nil {
 		return err
 	}
@@ -240,11 +251,12 @@ func cmdCompare(args []string) error {
 	path := fs.String("trace", "", "trace file")
 	n := fs.Int("n", 20, "sample size for SRS/SimProf")
 	seed := fs.Uint64("seed", 42, "random seed")
+	workers := workersFlag(fs)
 	fs.Parse(args)
 	if *path == "" {
 		return fmt.Errorf("compare: -trace is required")
 	}
-	tr, ph, err := formPhases(*path, *seed)
+	tr, ph, err := formPhases(*path, *seed, *workers)
 	if err != nil {
 		return err
 	}
@@ -280,12 +292,14 @@ func cmdSensitivity(args []string) error {
 	fw := fs.String("framework", "spark", "framework: spark or hadoop")
 	scale := fs.Int("graphscale", 19, "Kronecker scale of the Table II inputs")
 	seed := fs.Uint64("seed", 42, "random seed")
+	workers := workersFlag(fs)
 	fs.Parse(args)
 	if *bench != "cc" && *bench != "rank" {
 		return fmt.Errorf("sensitivity: -bench must be cc or rank")
 	}
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	opts := workloads.Options{}.WithDefaults()
 	inputs := synth.TableIIStats(*scale, *seed+99)
 	train, refs := inputs[0], inputs[1:]

@@ -3,6 +3,7 @@ package cluster
 import (
 	"testing"
 
+	"simprof/internal/parallel"
 	"simprof/internal/stats"
 )
 
@@ -42,24 +43,47 @@ func BenchmarkKMeans_1000x100(b *testing.B) {
 
 // BenchmarkChooseK is the full phase-formation k sweep (k ∈ [1,20] with
 // the silhouette scoring), the dominant cost of SimProf's analysis.
-func BenchmarkChooseK_1000x100(b *testing.B) {
+// The serial variant pins Workers=1 (the baseline the determinism suite
+// compares against); the parallel variant runs the default pool.
+func benchChooseK(b *testing.B, workers int) {
 	pts := benchPoints(1000, 100, 6, 2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ChooseK(pts, ChooseKOptions{KMeans: Options{Seed: uint64(i)}}); err != nil {
+		opts := ChooseKOptions{KMeans: Options{Seed: uint64(i)}, Workers: workers}
+		if _, err := ChooseK(pts, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
+
+func BenchmarkChooseKSerial_1000x100(b *testing.B)   { benchChooseK(b, 1) }
+func BenchmarkChooseKParallel_1000x100(b *testing.B) { benchChooseK(b, 0) }
+
+// BenchmarkChooseKParallel is the acceptance benchmark: the Fig 9-scale
+// k sweep on the GOMAXPROCS-sized pool.
+func BenchmarkChooseKParallel(b *testing.B) { benchChooseK(b, 0) }
 
 // BenchmarkSilhouetteExactVsSimplified quantifies why phase formation
 // uses the centroid-based silhouette: the exact form is O(n²·d).
 func BenchmarkSilhouetteExact(b *testing.B) {
 	pts := benchPoints(500, 100, 4, 3)
 	res, _ := KMeans(pts, 4, Options{Seed: 1})
+	eng := parallel.New(1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Silhouette(pts, res.Assign, 4)
+		SilhouetteWith(eng, pts, res.Assign, 4)
+	}
+}
+
+// BenchmarkSilhouetteParallel is the acceptance benchmark for the O(n²)
+// exact silhouette on the GOMAXPROCS-sized pool.
+func BenchmarkSilhouetteParallel(b *testing.B) {
+	pts := benchPoints(500, 100, 4, 3)
+	res, _ := KMeans(pts, 4, Options{Seed: 1})
+	eng := parallel.New(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SilhouetteWith(eng, pts, res.Assign, 4)
 	}
 }
 

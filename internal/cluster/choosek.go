@@ -1,14 +1,18 @@
 package cluster
 
-import "fmt"
+import (
+	"fmt"
+
+	"simprof/internal/parallel"
+)
 
 // KSelection records the outcome of the k sweep used by phase formation.
 type KSelection struct {
-	K          int       // chosen number of clusters
-	Best       Result    // clustering at the chosen k
-	Scores     []float64 // silhouette score per k (index 0 ↔ k=1)
-	BestScore  float64   // highest silhouette over the sweep
-	ChosenScor float64   // silhouette at the chosen k
+	K           int       // chosen number of clusters
+	Best        Result    // clustering at the chosen k
+	Scores      []float64 // silhouette score per k (index 0 ↔ k=1)
+	BestScore   float64   // highest silhouette over the sweep
+	ChosenScore float64   // silhouette at the chosen k
 }
 
 // ChooseKOptions configures ChooseK.
@@ -17,6 +21,12 @@ type ChooseKOptions struct {
 	Threshold float64 // fraction of the best score that still qualifies (default 0.93; paper: 0.90)
 	MinScore  float64 // below this best score the data has no cluster structure → k=1 (default 0.20)
 	KMeans    Options
+	// Workers bounds the concurrency of the whole sweep: the per-k
+	// tasks, their k-means restarts and the chunked point passes all
+	// share this one budget, so a parallel sweep never oversubscribes.
+	// 0 selects GOMAXPROCS; 1 reproduces the serial baseline. The
+	// selection is bit-for-bit identical for every setting.
+	Workers int
 }
 
 func (o ChooseKOptions) withDefaults() ChooseKOptions {
@@ -29,6 +39,9 @@ func (o ChooseKOptions) withDefaults() ChooseKOptions {
 	if o.MinScore <= 0 {
 		o.MinScore = 0.20
 	}
+	if o.Workers == 0 {
+		o.Workers = o.KMeans.Workers
+	}
 	return o
 }
 
@@ -38,6 +51,11 @@ func (o ChooseKOptions) withDefaults() ChooseKOptions {
 // it is chosen when the best silhouette over k ≥ 2 is below MinScore,
 // i.e. when the units do not separate (e.g. grep on Spark, which runs a
 // single filter stage).
+//
+// Every k of the sweep is an independent task (its k-means seed is
+// pre-derived from the base seed, its result lands in its own slot), so
+// the sweep fans out across the worker pool while remaining
+// deterministic.
 func ChooseK(points [][]float64, opts ChooseKOptions) (KSelection, error) {
 	o := opts.withDefaults()
 	n := len(points)
@@ -48,8 +66,8 @@ func ChooseK(points [][]float64, opts ChooseKOptions) (KSelection, error) {
 	// Small populations cannot support many clusters: below ~20 points
 	// per cluster the silhouette sweep overfits sampling noise, so the
 	// sweep is capped accordingly.
-	if cap := n / 20; maxK > cap {
-		maxK = cap
+	if kCap := n / 20; maxK > kCap {
+		maxK = kCap
 	}
 	if maxK < 2 {
 		maxK = 2
@@ -57,19 +75,25 @@ func ChooseK(points [][]float64, opts ChooseKOptions) (KSelection, error) {
 	if maxK > n {
 		maxK = n
 	}
+	eng := parallel.New(o.Workers)
 	sel := KSelection{Scores: make([]float64, maxK)}
 	results := make([]Result, maxK+1)
 	// k = 1 scores 0 by definition (silhouette undefined).
 	sel.Scores[0] = 0
-	for k := 2; k <= maxK; k++ {
+	err := eng.ForEachIndexErr(maxK-1, func(i int) error {
+		k := i + 2
 		kmOpts := o.KMeans
 		kmOpts.Seed = o.KMeans.Seed + uint64(k)*101
-		res, err := KMeans(points, k, kmOpts)
+		res, err := kMeansWith(eng, points, k, kmOpts)
 		if err != nil {
-			return KSelection{}, err
+			return err
 		}
 		results[k] = res
-		sel.Scores[k-1] = SimplifiedSilhouette(points, res.Centers, res.Assign)
+		sel.Scores[k-1] = SimplifiedSilhouetteWith(eng, points, res.Centers, res.Assign)
+		return nil
+	})
+	if err != nil {
+		return KSelection{}, err
 	}
 	best := 0.0
 	for _, s := range sel.Scores {
@@ -80,18 +104,18 @@ func ChooseK(points [][]float64, opts ChooseKOptions) (KSelection, error) {
 	sel.BestScore = best
 	if best < o.MinScore {
 		// No cluster structure: one phase covering everything.
-		one, err := KMeans(points, 1, o.KMeans)
+		one, err := kMeansWith(eng, points, 1, o.KMeans)
 		if err != nil {
 			return KSelection{}, err
 		}
-		sel.K, sel.Best, sel.ChosenScor = 1, one, 0
+		sel.K, sel.Best, sel.ChosenScore = 1, one, 0
 		return sel, nil
 	}
 	for k := 2; k <= maxK; k++ {
 		if sel.Scores[k-1] >= o.Threshold*best {
 			sel.K = k
 			sel.Best = results[k]
-			sel.ChosenScor = sel.Scores[k-1]
+			sel.ChosenScore = sel.Scores[k-1]
 			return sel, nil
 		}
 	}

@@ -3,6 +3,13 @@
 // exact pairwise form and the centroid-based simplified form), and the
 // paper's k-selection rule (smallest k within 90% of the best silhouette
 // among k ∈ [1, 20]).
+//
+// Every kernel runs on the shared internal/parallel engine. Results are
+// bit-for-bit identical for any worker count: point loops run over a
+// fixed chunk grid with per-chunk partial sums merged in chunk index
+// order, restarts draw from pre-derived PCG seeds and are compared in
+// restart index order, and the k sweep writes each k's outcome into its
+// own slot.
 package cluster
 
 import (
@@ -10,8 +17,15 @@ import (
 	"math"
 	"math/rand/v2"
 
+	"simprof/internal/parallel"
 	"simprof/internal/stats"
 )
+
+// pointChunk is the fixed chunk size for loops over points. It is part
+// of the determinism contract: the chunk grid (and therefore the order
+// of floating-point merges) depends on it and on the input size only,
+// never on the worker count.
+const pointChunk = 256
 
 // Result is the outcome of one k-means run.
 type Result struct {
@@ -29,6 +43,10 @@ type Options struct {
 	Restarts int    // independent restarts, best inertia wins (default 4)
 	Seed     uint64 // RNG seed (deterministic)
 	Tol      float64
+	// Workers bounds the concurrency of the run (restarts and the
+	// chunked Lloyd passes). 0 selects GOMAXPROCS; 1 runs serially.
+	// The result is identical for every setting.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -73,6 +91,13 @@ func NearestCenter(p []float64, centers [][]float64) (int, float64) {
 // algorithm with k-means++ seeding. It returns an error for invalid
 // input; k larger than N is clamped to N.
 func KMeans(points [][]float64, k int, opts Options) (Result, error) {
+	return kMeansWith(parallel.New(opts.Workers), points, k, opts)
+}
+
+// kMeansWith is KMeans on a caller-supplied engine, so that an already
+// parallel caller (the ChooseK sweep) shares one concurrency budget with
+// the restarts and Lloyd passes it spawns.
+func kMeansWith(eng *parallel.Engine, points [][]float64, k int, opts Options) (Result, error) {
 	n := len(points)
 	if n == 0 {
 		return Result{}, fmt.Errorf("cluster: no points")
@@ -91,10 +116,17 @@ func KMeans(points [][]float64, k int, opts Options) (Result, error) {
 	}
 	o := opts.withDefaults()
 
-	best := Result{Inertia: math.Inf(1)}
-	for r := 0; r < o.Restarts; r++ {
+	// Each restart derives its own PCG seed up front, runs independently
+	// and lands in its own slot; the winner is picked by scanning slots
+	// in restart index order (strict <, so ties keep the lowest index —
+	// exactly the serial semantics).
+	results := make([]Result, o.Restarts)
+	eng.ForEachIndex(o.Restarts, func(r int) {
 		rng := stats.NewRNG(stats.SplitSeed(o.Seed, uint64(r)))
-		res := lloyd(points, k, rng, o)
+		results[r] = lloyd(points, k, rng, o, eng)
+	})
+	best := Result{Inertia: math.Inf(1)}
+	for _, res := range results {
 		if res.Inertia < best.Inertia {
 			best = res
 		}
@@ -102,35 +134,111 @@ func KMeans(points [][]float64, k int, opts Options) (Result, error) {
 	return best, nil
 }
 
-func lloyd(points [][]float64, k int, rng *rand.Rand, o Options) Result {
+// lloydScratch holds the per-chunk accumulators of one Lloyd run. They
+// are allocated once per run and reused across iterations, which
+// removes the per-iteration allocation churn of the assignment loop.
+type lloydScratch struct {
+	chunks  int
+	sizes   [][]int     // chunk → cluster → count
+	sums    [][]float64 // chunk → k*d flattened partial centroid sums
+	inertia []float64   // chunk → partial inertia
+}
+
+func newLloydScratch(n, k, d int) *lloydScratch {
+	s := &lloydScratch{chunks: parallel.Chunks(n, pointChunk)}
+	s.sizes = make([][]int, s.chunks)
+	s.sums = make([][]float64, s.chunks)
+	s.inertia = make([]float64, s.chunks)
+	for c := 0; c < s.chunks; c++ {
+		s.sizes[c] = make([]int, k)
+		s.sums[c] = make([]float64, k*d)
+	}
+	return s
+}
+
+// assignPoints runs one chunked assignment pass against centers: it
+// fills assign, merges per-chunk cluster sizes into sizes (chunk index
+// order) and returns the inertia. When accumulate is true it also
+// gathers per-chunk centroid partial sums for the update step.
+func assignPoints(eng *parallel.Engine, points [][]float64, centers [][]float64,
+	assign []int, sizes []int, sc *lloydScratch, accumulate bool) float64 {
+	n := len(points)
+	d := len(points[0])
+	eng.ForEachChunk(n, pointChunk, func(c, lo, hi int) {
+		szs := sc.sizes[c]
+		for i := range szs {
+			szs[i] = 0
+		}
+		var sums []float64
+		if accumulate {
+			sums = sc.sums[c]
+			for i := range sums {
+				sums[i] = 0
+			}
+		}
+		var inertia float64
+		for i := lo; i < hi; i++ {
+			p := points[i]
+			ci, dist := NearestCenter(p, centers)
+			assign[i] = ci
+			szs[ci]++
+			inertia += dist
+			if accumulate {
+				row := sums[ci*d : ci*d+d]
+				for j, v := range p {
+					row[j] += v
+				}
+			}
+		}
+		sc.inertia[c] = inertia
+	})
+	for i := range sizes {
+		sizes[i] = 0
+	}
+	var inertia float64
+	for c := 0; c < sc.chunks; c++ {
+		for i, s := range sc.sizes[c] {
+			sizes[i] += s
+		}
+		inertia += sc.inertia[c]
+	}
+	return inertia
+}
+
+func lloyd(points [][]float64, k int, rng *rand.Rand, o Options, eng *parallel.Engine) Result {
 	n, d := len(points), len(points[0])
-	centers := seedPlusPlus(points, k, rng)
+	centers := seedPlusPlus(points, k, rng, eng)
 	assign := make([]int, n)
 	sizes := make([]int, k)
+	sc := newLloydScratch(n, k, d)
+	// Double-buffered centroids: next is rebuilt from the merged chunk
+	// sums every iteration, then swapped with centers.
+	next := make([][]float64, k)
+	for c := range next {
+		next[c] = make([]float64, d)
+	}
 	prev := math.Inf(1)
 	var inertia float64
 	var iter int
 	for iter = 0; iter < o.MaxIter; iter++ {
-		// Assignment step.
-		inertia = 0
-		for i := range sizes {
-			sizes[i] = 0
-		}
-		for i, p := range points {
-			c, dist := NearestCenter(p, centers)
-			assign[i] = c
-			sizes[c]++
-			inertia += dist
-		}
-		// Update step.
-		next := make([][]float64, k)
+		// Fused assignment + partial-sum pass.
+		inertia = assignPoints(eng, points, centers, assign, sizes, sc, true)
+		// Update step: merge the per-chunk partial sums in chunk index
+		// order, then normalize.
 		for c := range next {
-			next[c] = make([]float64, d)
+			row := next[c]
+			for j := range row {
+				row[j] = 0
+			}
 		}
-		for i, p := range points {
-			c := assign[i]
-			for j, v := range p {
-				next[c][j] += v
+		for c := 0; c < sc.chunks; c++ {
+			sums := sc.sums[c]
+			for cl := 0; cl < k; cl++ {
+				row := next[cl]
+				part := sums[cl*d : cl*d+d]
+				for j, v := range part {
+					row[j] += v
+				}
 			}
 		}
 		for c := range next {
@@ -151,7 +259,7 @@ func lloyd(points [][]float64, k int, rng *rand.Rand, o Options) Result {
 				next[c][j] *= inv
 			}
 		}
-		centers = next
+		centers, next = next, centers
 		if math.Abs(prev-inertia) <= o.Tol*(1+prev) {
 			break
 		}
@@ -159,33 +267,46 @@ func lloyd(points [][]float64, k int, rng *rand.Rand, o Options) Result {
 	}
 	// Final assignment pass so Assign/Sizes/Inertia are consistent with
 	// the returned (post-update) centers.
-	inertia = 0
-	for i := range sizes {
-		sizes[i] = 0
-	}
-	for i, p := range points {
-		c, dist := NearestCenter(p, centers)
-		assign[i] = c
-		sizes[c]++
-		inertia += dist
-	}
+	inertia = assignPoints(eng, points, centers, assign, sizes, sc, false)
 	return Result{K: k, Centers: centers, Assign: assign, Sizes: sizes, Inertia: inertia, Iters: iter + 1}
 }
 
 // seedPlusPlus picks k initial centers with the k-means++ D² weighting.
-func seedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+// The squared distance to the nearest chosen center is maintained
+// incrementally (each new center can only lower it), which turns the
+// O(n·k²·d) recompute-everything seeding into O(n·k·d). The distance
+// update is chunked on the engine; the weighted draw itself stays
+// sequential because each pick feeds the next.
+func seedPlusPlus(points [][]float64, k int, rng *rand.Rand, eng *parallel.Engine) [][]float64 {
 	n := len(points)
 	centers := make([][]float64, 0, k)
 	first := rng.IntN(n)
 	centers = append(centers, append([]float64(nil), points[first]...))
 	d2 := make([]float64, n)
-	for len(centers) < k {
+	chunks := parallel.Chunks(n, pointChunk)
+	partial := make([]float64, chunks)
+	relax := func(center []float64) float64 {
+		eng.ForEachChunk(n, pointChunk, func(c, lo, hi int) {
+			var sum float64
+			for i := lo; i < hi; i++ {
+				if dd := SqDist(points[i], center); dd < d2[i] {
+					d2[i] = dd
+				}
+				sum += d2[i]
+			}
+			partial[c] = sum
+		})
 		var total float64
-		for i, p := range points {
-			_, dd := NearestCenter(p, centers)
-			d2[i] = dd
-			total += dd
+		for _, p := range partial {
+			total += p
 		}
+		return total
+	}
+	for i := range d2 {
+		d2[i] = math.Inf(1)
+	}
+	total := relax(centers[0])
+	for len(centers) < k {
 		var pick int
 		if total == 0 {
 			pick = rng.IntN(n) // all points identical to some center
@@ -202,6 +323,9 @@ func seedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
 			}
 		}
 		centers = append(centers, append([]float64(nil), points[pick]...))
+		if len(centers) < k {
+			total = relax(centers[len(centers)-1])
+		}
 	}
 	return centers
 }

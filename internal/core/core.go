@@ -35,6 +35,12 @@ type Config struct {
 	// Confidence is the level used for reported intervals (paper: 0.997).
 	Confidence float64
 	Seed       uint64
+	// Workers bounds the concurrency of the compute kernels (phase
+	// formation's k sweep, k-means restarts, silhouette passes and the
+	// experiment driver). 0 selects GOMAXPROCS; 1 runs serially. Every
+	// setting yields bit-for-bit identical results — the knob trades
+	// wall clock, never reproducibility.
+	Workers int
 }
 
 // DefaultConfig mirrors the paper's setup at the repository's scaled-
@@ -92,6 +98,9 @@ func FormPhases(tr *trace.Trace, cfg Config) (*phase.Phases, error) {
 	opts := cfg.Phase
 	if opts.Seed == 0 {
 		opts.Seed = stats.SplitSeed(cfg.Seed, 0xc1)
+	}
+	if opts.Workers == 0 {
+		opts.Workers = cfg.Workers
 	}
 	return phase.Form(tr, opts)
 }

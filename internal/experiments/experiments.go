@@ -13,6 +13,7 @@ import (
 
 	"simprof/internal/core"
 	"simprof/internal/model"
+	"simprof/internal/parallel"
 	"simprof/internal/phase"
 	"simprof/internal/sampling"
 	"simprof/internal/sensitivity"
@@ -176,24 +177,20 @@ func (s *Suite) Phases(k string) (*phase.Phases, error) {
 	return ph, nil
 }
 
-// Preload profiles and phase-forms all 12 workloads concurrently, one
-// goroutine per workload — the whole default-scale evaluation fits in a
-// couple of seconds of wall clock on a multicore host.
+// Preload profiles and phase-forms all 12 workloads on the shared
+// worker pool (bounded by Config.Core.Workers, defaulting to
+// GOMAXPROCS) — the whole default-scale evaluation fits in a couple of
+// seconds of wall clock on a multicore host. If several workloads fail,
+// the error of the earliest one in Workloads() order is returned,
+// regardless of scheduling; a panic inside one workload propagates as a
+// panic instead of deadlocking its siblings.
 func (s *Suite) Preload() error {
-	var wg sync.WaitGroup
-	errs := make(chan error, 12)
-	for _, k := range s.Workloads() {
-		wg.Add(1)
-		go func(k string) {
-			defer wg.Done()
-			if _, err := s.Phases(k); err != nil {
-				errs <- err
-			}
-		}(k)
-	}
-	wg.Wait()
-	close(errs)
-	return <-errs
+	ws := s.Workloads()
+	eng := parallel.New(s.cfg.Core.Workers)
+	return eng.ForEachIndexErr(len(ws), func(i int) error {
+		_, err := s.Phases(ws[i])
+		return err
+	})
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,204 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestChunksGrid(t *testing.T) {
+	cases := []struct{ n, size, want int }{
+		{0, 10, 0}, {-3, 10, 0}, {1, 10, 1}, {10, 10, 1},
+		{11, 10, 2}, {100, 7, 15}, {5, 0, 5}, {5, -1, 5},
+	}
+	for _, c := range cases {
+		if got := Chunks(c.n, c.size); got != c.want {
+			t.Errorf("Chunks(%d,%d)=%d want %d", c.n, c.size, got, c.want)
+		}
+	}
+}
+
+func TestForEachChunkCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		e := New(workers)
+		const n = 1037
+		hits := make([]int32, n)
+		e.ForEachChunk(n, 64, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestSerialEngineRunsInChunkOrder(t *testing.T) {
+	e := New(1)
+	var order []int
+	e.ForEachChunk(100, 16, func(c, _, _ int) { order = append(order, c) })
+	for i, c := range order {
+		if c != i {
+			t.Fatalf("serial chunk order %v", order)
+		}
+	}
+}
+
+func TestWorkersBound(t *testing.T) {
+	e := New(2)
+	var cur, peak atomic.Int32
+	e.ForEachChunk(64, 1, func(_, _, _ int) {
+		if c := cur.Add(1); c > peak.Load() {
+			peak.Store(c)
+		}
+		for i := 0; i < 2000; i++ {
+			_ = i * i
+		}
+		cur.Add(-1)
+	})
+	if p := peak.Load(); p > 2 {
+		t.Fatalf("peak concurrency %d with 2 workers", p)
+	}
+}
+
+func TestForEachIndexErrReturnsLowestIndexError(t *testing.T) {
+	e := New(8)
+	errA := errors.New("a")
+	err := e.ForEachIndexErr(20, func(i int) error {
+		switch i {
+		case 3:
+			return errA
+		case 11:
+			return errors.New("b")
+		}
+		return nil
+	})
+	if err != errA {
+		t.Fatalf("got %v want the index-3 error", err)
+	}
+	if err := e.ForEachIndexErr(20, func(int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error %v", err)
+	}
+}
+
+func TestPanicPropagatesWithoutDeadlock(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		e := New(workers)
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic swallowed", workers)
+				}
+				if !strings.Contains(fmt.Sprint(r), "boom") {
+					t.Fatalf("workers=%d: panic %v lost its cause", workers, r)
+				}
+			}()
+			e.ForEachIndex(50, func(i int) {
+				if i == 7 {
+					panic("boom")
+				}
+			})
+		}()
+		// The engine must remain usable afterwards (budget restored).
+		var ran atomic.Int32
+		e.ForEachIndex(10, func(int) { ran.Add(1) })
+		if ran.Load() != 10 {
+			t.Fatalf("workers=%d: engine broken after panic (%d/10)", workers, ran.Load())
+		}
+	}
+}
+
+func TestNestedLoopsComplete(t *testing.T) {
+	e := New(runtime.GOMAXPROCS(0) + 2)
+	var total atomic.Int64
+	e.ForEachIndex(6, func(int) {
+		e.ForEachChunk(100, 8, func(_, lo, hi int) {
+			total.Add(int64(hi - lo))
+		})
+	})
+	if total.Load() != 600 {
+		t.Fatalf("nested total=%d want 600", total.Load())
+	}
+}
+
+// TestMapReduceMatchesSerialAccumulator is the chunked-merge property:
+// for integer payloads, per-chunk partial sums merged in chunk index
+// order equal the plain serial accumulator exactly, for any input and
+// any chunk size.
+func TestMapReduceMatchesSerialAccumulator(t *testing.T) {
+	e := New(8)
+	prop := func(vals []int32, sizeRaw uint8) bool {
+		chunkSize := int(sizeRaw%37) + 1
+		var want int64
+		for _, v := range vals {
+			want += int64(v)
+		}
+		got := MapReduce(e, len(vals), chunkSize,
+			func(_, lo, hi int) int64 {
+				var s int64
+				for i := lo; i < hi; i++ {
+					s += int64(vals[i])
+				}
+				return s
+			},
+			func(a, b int64) int64 { return a + b })
+		return got == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMapReduceFloatBitForBitAcrossWorkers pins the determinism
+// contract for floating point: the chunk grid and merge order are fixed,
+// so the reduction is bit-for-bit identical for every worker count.
+func TestMapReduceFloatBitForBitAcrossWorkers(t *testing.T) {
+	prop := func(seedRaw uint32, sizeRaw uint8) bool {
+		n := int(seedRaw%700) + 50
+		chunkSize := int(sizeRaw%61) + 1
+		vals := make([]float64, n)
+		x := uint64(seedRaw) + 1
+		for i := range vals {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			vals[i] = float64(x%1_000_003) / 997.0
+		}
+		sum := func(workers int) float64 {
+			return MapReduce(New(workers), n, chunkSize,
+				func(_, lo, hi int) float64 {
+					var s float64
+					for i := lo; i < hi; i++ {
+						s += vals[i]
+					}
+					return s
+				},
+				func(a, b float64) float64 { return a + b })
+		}
+		base := sum(1)
+		return sum(2) == base && sum(8) == base
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultEngineSharedAndSized(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default must return the shared engine")
+	}
+	if w := Default().Workers(); w < 1 {
+		t.Fatalf("default workers=%d", w)
+	}
+	if w := New(0).Workers(); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("New(0).Workers()=%d want GOMAXPROCS", w)
+	}
+}

@@ -1,0 +1,73 @@
+package phase
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestFormBitForBitAcrossWorkers asserts the end-to-end determinism
+// contract of phase formation: the whole pipeline (vectorization,
+// feature scoring, the parallel k sweep with parallel restarts and
+// silhouette passes) produces bit-for-bit identical phases for every
+// worker count.
+func TestFormBitForBitAcrossWorkers(t *testing.T) {
+	tr := synthTrace(150, 77) // 300 units
+	base, err := Form(tr, Options{Seed: 21, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 8} {
+		got, err := Form(tr, Options{Seed: 21, Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.K != base.K {
+			t.Fatalf("workers=%d: K=%d want %d", w, got.K, base.K)
+		}
+		if !reflect.DeepEqual(got.Assign, base.Assign) {
+			t.Fatalf("workers=%d: assignments diverged", w)
+		}
+		if !reflect.DeepEqual(got.Centers, base.Centers) {
+			t.Fatalf("workers=%d: centers diverged", w)
+		}
+		if got.Silhouette != base.Silhouette {
+			t.Fatalf("workers=%d: silhouette %.17g want %.17g", w, got.Silhouette, base.Silhouette)
+		}
+		if !reflect.DeepEqual(got.KScores, base.KScores) {
+			t.Fatalf("workers=%d: k scores diverged\n%v\n%v", w, got.KScores, base.KScores)
+		}
+		if !reflect.DeepEqual(got.FScores, base.FScores) {
+			t.Fatalf("workers=%d: feature scores diverged", w)
+		}
+		if !reflect.DeepEqual(got.Vectors, base.Vectors) {
+			t.Fatalf("workers=%d: unit vectors diverged", w)
+		}
+		if !reflect.DeepEqual(got.Space, base.Space) {
+			t.Fatalf("workers=%d: feature space diverged", w)
+		}
+	}
+}
+
+// TestFormStableUnderGOMAXPROCS repeats the check against the runtime's
+// actual parallelism.
+func TestFormStableUnderGOMAXPROCS(t *testing.T) {
+	tr := synthTrace(120, 99)
+	base, err := Form(tr, Options{Seed: 4, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	for _, procs := range []int{1, 2} {
+		runtime.GOMAXPROCS(procs)
+		got, err := Form(tr, Options{Seed: 4, Workers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.K != base.K || !reflect.DeepEqual(got.Assign, base.Assign) ||
+			got.Silhouette != base.Silhouette || !reflect.DeepEqual(got.KScores, base.KScores) {
+			t.Fatalf("GOMAXPROCS=%d: formed phases diverged", procs)
+		}
+	}
+}

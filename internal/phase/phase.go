@@ -13,6 +13,7 @@ import (
 
 	"simprof/internal/cluster"
 	"simprof/internal/model"
+	"simprof/internal/parallel"
 	"simprof/internal/stats"
 	"simprof/internal/trace"
 )
@@ -24,6 +25,11 @@ type Options struct {
 	MaxPhases           int     // k sweep upper bound (paper: 20)
 	SilhouetteThreshold float64 // fraction of best silhouette accepted (default 0.93)
 	Seed                uint64
+	// Workers bounds the concurrency of the whole formation pipeline
+	// (vectorization, feature scoring, the k sweep and its restarts).
+	// 0 selects GOMAXPROCS; 1 runs serially. The formed phases are
+	// bit-for-bit identical for every setting.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -55,8 +61,18 @@ func (fs *FeatureSpace) Dim() int { return len(fs.Methods) }
 
 // Vectorize converts every unit of the trace into this feature space:
 // dimension j counts how many snapshot stack frames in the unit refer to
-// method j.
+// method j. Units vectorize independently on the shared worker pool;
+// each unit writes only its own row, so the output is identical for any
+// worker count.
 func (fs *FeatureSpace) Vectorize(tr *trace.Trace) [][]float64 {
+	return fs.vectorizeWith(parallel.Default(), tr)
+}
+
+// unitChunk is the fixed per-chunk unit count of the vectorization and
+// projection loops.
+const unitChunk = 64
+
+func (fs *FeatureSpace) vectorizeWith(eng *parallel.Engine, tr *trace.Trace) [][]float64 {
 	dimOf := make(map[string]int, len(fs.Methods))
 	for j, fqn := range fs.Methods {
 		dimOf[fqn] = j
@@ -71,19 +87,21 @@ func (fs *FeatureSpace) Vectorize(tr *trace.Trace) [][]float64 {
 		}
 	}
 	out := make([][]float64, len(tr.Units))
-	for u, unit := range tr.Units {
-		v := make([]float64, len(fs.Methods))
-		for _, snap := range unit.Snapshots {
-			for _, id := range snap {
-				if int(id) < len(idToDim) {
-					if j := idToDim[id]; j >= 0 {
-						v[j]++
+	eng.ForEachChunk(len(tr.Units), unitChunk, func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			v := make([]float64, len(fs.Methods))
+			for _, snap := range tr.Units[u].Snapshots {
+				for _, id := range snap {
+					if int(id) < len(idToDim) {
+						if j := idToDim[id]; j >= 0 {
+							v[j]++
+						}
 					}
 				}
 			}
+			out[u] = v
 		}
-		out[u] = v
-	}
+	})
 	return out
 }
 
@@ -120,14 +138,15 @@ func Form(tr *trace.Trace, opts Options) (*Phases, error) {
 	if len(tr.Units) == 0 {
 		return nil, fmt.Errorf("phase: trace has no sampling units")
 	}
+	eng := parallel.New(o.Workers)
 	full := fullSpace(tr)
-	vectors := full.Vectorize(tr)
+	vectors := full.vectorizeWith(eng, tr)
 	ipc := make([]float64, len(tr.Units))
 	for i, u := range tr.Units {
 		ipc[i] = u.Counters.IPC()
 	}
 	// Univariate linear-regression feature selection against IPC.
-	scores := stats.FRegression(vectors, ipc)
+	scores := stats.FRegressionWith(eng, vectors, ipc)
 	top := stats.TopK(scores, o.TopK)
 	space := &FeatureSpace{
 		Methods: make([]string, len(top)),
@@ -140,17 +159,20 @@ func Form(tr *trace.Trace, opts Options) (*Phases, error) {
 		fscores[j] = scores[dim]
 	}
 	selected := make([][]float64, len(vectors))
-	for i, v := range vectors {
-		sv := make([]float64, len(top))
-		for j, dim := range top {
-			sv[j] = v[dim]
+	eng.ForEachChunk(len(vectors), unitChunk, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sv := make([]float64, len(top))
+			for j, dim := range top {
+				sv[j] = vectors[i][dim]
+			}
+			selected[i] = sv
 		}
-		selected[i] = sv
-	}
+	})
 	sel, err := cluster.ChooseK(selected, cluster.ChooseKOptions{
 		MaxK:      o.MaxPhases,
 		Threshold: o.SilhouetteThreshold,
 		KMeans:    cluster.Options{Seed: o.Seed},
+		Workers:   o.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("phase: clustering: %w", err)
@@ -162,7 +184,7 @@ func Form(tr *trace.Trace, opts Options) (*Phases, error) {
 		K:          sel.K,
 		Assign:     sel.Best.Assign,
 		Centers:    sel.Best.Centers,
-		Silhouette: sel.ChosenScor,
+		Silhouette: sel.ChosenScore,
 		KScores:    sel.Scores,
 		FScores:    fscores,
 	}, nil

@@ -10,6 +10,8 @@ import (
 	"errors"
 	"math"
 	"sort"
+
+	"simprof/internal/parallel"
 )
 
 // ErrEmpty is returned by estimators that need at least one observation.
@@ -171,8 +173,19 @@ func FScore(r float64, n int) float64 {
 // FRegression scores each feature column against the target with the
 // univariate linear-regression test. features is row-major: features[i]
 // is observation i with d dimensions; target has one entry per row. The
-// returned slice has one F score per feature dimension.
+// returned slice has one F score per feature dimension. Columns are
+// independent, so the scoring fans out over the shared worker pool;
+// each column's score lands in its own slot, keeping the result
+// identical for any worker count.
 func FRegression(features [][]float64, target []float64) []float64 {
+	return FRegressionWith(parallel.Default(), features, target)
+}
+
+// featureChunk is the fixed per-chunk column count of FRegression.
+const featureChunk = 32
+
+// FRegressionWith is FRegression on a caller-supplied engine.
+func FRegressionWith(eng *parallel.Engine, features [][]float64, target []float64) []float64 {
 	n := len(features)
 	if n == 0 {
 		return nil
@@ -182,13 +195,15 @@ func FRegression(features [][]float64, target []float64) []float64 {
 	}
 	d := len(features[0])
 	scores := make([]float64, d)
-	col := make([]float64, n)
-	for j := 0; j < d; j++ {
-		for i := 0; i < n; i++ {
-			col[i] = features[i][j]
+	eng.ForEachChunk(d, featureChunk, func(_, lo, hi int) {
+		col := make([]float64, n) // per-chunk scratch
+		for j := lo; j < hi; j++ {
+			for i := 0; i < n; i++ {
+				col[i] = features[i][j]
+			}
+			scores[j] = FScore(Pearson(col, target), n)
 		}
-		scores[j] = FScore(Pearson(col, target), n)
-	}
+	})
 	return scores
 }
 

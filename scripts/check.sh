@@ -1,0 +1,10 @@
+#!/bin/sh
+# CI gate: build everything, lint with vet, then run the full test suite
+# under the race detector so the parallel compute kernels (the k sweep,
+# k-means restarts, silhouette passes, the experiment driver) are
+# exercised with synchronization checking on every change.
+set -eux
+
+go build ./...
+go vet ./...
+go test -race ./...
