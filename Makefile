@@ -1,9 +1,10 @@
 # Developer entry points. `make check` is the CI gate: it must stay
-# green, including the race detector over the parallel compute kernels.
+# green, including the race detector over the parallel compute kernels
+# and a short fuzz smoke on the trace decoders.
 
 GO ?= go
 
-.PHONY: build test bench race vet check
+.PHONY: build test bench race vet fuzz check
 
 build:
 	$(GO) build ./...
@@ -19,5 +20,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./internal/cluster/ ./internal/phase/
+
+# Short-budget fuzzing of the trace decode path (the trust boundary of
+# the failure model in DESIGN.md §9). Raise -fuzztime for a deep run.
+fuzz:
+	$(GO) test -run='^$$' -fuzz='^FuzzDecodeGob$$' -fuzztime=10s ./internal/trace
+	$(GO) test -run='^$$' -fuzz='^FuzzDecodeJSON$$' -fuzztime=10s ./internal/trace
 
 check: ; ./scripts/check.sh

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	expreport [-exp all|tableI|fig6|fig7|fig8|fig9|fig10|fig11|tableII|fig12|fig13|fig14|fig15]
+//	expreport [-exp all|tableI|fig6|fig7|fig8|fig9|fig10|fig11|tableII|fig12|fig13|fig14|fig15|ablations|design|degradation]
 //	          [-seed N] [-scale quick|default] [-repeats R]
 package main
 
@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, tableI, fig6..fig15, tableII)")
+	exp := flag.String("exp", "all", "experiment to run (all, tableI, fig6..fig15, tableII, ablations, design, degradation)")
 	seed := flag.Uint64("seed", 42, "top-level random seed")
 	scale := flag.String("scale", "default", "experiment scale: quick or default")
 	repeats := flag.Int("repeats", 0, "override draws averaged for randomized methods")
@@ -50,11 +50,13 @@ func main() {
 		"fig13":     fig13,
 		"fig14":     func(s *experiments.Suite) error { return anatomy(s, "spark") },
 		"fig15":     func(s *experiments.Suite) error { return anatomy(s, "hadoop") },
-		"ablations": ablations,
-		"design":    design,
+		"ablations":   ablations,
+		"design":      design,
+		"degradation": degradation,
 	}
 	order := []string{"tableI", "fig6", "fig7", "fig8", "fig9", "fig10",
-		"fig11", "tableII", "fig12", "fig13", "fig14", "fig15", "ablations", "design"}
+		"fig11", "tableII", "fig12", "fig13", "fig14", "fig15", "ablations", "design",
+		"degradation"}
 
 	var toRun []string
 	if *exp == "all" {
@@ -348,6 +350,23 @@ func ablations(s *experiments.Suite) error {
 	for _, r := range nodes {
 		t.RowS(fmt.Sprint(r.Nodes), fmt.Sprintf("%.3f", r.OracleCPI),
 			fmt.Sprintf("%.3f", r.WeightedCoV), fmt.Sprint(r.Phases))
+	}
+	t.Render(os.Stdout)
+	return nil
+}
+
+func degradation(s *experiments.Suite) error {
+	rows, err := s.AblationDegradation()
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Degradation — sampling accuracy vs profiler fault rate (seeded faults.Uniform, repaired traces)",
+		"Workload", "Fault rate", "Degraded units", "Units", "Phases", "SimProf err", "Mean SE", "CI coverage", "SE inflation")
+	for _, r := range rows {
+		t.RowS(r.Workload, pct(r.FaultRate), pct(r.DegradedFrac),
+			fmt.Sprint(r.Units), fmt.Sprint(r.Phases),
+			pct(r.SimProfErr), fmt.Sprintf("%.4f", r.MeanSE),
+			pct(r.CICoverage), fmt.Sprintf("%.2f", r.SEInflation))
 	}
 	t.Render(os.Stdout)
 	return nil

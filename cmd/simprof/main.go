@@ -21,9 +21,11 @@ import (
 	"strings"
 
 	"simprof/internal/core"
+	"simprof/internal/faults"
 	"simprof/internal/phase"
 	"simprof/internal/report"
 	"simprof/internal/sampling"
+	"simprof/internal/stats"
 	"simprof/internal/synth"
 	"simprof/internal/trace"
 	"simprof/internal/workloads"
@@ -92,6 +94,8 @@ func cmdProfile(args []string) error {
 	fs := flag.NewFlagSet("profile", flag.ExitOnError)
 	bench, fw, seed, opts := workloadFlags(fs)
 	out := fs.String("out", "", "output trace file (gob; .json for JSON)")
+	faultSpec := fs.String("faults", "", `inject profiler faults before writing, e.g. "rate=0.05" or "drop=0.1,crash=0.02,snap=0.05" (keys: drop mux muxcov snap crash dup reorder rate)`)
+	faultSeed := fs.Uint64("faultseed", 0, "seed for the fault injector (default: derived from -seed)")
 	fs.Parse(args)
 	if *out == "" {
 		return fmt.Errorf("profile: -out is required")
@@ -105,6 +109,31 @@ func cmdProfile(args []string) error {
 	tr, err := core.ProfileWorkload(*bench, *fw, in, *opts, cfg)
 	if err != nil {
 		return err
+	}
+	if *faultSpec != "" {
+		fcfg, err := faults.ParseSpec(*faultSpec)
+		if err != nil {
+			return err
+		}
+		fcfg.Seed = *faultSeed
+		if fcfg.Seed == 0 {
+			fcfg.Seed = stats.SplitSeed(*seed, 0xfa)
+		}
+		faulty, frep, err := faults.Apply(tr, fcfg)
+		if err != nil {
+			return err
+		}
+		rrep, err := faulty.Repair()
+		if err != nil {
+			return err
+		}
+		tr = faulty
+		fmt.Printf("faults injected: %s\n", frep)
+		if rrep.Changed() {
+			fmt.Printf("repair: %s\n", rrep)
+		}
+		sum := tr.Summarize()
+		fmt.Printf("degraded units: %.1f%% (%s)\n", 100*tr.DegradedFraction(), sum)
 	}
 	f, err := os.Create(*out)
 	if err != nil {

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+
+	"simprof/internal/core"
+	"simprof/internal/faults"
+	"simprof/internal/sampling"
+	"simprof/internal/stats"
+	"simprof/internal/trace"
+)
+
+// The profiler that feeds SimProf is itself a measurement system, and
+// real deployments of it fail in well-documented ways: multiplexed PMU
+// counters drop or scale readings, agent snapshots get lost under load,
+// and executor crashes truncate thread streams (see DESIGN.md §9). The
+// degradation ablation injects those faults at increasing rates and
+// re-runs the full phases → stratified-sampling pipeline on the
+// repaired trace, measuring how much estimation accuracy survives and
+// whether the reported confidence intervals stay honest.
+
+// DegradationRow is one (workload, fault-rate) point of the curve.
+type DegradationRow struct {
+	Workload     string
+	FaultRate    float64 // faults.Uniform rate fed to the injector
+	DegradedFrac float64 // fraction of units carrying a quality flag
+	Units        int     // units surviving repair
+	Phases       int
+	SimProfErr   float64 // mean |est-oracle|/oracle over Repeats draws
+	MeanSE       float64 // mean reported stratified SE
+	CICoverage   float64 // fraction of draws whose bootstrap CI covers the clean oracle
+	SEInflation  float64 // mean imputation widening factor (1 = none)
+}
+
+// DegradationRates is the fault-rate sweep of the ablation.
+var DegradationRates = []float64{0, 0.05, 0.10, 0.20}
+
+// degradationWorkloads are the three workloads the curve is reported
+// on: a shuffle-light scan (wc), a shuffle-heavy sort, and an iterative
+// graph workload (cc).
+var degradationWorkloads = []string{"wc_sp", "sort_sp", "cc_sp"}
+
+// AblationDegradation sweeps fault rates over wc/sort/cc. Every rate
+// reuses the same clean profiled trace; the injected faults, the repair
+// and the downstream pipeline are all seeded, so the curve is
+// bit-reproducible at any worker count.
+func (s *Suite) AblationDegradation() ([]DegradationRow, error) {
+	var rows []DegradationRow
+	for _, k := range degradationWorkloads {
+		clean, err := s.Trace(k)
+		if err != nil {
+			return nil, err
+		}
+		oracle := clean.OracleCPI()
+		for _, rate := range DegradationRates {
+			row, err := s.degradationPoint(k, clean, oracle, rate)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: degradation %s@%.2f: %w", k, rate, err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// degradationPoint injects faults at one rate, repairs, re-forms phases
+// and draws Repeats stratified samples.
+func (s *Suite) degradationPoint(k string, clean *trace.Trace, oracle, rate float64) (DegradationRow, error) {
+	tr := clean
+	if rate > 0 {
+		fcfg := faults.Uniform(rate, stats.SplitSeed(s.cfg.Seed, 0xfa))
+		faulty, _, err := faults.Apply(clean, fcfg)
+		if err != nil {
+			return DegradationRow{}, err
+		}
+		if _, err := faulty.Repair(); err != nil {
+			return DegradationRow{}, err
+		}
+		tr = faulty
+	}
+	ph, err := core.FormPhases(tr, s.cfg.Core)
+	if err != nil {
+		return DegradationRow{}, err
+	}
+	row := DegradationRow{
+		Workload:     k,
+		FaultRate:    rate,
+		DegradedFrac: ph.DegradedFraction(),
+		Units:        len(tr.Units),
+		Phases:       ph.K,
+	}
+	reps := float64(s.cfg.Repeats)
+	for r := 0; r < s.cfg.Repeats; r++ {
+		sp, err := sampling.SimProf(ph, s.cfg.SampleSize, s.cfg.Seed+uint64(7000+r))
+		if err != nil {
+			return DegradationRow{}, err
+		}
+		row.SimProfErr += stats.RelErr(sp.EstCPI, oracle) / reps
+		row.MeanSE += sp.SE / reps
+		row.SEInflation += sp.SEInflation / reps
+		ci := sp.BootstrapCI(s.cfg.Confidence, 1000, s.cfg.Seed+uint64(8000+r))
+		if ci.Contains(oracle) {
+			row.CICoverage += 1 / reps
+		}
+	}
+	return row, nil
+}

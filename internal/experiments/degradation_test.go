@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// One workload point of the degradation curve, exercised at the clean
+// and the 10% rate: the acceptance envelope is that a repaired trace at
+// ≤10% faults keeps the stratified error within 2× the clean error
+// (with an absolute floor — tiny quick-scale traces can have a clean
+// error of ~0) and the CI still covers the clean oracle.
+func TestDegradationPointAccuracyEnvelope(t *testing.T) {
+	clean, err := testSuite.Trace("wc_sp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := clean.OracleCPI()
+	base, err := testSuite.degradationPoint("wc_sp", clean, oracle, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted, err := testSuite.degradationPoint("wc_sp", clean, oracle, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.DegradedFrac != 0 {
+		t.Fatalf("clean point reports %v degraded", base.DegradedFrac)
+	}
+	if faulted.DegradedFrac == 0 {
+		t.Fatal("10%% point reports no degradation")
+	}
+	limit := 2 * base.SimProfErr
+	if limit < 0.05 {
+		limit = 0.05
+	}
+	if faulted.SimProfErr > limit {
+		t.Fatalf("error at 10%% faults %.3f exceeds envelope %.3f (clean %.3f)",
+			faulted.SimProfErr, limit, base.SimProfErr)
+	}
+	if faulted.CICoverage < 0.5 {
+		t.Fatalf("CI coverage %.2f at 10%% faults", faulted.CICoverage)
+	}
+	if faulted.MeanSE < base.MeanSE {
+		t.Fatalf("reported SE shrank under faults: %.4f < %.4f — fabricated precision",
+			faulted.MeanSE, base.MeanSE)
+	}
+}
+
+// The curve is a pure function of the seed: same suite config, same
+// rows, bit for bit.
+func TestDegradationPointDeterministic(t *testing.T) {
+	clean, err := testSuite.Trace("sort_sp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := clean.OracleCPI()
+	a, err := testSuite.degradationPoint("sort_sp", clean, oracle, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := testSuite.degradationPoint("sort_sp", clean, oracle, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("degradation point not deterministic:\n%+v\n%+v", a, b)
+	}
+}

@@ -127,26 +127,56 @@ type Phases struct {
 	Assign  []int       // unit → phase
 	Centers [][]float64 // phase centers in the selected space
 
+	// Degraded marks units whose observation is incomplete (effective
+	// quality flags set). Degraded units are excluded from feature
+	// selection and clustering and classified onto the formed centers
+	// afterwards; they keep a phase assignment (their instructions were
+	// executed, so phase weights must count them) but contribute no CPI
+	// to per-phase statistics.
+	Degraded []bool
+
 	Silhouette float64   // silhouette at the chosen k
 	KScores    []float64 // silhouette per swept k (index 0 ↔ k=1)
 	FScores    []float64 // regression score of each selected dimension
 }
 
-// Form runs the full phase-formation pipeline on a trace.
+// Form runs the full phase-formation pipeline on a trace. Degraded
+// units (lost counters, partial snapshots, truncated streams) are fenced
+// out of the training statistics: features are selected and clusters
+// formed on fully observed units only, then every degraded unit is
+// classified onto the nearest resulting center. On a pristine trace
+// this is bit-for-bit the historical pipeline.
 func Form(tr *trace.Trace, opts Options) (*Phases, error) {
 	o := opts.withDefaults()
 	if len(tr.Units) == 0 {
 		return nil, fmt.Errorf("phase: trace has no sampling units")
 	}
 	eng := parallel.New(o.Workers)
+
+	degraded := make([]bool, len(tr.Units))
+	clean := make([]int, 0, len(tr.Units))
+	for i := range tr.Units {
+		if tr.EffectiveQuality(i).Degraded() {
+			degraded[i] = true
+		} else {
+			clean = append(clean, i)
+		}
+	}
+	if len(clean) == 0 {
+		return nil, fmt.Errorf("phase: no fully observed sampling units (all %d degraded)", len(tr.Units))
+	}
+
 	full := fullSpace(tr)
 	vectors := full.vectorizeWith(eng, tr)
-	ipc := make([]float64, len(tr.Units))
-	for i, u := range tr.Units {
-		ipc[i] = u.Counters.IPC()
+	// Univariate linear-regression feature selection against IPC, on
+	// fully observed units only (a dropped counter is not IPC 0).
+	cleanVecs := make([][]float64, len(clean))
+	cleanIPC := make([]float64, len(clean))
+	for k, i := range clean {
+		cleanVecs[k] = vectors[i]
+		cleanIPC[k] = tr.Units[i].Counters.IPC()
 	}
-	// Univariate linear-regression feature selection against IPC.
-	scores := stats.FRegressionWith(eng, vectors, ipc)
+	scores := stats.FRegressionWith(eng, cleanVecs, cleanIPC)
 	top := stats.TopK(scores, o.TopK)
 	space := &FeatureSpace{
 		Methods: make([]string, len(top)),
@@ -168,7 +198,11 @@ func Form(tr *trace.Trace, opts Options) (*Phases, error) {
 			selected[i] = sv
 		}
 	})
-	sel, err := cluster.ChooseK(selected, cluster.ChooseKOptions{
+	cleanSelected := make([][]float64, len(clean))
+	for k, i := range clean {
+		cleanSelected[k] = selected[i]
+	}
+	sel, err := cluster.ChooseK(cleanSelected, cluster.ChooseKOptions{
 		MaxK:      o.MaxPhases,
 		Threshold: o.SilhouetteThreshold,
 		KMeans:    cluster.Options{Seed: o.Seed},
@@ -177,13 +211,26 @@ func Form(tr *trace.Trace, opts Options) (*Phases, error) {
 	if err != nil {
 		return nil, fmt.Errorf("phase: clustering: %w", err)
 	}
+	assign := make([]int, len(tr.Units))
+	for k, i := range clean {
+		assign[i] = sel.Best.Assign[k]
+	}
+	// Classify degraded units onto the formed centers so they keep a
+	// phase (and so phase weights reflect the whole execution).
+	for i := range tr.Units {
+		if degraded[i] {
+			c, _ := cluster.NearestCenter(selected[i], sel.Best.Centers)
+			assign[i] = c
+		}
+	}
 	return &Phases{
 		Trace:      tr,
 		Space:      space,
 		Vectors:    selected,
 		K:          sel.K,
-		Assign:     sel.Best.Assign,
+		Assign:     assign,
 		Centers:    sel.Best.Centers,
+		Degraded:   degraded,
 		Silhouette: sel.ChosenScore,
 		KScores:    sel.Scores,
 		FScores:    fscores,
@@ -221,15 +268,65 @@ func (p *Phases) Weights() []float64 {
 	return out
 }
 
-// PhaseCPIs returns the CPIs of the units in phase h.
+// PhaseCPIs returns the CPIs of the measured units in phase h. Units
+// whose counters were lost contribute nothing — including them as CPI 0
+// would crater the phase mean and inflate σ, which feeds Neyman
+// allocation (Eq. 1) and the stratified SE (Eq. 4–5).
 func (p *Phases) PhaseCPIs(h int) []float64 {
 	var out []float64
 	for i, a := range p.Assign {
-		if a == h {
+		if a == h && p.UnitMeasured(i) {
 			out = append(out, p.Trace.Units[i].CPI())
 		}
 	}
 	return out
+}
+
+// UnitMeasured reports whether unit i carries a usable CPI measurement:
+// not flagged degraded at formation time and holding valid counters.
+func (p *Phases) UnitMeasured(i int) bool {
+	if p.Degraded != nil && p.Degraded[i] {
+		return false
+	}
+	return p.Trace.Units[i].CPIValid()
+}
+
+// MeasuredPhaseUnits returns the unit indices of phase h that carry a
+// usable CPI — the frame stratified sampling may draw from.
+func (p *Phases) MeasuredPhaseUnits(h int) []int {
+	var out []int
+	for i, a := range p.Assign {
+		if a == h && p.UnitMeasured(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MeasuredSizes returns the usable unit count per phase.
+func (p *Phases) MeasuredSizes() []int {
+	out := make([]int, p.K)
+	for i, a := range p.Assign {
+		if p.UnitMeasured(i) {
+			out[a]++
+		}
+	}
+	return out
+}
+
+// DegradedFraction is the fraction of units excluded from phase
+// statistics.
+func (p *Phases) DegradedFraction() float64 {
+	if len(p.Assign) == 0 {
+		return 0
+	}
+	n := 0
+	for i := range p.Assign {
+		if !p.UnitMeasured(i) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(p.Assign))
 }
 
 // CPIStats summarizes CPI per phase.

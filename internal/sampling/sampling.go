@@ -63,14 +63,20 @@ func (c SecondConfig) WindowCycles() uint64 {
 }
 
 // Second selects the contiguous interval and estimates CPI as the mean
-// over the units inside it.
+// over the units inside it. Units whose counters were lost (no valid
+// CPI) are skipped rather than averaged in as zeros.
 func Second(tr *trace.Trace, cfg SecondConfig) (Sample, error) {
 	if len(tr.Units) == 0 {
 		return Sample{}, fmt.Errorf("sampling: empty trace")
 	}
-	order := make([]int, len(tr.Units))
-	for i := range order {
-		order[i] = i
+	order := make([]int, 0, len(tr.Units))
+	for i := range tr.Units {
+		if tr.Units[i].CPIValid() {
+			order = append(order, i)
+		}
+	}
+	if len(order) == 0 {
+		return Sample{}, fmt.Errorf("sampling: no units with valid counters")
 	}
 	sort.Slice(order, func(a, b int) bool {
 		return tr.Units[order[a]].StartCycle < tr.Units[order[b]].StartCycle
@@ -91,7 +97,7 @@ func Second(tr *trace.Trace, cfg SecondConfig) (Sample, error) {
 		sum += tr.Units[i].CPI()
 	}
 	if len(s.UnitIDs) == 0 {
-		// Window fell past the end; take the last unit.
+		// Window fell past the end; take the last measurable unit.
 		i := order[len(order)-1]
 		s.UnitIDs = []int{tr.Units[i].ID}
 		sum = tr.Units[i].CPI()
@@ -104,12 +110,21 @@ func Second(tr *trace.Trace, cfg SecondConfig) (Sample, error) {
 // SRS: simple random sampling
 // ---------------------------------------------------------------------
 
-// SRS selects n units uniformly without replacement. The SE includes
-// the finite-population correction.
+// SRS selects n units uniformly without replacement from the units with
+// valid counters. The SE includes the finite-population correction.
 func SRS(tr *trace.Trace, n int, seed uint64) (Sample, error) {
-	N := len(tr.Units)
-	if N == 0 {
+	if len(tr.Units) == 0 {
 		return Sample{}, fmt.Errorf("sampling: empty trace")
+	}
+	frame := make([]int, 0, len(tr.Units))
+	for i := range tr.Units {
+		if tr.Units[i].CPIValid() {
+			frame = append(frame, i)
+		}
+	}
+	N := len(frame)
+	if N == 0 {
+		return Sample{}, fmt.Errorf("sampling: no units with valid counters")
 	}
 	if n <= 0 {
 		return Sample{}, fmt.Errorf("sampling: n=%d must be positive", n)
@@ -121,7 +136,8 @@ func SRS(tr *trace.Trace, n int, seed uint64) (Sample, error) {
 	idx := stats.SampleWithoutReplacement(rng, N, n)
 	s := Sample{Method: "SRS"}
 	cpis := make([]float64, 0, n)
-	for _, i := range idx {
+	for _, j := range idx {
+		i := frame[j]
 		s.UnitIDs = append(s.UnitIDs, tr.Units[i].ID)
 		cpis = append(cpis, tr.Units[i].CPI())
 	}
@@ -152,11 +168,13 @@ func Code(ph *phase.Phases) (Sample, error) {
 	weights := ph.Weights()
 	rng := stats.NewRNG(uint64(len(ph.Assign))*0x9e3779b9 + uint64(ph.K))
 	const tieTol = 1e-9
+	skipped := false
+	var covered float64
 	for h := 0; h < ph.K; h++ {
 		var ties []int
 		bestD := math.Inf(1)
 		for i, a := range ph.Assign {
-			if a != h {
+			if a != h || !ph.UnitMeasured(i) {
 				continue
 			}
 			d := cluster.SqDist(ph.Vectors[i], ph.Centers[h])
@@ -170,11 +188,25 @@ func Code(ph *phase.Phases) (Sample, error) {
 			}
 		}
 		if len(ties) == 0 {
-			continue // empty phase
+			// Empty phase, or one with no measurable representative.
+			if weights[h] > 0 {
+				skipped = true
+			}
+			continue
 		}
 		best := ties[rng.IntN(len(ties))]
 		s.UnitIDs = append(s.UnitIDs, ph.Trace.Units[best].ID)
 		s.EstCPI += weights[h] * ph.Trace.Units[best].CPI()
+		covered += weights[h]
+	}
+	if len(s.UnitIDs) == 0 {
+		return Sample{}, fmt.Errorf("sampling: no phase has a measurable representative")
+	}
+	// If a phase had to be skipped, renormalize over the covered weight
+	// so the estimate is a proper mean, not one missing a phase's share.
+	// Fully-covered runs keep the exact original arithmetic.
+	if skipped && covered > 0 {
+		s.EstCPI /= covered
 	}
 	return s, nil
 }

@@ -16,32 +16,48 @@ import (
 // sample could not contribute its mean to the stratified estimator).
 // Rounding uses largest remainders so that Σ n_h == min(n, ΣN_h).
 func NeymanAllocation(Nh []int, sigma []float64, n int) ([]int, error) {
+	return neymanAllocation(Nh, Nh, sigma, n)
+}
+
+// neymanAllocation is NeymanAllocation with a separate per-stratum
+// capacity: allocation shares stay proportional to the population
+// N_h·σ_h, but no stratum is given more than capacity[h] units. This is
+// how degraded traces sample — stratum importance comes from all
+// executed units, the drawable frame only from the measured ones.
+func neymanAllocation(Nh, capacity []int, sigma []float64, n int) ([]int, error) {
 	if len(Nh) != len(sigma) {
 		return nil, fmt.Errorf("sampling: %d strata sizes but %d sigmas", len(Nh), len(sigma))
+	}
+	if len(Nh) != len(capacity) {
+		return nil, fmt.Errorf("sampling: %d strata sizes but %d capacities", len(Nh), len(capacity))
 	}
 	k := len(Nh)
 	if k == 0 {
 		return nil, fmt.Errorf("sampling: no strata")
 	}
-	total := 0
+	total, totalCap := 0, 0
 	for h, N := range Nh {
-		if N < 0 || sigma[h] < 0 {
-			return nil, fmt.Errorf("sampling: negative stratum size or sigma at %d", h)
+		if N < 0 || sigma[h] < 0 || capacity[h] < 0 {
+			return nil, fmt.Errorf("sampling: negative stratum size, capacity or sigma at %d", h)
+		}
+		if capacity[h] > N {
+			return nil, fmt.Errorf("sampling: capacity %d exceeds stratum size %d at %d", capacity[h], N, h)
 		}
 		total += N
+		totalCap += capacity[h]
 	}
-	if n > total {
-		n = total
+	if n > totalCap {
+		n = totalCap
 	}
 	alloc := make([]int, k)
 	if n <= 0 {
 		return alloc, nil
 	}
 
-	// Reserve one unit per non-empty stratum first.
+	// Reserve one unit per drawable stratum first.
 	reserved := 0
-	for h, N := range Nh {
-		if N > 0 && reserved < n {
+	for h := range Nh {
+		if capacity[h] > 0 && reserved < n {
 			alloc[h] = 1
 			reserved++
 		}
@@ -51,7 +67,9 @@ func NeymanAllocation(Nh []int, sigma []float64, n int) ([]int, error) {
 	// Distribute the remainder ∝ N_h·σ_h with largest-remainder rounding.
 	var denom float64
 	for h := range Nh {
-		denom += float64(Nh[h]) * sigma[h]
+		if capacity[h] > 0 {
+			denom += float64(Nh[h]) * sigma[h]
+		}
 	}
 	type frac struct {
 		h int
@@ -61,11 +79,14 @@ func NeymanAllocation(Nh []int, sigma []float64, n int) ([]int, error) {
 	if denom > 0 && rest > 0 {
 		given := 0
 		for h := range Nh {
+			if capacity[h] == 0 {
+				continue
+			}
 			share := float64(rest) * float64(Nh[h]) * sigma[h] / denom
 			whole := int(share)
 			// Respect capacity.
-			if alloc[h]+whole > Nh[h] {
-				whole = Nh[h] - alloc[h]
+			if alloc[h]+whole > capacity[h] {
+				whole = capacity[h] - alloc[h]
 			}
 			alloc[h] += whole
 			given += whole
@@ -76,14 +97,14 @@ func NeymanAllocation(Nh []int, sigma []float64, n int) ([]int, error) {
 			if given >= rest {
 				break
 			}
-			if alloc[fr.h] < Nh[fr.h] {
+			if alloc[fr.h] < capacity[fr.h] {
 				alloc[fr.h]++
 				given++
 			}
 		}
 		// Any slack left (capacity limits): spill to strata with room.
 		for h := range Nh {
-			for given < rest && alloc[h] < Nh[h] {
+			for given < rest && alloc[h] < capacity[h] {
 				alloc[h]++
 				given++
 			}
@@ -93,14 +114,14 @@ func NeymanAllocation(Nh []int, sigma []float64, n int) ([]int, error) {
 		given := 0
 		for h := range Nh {
 			share := rest * Nh[h] / total
-			if alloc[h]+share > Nh[h] {
-				share = Nh[h] - alloc[h]
+			if alloc[h]+share > capacity[h] {
+				share = capacity[h] - alloc[h]
 			}
 			alloc[h] += share
 			given += share
 		}
 		for h := 0; given < rest && h < k; h++ {
-			for given < rest && alloc[h] < Nh[h] {
+			for given < rest && alloc[h] < capacity[h] {
 				alloc[h]++
 				given++
 			}
@@ -117,22 +138,42 @@ type Stratified struct {
 	PhaseMean    []float64   // sampled mean CPI per phase
 	PhaseSamples [][]float64 // sampled CPIs per phase (for bootstrap CIs)
 	Weights      []float64   // N_h/N
+	Imputed      []bool      // phases with no measurable units: mean imputed
+	DegradedFrac float64     // fraction of population units that were degraded
+	SEInflation  float64     // ≥1; how much imputation uncertainty widens the SE
 }
 
 // SimProf draws the stratified random sample of total size n from the
 // phases (Eq. 1), estimates CPI as Σ W_h·ȳ_h, and computes the
 // stratified standard error (Eq. 4) from the sampled per-phase standard
 // deviations (Eq. 5).
+//
+// On degraded traces the sampling frame of each stratum is restricted to
+// its measured units (quality-clean, valid counters): allocation weights
+// still follow the population N_h·σ_h, but draws never land on a unit
+// whose CPI would be fabricated. A stratum with no measured units at all
+// is mean-imputed from the sampled strata — equivalent to renormalizing
+// weights over the observed strata — and charged a conservative
+// N_h²·s_pool² variance term so the reported CI widens instead of
+// pretending the missing phase was measured.
 func SimProf(ph *phase.Phases, n int, seed uint64) (Stratified, error) {
 	if ph.K == 0 || len(ph.Assign) == 0 {
 		return Stratified{}, fmt.Errorf("sampling: no phases")
 	}
 	Nh := ph.Sizes()
+	capacity := ph.MeasuredSizes()
+	totalCap := 0
+	for _, c := range capacity {
+		totalCap += c
+	}
+	if totalCap == 0 {
+		return Stratified{}, fmt.Errorf("sampling: no measurable units in any phase")
+	}
 	sigma := make([]float64, ph.K)
 	for h := 0; h < ph.K; h++ {
 		sigma[h] = stats.StdDev(ph.PhaseCPIs(h))
 	}
-	alloc, err := NeymanAllocation(Nh, sigma, n)
+	alloc, err := neymanAllocation(Nh, capacity, sigma, n)
 	if err != nil {
 		return Stratified{}, err
 	}
@@ -143,14 +184,18 @@ func SimProf(ph *phase.Phases, n int, seed uint64) (Stratified, error) {
 		PhaseMean:    make([]float64, ph.K),
 		PhaseSamples: make([][]float64, ph.K),
 		Weights:      ph.Weights(),
+		Imputed:      make([]bool, ph.K),
+		DegradedFrac: ph.DegradedFraction(),
+		SEInflation:  1,
 	}
 	N := float64(len(ph.Assign))
 	var variance float64
+	var pooled []float64 // all sampled CPIs, for imputation fallback
 	for h := 0; h < ph.K; h++ {
 		if alloc[h] == 0 {
 			continue
 		}
-		units := ph.PhaseUnits(h)
+		units := ph.MeasuredPhaseUnits(h)
 		pick := stats.SampleWithoutReplacement(rng, len(units), alloc[h])
 		cpis := make([]float64, 0, alloc[h])
 		for _, j := range pick {
@@ -162,17 +207,58 @@ func SimProf(ph *phase.Phases, n int, seed uint64) (Stratified, error) {
 		out.PhaseMean[h] = mean
 		out.PhaseSamples[h] = cpis
 		out.EstCPI += out.Weights[h] * mean
+		pooled = append(pooled, cpis...)
 		// Eq. 4 term: N_h²·(1-n_h/N_h)·s_h²/n_h. The sampled s_h is
 		// undefined for n_h==1; fall back to the profiled σ_h.
 		sh := sigma[h]
 		if len(cpis) > 1 {
 			sh = stats.StdDev(cpis)
 		}
+		// A degraded stratum can leave only a unit or two measurable;
+		// when those happen to agree, sh==0 would claim certainty about
+		// units whose counters were never observed. Substitute the
+		// pooled clean spread instead. Fully-measured strata (the clean
+		// path) never take this branch.
+		if sh == 0 && capacity[h] < Nh[h] {
+			var clean []float64
+			for g := 0; g < ph.K; g++ {
+				clean = append(clean, ph.PhaseCPIs(g)...)
+			}
+			sh = stats.StdDev(clean)
+		}
 		nh := float64(alloc[h])
 		NhF := float64(Nh[h])
 		variance += NhF * NhF * (1 - nh/NhF) * sh * sh / nh
 	}
+	measuredVariance := variance
+
+	// Mean-impute strata that exist in the population but have no
+	// measurable unit to draw from.
+	var sampledWeight, weightedMean float64
+	for h := 0; h < ph.K; h++ {
+		if alloc[h] > 0 {
+			sampledWeight += out.Weights[h]
+			weightedMean += out.Weights[h] * out.PhaseMean[h]
+		}
+	}
+	if sampledWeight > 0 {
+		pooledMean := weightedMean / sampledWeight
+		sPool := stats.StdDev(pooled)
+		for h := 0; h < ph.K; h++ {
+			if alloc[h] > 0 || Nh[h] == 0 || capacity[h] > 0 {
+				continue
+			}
+			out.Imputed[h] = true
+			out.PhaseMean[h] = pooledMean
+			out.EstCPI += out.Weights[h] * pooledMean
+			NhF := float64(Nh[h])
+			variance += NhF * NhF * sPool * sPool
+		}
+	}
 	out.SE = math.Sqrt(variance) / N
+	if measuredVariance > 0 && variance > measuredVariance {
+		out.SEInflation = math.Sqrt(variance / measuredVariance)
+	}
 	return out, nil
 }
 
@@ -185,9 +271,41 @@ func (s Stratified) CI(level float64) stats.Interval {
 // BootstrapCI returns a distribution-free percentile-bootstrap interval
 // for the stratified estimate — a cross-check of the CLT interval that
 // Eq. 2–3 assume, useful when optimal allocation leaves some phases
-// with only a handful of points.
+// with only a handful of points. Weights are renormalized over the
+// strata that actually hold samples (mean imputation is exactly this
+// renormalization), and the margin is widened by the imputation
+// SE-inflation factor so degraded traces report honest uncertainty.
 func (s Stratified) BootstrapCI(level float64, rounds int, seed uint64) stats.Interval {
-	return stats.BootstrapStratified(s.PhaseSamples, s.Weights, level, rounds, seed)
+	weights := s.Weights
+	var present float64
+	empty := false
+	for h, samp := range s.PhaseSamples {
+		if len(samp) > 0 {
+			present += s.Weights[h]
+		} else if s.Weights[h] > 0 {
+			empty = true
+		}
+	}
+	if empty && present > 0 {
+		weights = make([]float64, len(s.Weights))
+		for h, samp := range s.PhaseSamples {
+			if len(samp) > 0 {
+				weights[h] = s.Weights[h] / present
+			}
+		}
+	}
+	iv := stats.BootstrapStratified(s.PhaseSamples, weights, level, rounds, seed)
+	if s.SEInflation > 1 {
+		iv.Margin *= s.SEInflation
+	}
+	// Degenerate bootstrap (each stratum holds a single value, or all
+	// values coincide) collapses to a zero-width interval even when the
+	// analytic SE knows better — fall back to the CLT interval instead
+	// of reporting impossible precision.
+	if iv.Margin == 0 && s.SE > 0 {
+		return stats.ConfidenceInterval(s.EstCPI, s.SE, level)
+	}
+	return iv
 }
 
 // PlanSE predicts the stratified standard error a sample of size n
@@ -195,20 +313,34 @@ func (s Stratified) BootstrapCI(level float64, rounds int, seed uint64) stats.In
 // the hardware counters) — the planning loop of §III-C.
 func PlanSE(ph *phase.Phases, n int) (float64, error) {
 	Nh := ph.Sizes()
+	capacity := ph.MeasuredSizes()
 	sigma := make([]float64, ph.K)
+	var clean []float64
 	for h := 0; h < ph.K; h++ {
-		sigma[h] = stats.StdDev(ph.PhaseCPIs(h))
+		cpis := ph.PhaseCPIs(h)
+		sigma[h] = stats.StdDev(cpis)
+		clean = append(clean, cpis...)
 	}
-	alloc, err := NeymanAllocation(Nh, sigma, n)
+	alloc, err := neymanAllocation(Nh, capacity, sigma, n)
 	if err != nil {
 		return 0, err
 	}
+	sPool := stats.StdDev(clean)
 	var variance float64
 	for h := 0; h < ph.K; h++ {
-		if alloc[h] == 0 || Nh[h] == 0 {
+		if Nh[h] == 0 {
 			continue
 		}
-		nh, NhF := float64(alloc[h]), float64(Nh[h])
+		NhF := float64(Nh[h])
+		if alloc[h] == 0 {
+			// A phase the plan cannot reach (no measurable units) will be
+			// imputed at estimation time; budget its uncertainty now.
+			if capacity[h] == 0 {
+				variance += NhF * NhF * sPool * sPool
+			}
+			continue
+		}
+		nh := float64(alloc[h])
 		variance += NhF * NhF * (1 - nh/NhF) * sigma[h] * sigma[h] / nh
 	}
 	return math.Sqrt(variance) / float64(len(ph.Assign)), nil
@@ -225,7 +357,16 @@ func RequiredSampleSize(ph *phase.Phases, relErr, level float64) (int, error) {
 	}
 	target := relErr * ph.Trace.OracleCPI()
 	z := stats.ZForConfidence(level)
-	N := len(ph.Assign)
+	// The drawable population is the measured units; asking for more
+	// cannot shrink the SE further (degraded strata keep their
+	// imputation-variance floor no matter the budget).
+	N := 0
+	for _, c := range ph.MeasuredSizes() {
+		N += c
+	}
+	if N == 0 {
+		return 0, fmt.Errorf("sampling: no measurable units to size a sample from")
+	}
 	ok := func(n int) bool {
 		se, err := PlanSE(ph, n)
 		if err != nil {

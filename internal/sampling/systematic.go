@@ -34,8 +34,17 @@ func Systematic(tr *trace.Trace, n int, seed uint64) (Sample, error) {
 	s := Sample{Method: "SYSTEMATIC"}
 	var cpis []float64
 	for i := start; i < N && len(s.UnitIDs) < n; i += stride {
+		// Systematic sampling keeps its fixed stride on degraded traces;
+		// a selected unit whose counters were lost simply contributes no
+		// observation (it cannot be re-drawn without biasing the design).
+		if !tr.Units[i].CPIValid() {
+			continue
+		}
 		s.UnitIDs = append(s.UnitIDs, tr.Units[i].ID)
 		cpis = append(cpis, tr.Units[i].CPI())
+	}
+	if len(cpis) == 0 {
+		return Sample{}, fmt.Errorf("sampling: systematic pass hit no units with valid counters")
 	}
 	s.EstCPI = stats.Mean(cpis)
 	if len(cpis) > 1 {

@@ -1,0 +1,69 @@
+package sensitivity
+
+import (
+	"testing"
+
+	"simprof/internal/trace"
+)
+
+// Degraded reference units must be classified but not enter the Eq. 6
+// CPI statistics: a dropped counter is not a CPI-0 observation, and a
+// trace with many dropouts must not flag phases sensitive for purely
+// mechanical reasons.
+func TestStatsForSkipsDegradedUnits(t *testing.T) {
+	train := twoPhaseTrace(200, 1.0, 2.5, 0.1, 1)
+	ph := form(t, train)
+
+	// Reference with the SAME behaviour, but a third of its units lose
+	// their counters.
+	ref := twoPhaseTrace(60, 1.0, 2.5, 0.1, 2)
+	for i := 0; i < len(ref.Units); i += 3 {
+		ref.Units[i].Counters = trace.Counters{}
+		ref.Units[i].Quality |= trace.CountersMissing
+	}
+	rep, err := Test(ph, []*trace.Trace{ref}, DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h, s := range rep.Sensitive {
+		if s {
+			t.Fatalf("phase %d flagged sensitive by counter dropouts alone", h)
+		}
+	}
+	// The degraded units still got classified (assignment covers all).
+	if got := len(rep.Inputs[0].Assign); got != len(ref.Units) {
+		t.Fatalf("assign len %d want %d", got, len(ref.Units))
+	}
+	// But the per-phase counts only cover the measured units.
+	counted := 0
+	for _, c := range rep.Inputs[0].Stats.Count {
+		counted += c
+	}
+	degraded := (len(ref.Units) + 2) / 3
+	if counted != len(ref.Units)-degraded {
+		t.Fatalf("counted %d units, want %d measured", counted, len(ref.Units)-degraded)
+	}
+}
+
+// A genuinely shifted reference must still be detected even when some
+// of its units are degraded.
+func TestSensitivityDetectsShiftThroughDegradation(t *testing.T) {
+	train := twoPhaseTrace(200, 1.0, 2.5, 0.1, 1)
+	ph := form(t, train)
+	ref := twoPhaseTrace(60, 1.0, 4.0, 0.1, 2) // agg phase CPI 2.5 → 4.0
+	for i := 0; i < len(ref.Units); i += 4 {
+		ref.Units[i].Counters = trace.Counters{}
+		ref.Units[i].Quality |= trace.CountersMissing
+	}
+	rep, err := Test(ph, []*trace.Trace{ref}, DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	any := false
+	for _, s := range rep.Sensitive {
+		any = any || s
+	}
+	if !any {
+		t.Fatal("large CPI shift missed on a partially degraded reference")
+	}
+}

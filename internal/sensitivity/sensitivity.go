@@ -42,7 +42,11 @@ type PhaseStats struct {
 	Count []int
 }
 
-// statsFor summarizes CPI per phase given an assignment.
+// statsFor summarizes CPI per phase given an assignment. Degraded units
+// (lost counters, truncated streams) are classified but contribute no
+// observation: comparing a fabricated zero CPI against the training
+// distribution would flag phases as sensitive for purely mechanical
+// reasons.
 func statsFor(k int, tr *trace.Trace, assign []int) PhaseStats {
 	ps := PhaseStats{
 		Mean:  make([]float64, k),
@@ -51,6 +55,9 @@ func statsFor(k int, tr *trace.Trace, assign []int) PhaseStats {
 	}
 	buckets := make([][]float64, k)
 	for i, a := range assign {
+		if tr.EffectiveQuality(i).Degraded() || !tr.Units[i].CPIValid() {
+			continue
+		}
 		buckets[a] = append(buckets[a], tr.Units[i].CPI())
 	}
 	for h, b := range buckets {

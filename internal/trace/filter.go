@@ -1,7 +1,6 @@
 package trace
 
 import (
-	"strconv"
 
 	"simprof/internal/model"
 )
@@ -96,40 +95,4 @@ func (t *Trace) MethodProfiles() []MethodProfile {
 		}
 	}
 	return out
-}
-
-// Validate checks the structural invariants consumers rely on: dense
-// unit ids, non-zero instruction counts, snapshots referring to interned
-// methods. It returns the first problem found.
-func (t *Trace) Validate() error {
-	for i, u := range t.Units {
-		if u.ID != i {
-			return &ValidationError{Unit: i, Problem: "non-dense unit id"}
-		}
-		if u.Counters.Instructions == 0 {
-			return &ValidationError{Unit: i, Problem: "zero instructions"}
-		}
-		if u.Counters.Cycles == 0 {
-			return &ValidationError{Unit: i, Problem: "zero cycles"}
-		}
-		for _, snap := range u.Snapshots {
-			for _, id := range snap {
-				if int(id) < 0 || int(id) >= len(t.Methods) {
-					return &ValidationError{Unit: i, Problem: "snapshot references unknown method"}
-				}
-			}
-		}
-	}
-	return nil
-}
-
-// ValidationError describes a malformed trace.
-type ValidationError struct {
-	Unit    int
-	Problem string
-}
-
-// Error implements the error interface.
-func (e *ValidationError) Error() string {
-	return "trace: unit " + strconv.Itoa(e.Unit) + ": " + e.Problem
 }

@@ -12,13 +12,18 @@ func multiTrace() *Trace {
 	tbl := model.NewTable()
 	m1 := tbl.Intern("A", "map", model.KindMap)
 	m2 := tbl.Intern("B", "reduce", model.KindReduce)
-	tr := &Trace{Benchmark: "x", Framework: "spark", Methods: tbl.Methods()}
+	tr := &Trace{
+		Benchmark: "x", Framework: "spark", Methods: tbl.Methods(),
+		UnitInstr: 100, SnapshotEvery: 100,
+	}
+	perThread := map[int]int{}
 	add := func(thread, stage int, m model.MethodID) {
 		u := Unit{
-			ID: len(tr.Units), Thread: thread, Stages: []int{stage},
+			ID: len(tr.Units), Thread: thread, Index: perThread[thread], Stages: []int{stage},
 			Counters:  Counters{Instructions: 100, Cycles: 150},
 			Snapshots: []model.Stack{{m}},
 		}
+		perThread[thread]++
 		tr.Units = append(tr.Units, u)
 	}
 	add(0, 0, m1)
@@ -94,10 +99,15 @@ func TestValidateCatchesCorruption(t *testing.T) {
 		t.Fatalf("wrong error: %v", err)
 	}
 
+	// Zero instructions is a quality problem, not a structural one: the
+	// unit stays, flagged CountersMissing, and drops out of CPI stats.
 	zeroInstr := multiTrace()
 	zeroInstr.Units[1].Counters.Instructions = 0
-	if err := zeroInstr.Validate(); err == nil {
-		t.Fatal("zero instructions not caught")
+	if err := zeroInstr.Validate(); err != nil {
+		t.Fatalf("zero instructions should validate (quality, not structure): %v", err)
+	}
+	if q := zeroInstr.EffectiveQuality(1); !q.Has(CountersMissing) {
+		t.Fatalf("zero-instruction unit not flagged: %v", q)
 	}
 
 	badMethod := multiTrace()

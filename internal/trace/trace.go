@@ -60,6 +60,7 @@ type Unit struct {
 	Counters   Counters
 	Snapshots  []model.Stack // one per snapshot interval
 	Stages     []int         // engine stages observed in the unit (sorted, unique)
+	Quality    Quality       // degradation flags (OK for a pristine unit)
 }
 
 // CPI is shorthand for u.Counters.CPI().
@@ -89,39 +90,52 @@ func (t *Trace) Name() string {
 	return t.Benchmark + "_" + suffix
 }
 
-// Table reconstructs a model.Table from the serialized methods.
-func (t *Trace) Table() *model.Table {
+// Table reconstructs a model.Table from the serialized methods. It
+// returns an error (instead of the historical panic) when the table is
+// not id-ordered — decoded traces are validated, so this only fires on
+// hand-built traces that skipped Validate/Repair.
+func (t *Trace) Table() (*model.Table, error) {
 	tbl := model.NewTable()
 	for _, m := range t.Methods {
 		id := tbl.Intern(m.Class, m.Name, m.Kind)
 		if id != m.ID {
-			panic(fmt.Sprintf("trace: method table not id-ordered (%d != %d)", id, m.ID))
+			return nil, fmt.Errorf("trace: method table not id-ordered (%d != %d)", id, m.ID)
 		}
 	}
-	return tbl
+	return tbl, nil
 }
 
-// CPIs returns the CPI of every unit, in unit order — the population the
-// sampling approaches draw from.
+// CPIs returns the CPI of every measured unit, in unit order — the
+// population the sampling approaches draw from. Units whose counters
+// were lost (zero instructions or a CountersMissing flag) are excluded:
+// their CPI is unknown, not 0, and including them as 0 would bias the
+// oracle mean and every σ computed from the population.
 func (t *Trace) CPIs() []float64 {
-	out := make([]float64, len(t.Units))
-	for i, u := range t.Units {
-		out[i] = u.CPI()
+	out := make([]float64, 0, len(t.Units))
+	for _, u := range t.Units {
+		if u.CPIValid() {
+			out = append(out, u.CPI())
+		}
 	}
 	return out
 }
 
-// OracleCPI is the average CPI over all sampling units: the quantity
-// every sampling approach tries to estimate (§IV-C).
+// OracleCPI is the average CPI over all measured sampling units: the
+// quantity every sampling approach tries to estimate (§IV-C). Units
+// without a valid counter reading are excluded from the mean.
 func (t *Trace) OracleCPI() float64 {
-	if len(t.Units) == 0 {
+	var sum float64
+	n := 0
+	for _, u := range t.Units {
+		if u.CPIValid() {
+			sum += u.CPI()
+			n++
+		}
+	}
+	if n == 0 {
 		return 0
 	}
-	var sum float64
-	for _, u := range t.Units {
-		sum += u.CPI()
-	}
-	return sum / float64(len(t.Units))
+	return sum / float64(n)
 }
 
 // EncodeGob writes the trace in gob format.
@@ -129,10 +143,17 @@ func (t *Trace) EncodeGob(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(t)
 }
 
-// DecodeGob reads a gob-encoded trace.
+// DecodeGob reads a gob-encoded trace. The decoded trace is validated:
+// structurally malformed inputs (non-dense unit ids, out-of-order
+// method tables, snapshot frames outside the table, impossible
+// profiler parameters) return a wrapped error here instead of panicking
+// deep in the pipeline.
 func DecodeGob(r io.Reader) (*Trace, error) {
 	var t Trace
 	if err := gob.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decode gob: %w", err)
+	}
+	if err := t.Validate(); err != nil {
 		return nil, fmt.Errorf("trace: decode gob: %w", err)
 	}
 	return &t, nil
@@ -145,10 +166,13 @@ func (t *Trace) EncodeJSON(w io.Writer) error {
 	return enc.Encode(t)
 }
 
-// DecodeJSON reads a JSON-encoded trace.
+// DecodeJSON reads a JSON-encoded trace, validating it like DecodeGob.
 func DecodeJSON(r io.Reader) (*Trace, error) {
 	var t Trace
 	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decode json: %w", err)
+	}
+	if err := t.Validate(); err != nil {
 		return nil, fmt.Errorf("trace: decode json: %w", err)
 	}
 	return &t, nil

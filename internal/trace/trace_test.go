@@ -72,7 +72,10 @@ func TestOracleCPIAndCPIs(t *testing.T) {
 
 func TestTableRoundTrip(t *testing.T) {
 	tr := sampleTrace()
-	tbl := tr.Table()
+	tbl, err := tr.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if tbl.Len() != 2 {
 		t.Fatalf("table len=%d", tbl.Len())
 	}

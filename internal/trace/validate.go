@@ -1,0 +1,469 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"simprof/internal/model"
+)
+
+// Quality is a bitmask of per-unit degradation flags. A zero value (OK)
+// marks a pristine unit; any set bit marks a unit whose observation is
+// incomplete in a way real profilers produce — perf_event multiplexing
+// dropping counter reads, JVMTI snapshot requests lost under load, or an
+// executor crashing mid-stream. Degraded units stay in the trace (they
+// still represent executed instructions, so phase weights must count
+// them) but the statistics layers exclude or impute them instead of
+// treating garbage values as measurements.
+type Quality uint8
+
+const (
+	// OK marks a fully observed unit.
+	OK Quality = 0
+	// CountersMissing marks a unit whose hardware counters were lost
+	// (multiplexing dropout). Its CPI is meaningless.
+	CountersMissing Quality = 1 << 0
+	// SnapshotsPartial marks a unit that lost call-stack snapshots. Its
+	// feature vector underestimates method frequencies.
+	SnapshotsPartial Quality = 1 << 1
+	// Truncated marks the last surviving unit of a thread stream cut
+	// short by an executor crash, or a unit following a gap in its
+	// thread's unit sequence.
+	Truncated Quality = 1 << 2
+
+	qualityKnown = CountersMissing | SnapshotsPartial | Truncated
+)
+
+// Degraded reports whether any flag is set.
+func (q Quality) Degraded() bool { return q != OK }
+
+// Has reports whether flag f is set.
+func (q Quality) Has(f Quality) bool { return q&f != 0 }
+
+// String renders the flags ("ok" or "counters_missing|truncated").
+func (q Quality) String() string {
+	if q == OK {
+		return "ok"
+	}
+	var s string
+	add := func(name string) {
+		if s != "" {
+			s += "|"
+		}
+		s += name
+	}
+	if q.Has(CountersMissing) {
+		add("counters_missing")
+	}
+	if q.Has(SnapshotsPartial) {
+		add("snapshots_partial")
+	}
+	if q.Has(Truncated) {
+		add("truncated")
+	}
+	if q&^qualityKnown != 0 {
+		add(fmt.Sprintf("unknown(%#x)", uint8(q&^qualityKnown)))
+	}
+	return s
+}
+
+// CPIValid reports whether the unit's CPI is a real measurement: the
+// counters were observed and the unit holds instructions. Zero-
+// instruction units (counter dropouts, malformed input) must not enter
+// CPI means or σ estimates as CPI 0 — that is a missing value, not a
+// fast unit.
+func (u Unit) CPIValid() bool {
+	return u.Counters.Instructions > 0 && !u.Quality.Has(CountersMissing)
+}
+
+// ExpectedSnapshots is the snapshot count a fully observed unit carries
+// at this trace's cadence.
+func (t *Trace) ExpectedSnapshots() int {
+	if t.SnapshotEvery == 0 {
+		return 0
+	}
+	return int(t.UnitInstr / t.SnapshotEvery)
+}
+
+// EffectiveQuality returns unit i's stored flags plus the flags that are
+// derivable from the unit itself (zero instructions ⇒ CountersMissing,
+// fewer snapshots than the cadence implies ⇒ SnapshotsPartial). The
+// pipeline consumes effective quality so hand-built or legacy traces
+// degrade gracefully even when nothing ran Repair on them.
+func (t *Trace) EffectiveQuality(i int) Quality {
+	u := t.Units[i]
+	q := u.Quality
+	if u.Counters.Instructions == 0 {
+		q |= CountersMissing
+	}
+	if exp := t.ExpectedSnapshots(); len(u.Snapshots) < exp {
+		q |= SnapshotsPartial
+	}
+	return q
+}
+
+// DegradedFraction is the fraction of units with any effective flag set.
+func (t *Trace) DegradedFraction() float64 {
+	if len(t.Units) == 0 {
+		return 0
+	}
+	n := 0
+	for i := range t.Units {
+		if t.EffectiveQuality(i).Degraded() {
+			n++
+		}
+	}
+	return float64(n) / float64(len(t.Units))
+}
+
+// QualitySummary counts units per effective flag (a unit with several
+// flags is counted under each).
+type QualitySummary struct {
+	Units            int
+	OK               int
+	CountersMissing  int
+	SnapshotsPartial int
+	Truncated        int
+}
+
+// Summarize tallies the effective quality of every unit.
+func (t *Trace) Summarize() QualitySummary {
+	s := QualitySummary{Units: len(t.Units)}
+	for i := range t.Units {
+		q := t.EffectiveQuality(i)
+		if q == OK {
+			s.OK++
+			continue
+		}
+		if q.Has(CountersMissing) {
+			s.CountersMissing++
+		}
+		if q.Has(SnapshotsPartial) {
+			s.SnapshotsPartial++
+		}
+		if q.Has(Truncated) {
+			s.Truncated++
+		}
+	}
+	return s
+}
+
+// String renders the tally, e.g. "228 units: 140 ok, 60
+// counters_missing, 45 snapshots_partial, 3 truncated".
+func (s QualitySummary) String() string {
+	parts := []string{fmt.Sprintf("%d ok", s.OK)}
+	add := func(n int, what string) {
+		if n > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", n, what))
+		}
+	}
+	add(s.CountersMissing, "counters_missing")
+	add(s.SnapshotsPartial, "snapshots_partial")
+	add(s.Truncated, "truncated")
+	return fmt.Sprintf("%d units: %s", s.Units, strings.Join(parts, ", "))
+}
+
+// Validate checks the structural invariants every pipeline stage relies
+// on and returns the first violation. It is called by DecodeGob and
+// DecodeJSON so that malformed inputs surface as errors at the trust
+// boundary instead of panics deep in phase formation. Quality problems
+// (lost counters, partial snapshots) are NOT errors — they are per-unit
+// flags; Repair turns a structurally broken trace into a valid, flagged
+// one when possible.
+func (t *Trace) Validate() error {
+	if t == nil {
+		return fmt.Errorf("trace: nil trace")
+	}
+	if t.UnitInstr == 0 {
+		return fmt.Errorf("trace: UnitInstr must be positive")
+	}
+	if t.SnapshotEvery == 0 || t.SnapshotEvery > t.UnitInstr {
+		return fmt.Errorf("trace: SnapshotEvery=%d must be in (0, UnitInstr=%d]",
+			t.SnapshotEvery, t.UnitInstr)
+	}
+	for i, m := range t.Methods {
+		if int(m.ID) != i {
+			return fmt.Errorf("trace: method table not id-ordered at %d (id %d)", i, m.ID)
+		}
+	}
+	maxSnaps := t.ExpectedSnapshots() + 1
+	for i, u := range t.Units {
+		if u.ID != i {
+			return fmt.Errorf("trace: non-dense unit ids at %d (id %d)", i, u.ID)
+		}
+		if u.Thread < 0 || u.Index < 0 {
+			return fmt.Errorf("trace: unit %d has negative thread/index (%d/%d)", i, u.Thread, u.Index)
+		}
+		if u.Counters.Instructions > t.UnitInstr {
+			return fmt.Errorf("trace: unit %d holds %d instructions, more than the unit size %d",
+				i, u.Counters.Instructions, t.UnitInstr)
+		}
+		if len(u.Snapshots) > maxSnaps {
+			return fmt.Errorf("trace: unit %d has %d snapshots, more than the cadence allows (%d)",
+				i, len(u.Snapshots), maxSnaps)
+		}
+		if u.Quality&^qualityKnown != 0 {
+			return fmt.Errorf("trace: unit %d has unknown quality bits %#x", i, uint8(u.Quality))
+		}
+		for _, snap := range u.Snapshots {
+			for _, id := range snap {
+				if id < 0 || int(id) >= len(t.Methods) {
+					return fmt.Errorf("trace: unit %d snapshot refers to method %d outside the table (%d methods)",
+						i, id, len(t.Methods))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// RepairReport records what Repair changed.
+type RepairReport struct {
+	MethodsRemapped  bool // method table was re-sorted / re-identified
+	UnitsDropped     int  // duplicate (thread,index) units removed
+	UnitsReordered   int  // units moved back into stream order
+	FramesDropped    int  // snapshot frames referring outside the method table
+	SnapshotsClamped int  // over-long snapshot lists truncated to the cadence
+	CountersCleared  int  // impossible counter readings zeroed + flagged
+	FlaggedMissing   int  // units flagged CountersMissing
+	FlaggedPartial   int  // units flagged SnapshotsPartial
+	FlaggedTruncated int  // units flagged Truncated
+}
+
+// Changed reports whether Repair modified the trace at all.
+func (r RepairReport) Changed() bool {
+	return r != RepairReport{}
+}
+
+// longestOrderedRun returns the length of the longest subsequence of
+// units already in non-decreasing (thread, index) order — the units
+// Repair's sort leaves logically in place.
+func longestOrderedRun(units []Unit) int {
+	// Patience sorting: tails[k] holds the smallest possible last key of
+	// a non-decreasing subsequence of length k+1.
+	type key struct{ thread, index int }
+	le := func(a, b key) bool {
+		return a.thread < b.thread || (a.thread == b.thread && a.index <= b.index)
+	}
+	var tails []key
+	for _, u := range units {
+		k := key{u.Thread, u.Index}
+		pos := sort.Search(len(tails), func(i int) bool { return !le(tails[i], k) })
+		if pos == len(tails) {
+			tails = append(tails, k)
+		} else {
+			tails[pos] = k
+		}
+	}
+	return len(tails)
+}
+
+// String renders the non-zero repair actions, e.g.
+// "dropped 2 duplicate units, flagged 5 truncated".
+func (r RepairReport) String() string {
+	var parts []string
+	add := func(n int, what string) {
+		if n > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", n, what))
+		}
+	}
+	if r.MethodsRemapped {
+		parts = append(parts, "method table re-identified")
+	}
+	add(r.UnitsDropped, "duplicate units dropped")
+	add(r.UnitsReordered, "units reordered")
+	add(r.FramesDropped, "stack frames dropped")
+	add(r.SnapshotsClamped, "snapshot lists clamped")
+	add(r.CountersCleared, "counter sets cleared")
+	add(r.FlaggedMissing, "units flagged counters_missing")
+	add(r.FlaggedPartial, "units flagged snapshots_partial")
+	add(r.FlaggedTruncated, "units flagged truncated")
+	if len(parts) == 0 {
+		return "no changes"
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Repair normalizes a structurally damaged trace in place so that it
+// passes Validate, materializing quality flags for everything that was
+// lost rather than fabricated: duplicate units are dropped, displaced
+// units are sorted back into (thread, index) order and re-identified
+// densely, snapshot frames pointing outside the method table are
+// removed (flagging SnapshotsPartial), impossible counter readings are
+// cleared (flagging CountersMissing), and gaps in a thread's unit
+// sequence flag the following unit Truncated. Structural damage Repair
+// cannot make sense of (an unusable unit size or snapshot cadence, a
+// method table with colliding ids it cannot re-identify) returns an
+// error and leaves the trace unchanged.
+func (t *Trace) Repair() (RepairReport, error) {
+	var rep RepairReport
+	if t == nil {
+		return rep, fmt.Errorf("trace: nil trace")
+	}
+	if t.UnitInstr == 0 {
+		return rep, fmt.Errorf("trace: UnitInstr must be positive")
+	}
+	if t.SnapshotEvery == 0 || t.SnapshotEvery > t.UnitInstr {
+		return rep, fmt.Errorf("trace: SnapshotEvery=%d must be in (0, UnitInstr=%d]",
+			t.SnapshotEvery, t.UnitInstr)
+	}
+
+	// Method table: re-sort by declared id, then re-identify densely.
+	// Snapshot frames are remapped through old→new; unmappable frames
+	// are dropped below.
+	remap, err := t.repairMethods(&rep)
+	if err != nil {
+		return rep, err
+	}
+
+	// Units: drop duplicates, restore stream order, re-identify.
+	t.repairUnits(&rep)
+
+	maxSnaps := t.ExpectedSnapshots()
+	for i := range t.Units {
+		u := &t.Units[i]
+		// Remap / drop snapshot frames.
+		for si := 0; si < len(u.Snapshots); si++ {
+			snap := u.Snapshots[si]
+			kept := snap[:0:0]
+			dropped := false
+			for _, id := range snap {
+				nid, ok := remapID(remap, id, len(t.Methods))
+				if !ok {
+					dropped = true
+					rep.FramesDropped++
+					continue
+				}
+				kept = append(kept, nid)
+			}
+			if dropped || remap != nil {
+				u.Snapshots[si] = kept
+			}
+			if dropped {
+				if !u.Quality.Has(SnapshotsPartial) {
+					rep.FlaggedPartial++
+				}
+				u.Quality |= SnapshotsPartial
+			}
+		}
+		if len(u.Snapshots) > maxSnaps+1 {
+			u.Snapshots = u.Snapshots[:maxSnaps+1]
+			rep.SnapshotsClamped++
+		}
+		// Counters beyond the unit size cannot be a real reading.
+		if u.Counters.Instructions > t.UnitInstr {
+			u.Counters = Counters{}
+			rep.CountersCleared++
+		}
+		if u.Counters.Instructions == 0 && !u.Quality.Has(CountersMissing) {
+			u.Quality |= CountersMissing
+			rep.FlaggedMissing++
+		}
+		if len(u.Snapshots) < maxSnaps && !u.Quality.Has(SnapshotsPartial) {
+			u.Quality |= SnapshotsPartial
+			rep.FlaggedPartial++
+		}
+		u.Quality &= qualityKnown
+	}
+	return rep, t.Validate()
+}
+
+// repairMethods restores a dense id-ordered method table, returning the
+// old-id → new-id remap (nil when the table was already clean).
+func (t *Trace) repairMethods(rep *RepairReport) (map[model.MethodID]model.MethodID, error) {
+	clean := true
+	for i, m := range t.Methods {
+		if int(m.ID) != i {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return nil, nil
+	}
+	rep.MethodsRemapped = true
+	sorted := make([]model.Method, len(t.Methods))
+	copy(sorted, t.Methods)
+	sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].ID < sorted[b].ID })
+	remap := make(map[model.MethodID]model.MethodID, len(sorted))
+	out := sorted[:0:0]
+	for _, m := range sorted {
+		if _, dup := remap[m.ID]; dup {
+			return nil, fmt.Errorf("trace: method table has colliding id %d", m.ID)
+		}
+		remap[m.ID] = model.MethodID(len(out))
+		m.ID = model.MethodID(len(out))
+		out = append(out, m)
+	}
+	t.Methods = out
+	return remap, nil
+}
+
+func remapID(remap map[model.MethodID]model.MethodID, id model.MethodID, n int) (model.MethodID, bool) {
+	if remap == nil {
+		if id < 0 || int(id) >= n {
+			return 0, false
+		}
+		return id, true
+	}
+	nid, ok := remap[id]
+	return nid, ok
+}
+
+// repairUnits restores stream order, removes duplicates and
+// re-identifies units densely, flagging sequence gaps as Truncated.
+func (t *Trace) repairUnits(rep *RepairReport) {
+	ordered := true
+	for i := 1; i < len(t.Units); i++ {
+		a, b := t.Units[i-1], t.Units[i]
+		if b.Thread < a.Thread || (b.Thread == a.Thread && b.Index <= a.Index) {
+			ordered = false
+			break
+		}
+	}
+	if !ordered {
+		// Report the minimal number of units that had to move: everything
+		// outside the longest already-ordered subsequence. (Counting raw
+		// position changes would blame the whole tail for one insertion.)
+		rep.UnitsReordered = len(t.Units) - longestOrderedRun(t.Units)
+		sort.SliceStable(t.Units, func(a, b int) bool {
+			if t.Units[a].Thread != t.Units[b].Thread {
+				return t.Units[a].Thread < t.Units[b].Thread
+			}
+			return t.Units[a].Index < t.Units[b].Index
+		})
+		// Drop duplicate (thread, index) entries, keeping the first.
+		kept := t.Units[:0]
+		for i, u := range t.Units {
+			if i > 0 && u.Thread == kept[len(kept)-1].Thread && u.Index == kept[len(kept)-1].Index {
+				rep.UnitsDropped++
+				continue
+			}
+			kept = append(kept, u)
+		}
+		t.Units = kept
+	}
+	prevThread, prevIndex := -1, -1
+	for i := range t.Units {
+		u := &t.Units[i]
+		u.ID = i
+		if u.Thread < 0 {
+			u.Thread = 0
+		}
+		if u.Index < 0 {
+			u.Index = 0
+		}
+		gap := false
+		if u.Thread == prevThread {
+			gap = u.Index != prevIndex+1
+		} else {
+			gap = u.Index != 0
+		}
+		if gap && !u.Quality.Has(Truncated) {
+			u.Quality |= Truncated
+			rep.FlaggedTruncated++
+		}
+		prevThread, prevIndex = u.Thread, u.Index
+	}
+}

@@ -1,0 +1,283 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"simprof/internal/model"
+)
+
+// threadedTrace builds a valid trace: 2 threads × 4 units, 2 snapshots
+// per unit at a 100/50 cadence.
+func threadedTrace() *Trace {
+	tbl := model.NewTable()
+	m1 := tbl.Intern("A", "map", model.KindMap)
+	m2 := tbl.Intern("B", "reduce", model.KindReduce)
+	tr := &Trace{
+		Benchmark: "x", Framework: "spark",
+		UnitInstr: 100, SnapshotEvery: 50,
+		Methods: tbl.Methods(),
+	}
+	for th := 0; th < 2; th++ {
+		for i := 0; i < 4; i++ {
+			m := m1
+			if i%2 == 1 {
+				m = m2
+			}
+			tr.Units = append(tr.Units, Unit{
+				ID: len(tr.Units), Thread: th, Index: i,
+				Counters:  Counters{Instructions: 100, Cycles: 150 + uint64(10*i)},
+				Snapshots: []model.Stack{{m}, {m}},
+			})
+		}
+	}
+	return tr
+}
+
+func TestValidateAcceptsGoodTrace(t *testing.T) {
+	if err := threadedTrace().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateStructuralErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		break_ func(*Trace)
+		want  string
+	}{
+		{"zero unit size", func(tr *Trace) { tr.UnitInstr = 0 }, "unitinstr"},
+		{"cadence above unit", func(tr *Trace) { tr.SnapshotEvery = 1000 }, "snapshotevery"},
+		{"non-dense ids", func(tr *Trace) { tr.Units[3].ID = 77 }, "non-dense"},
+		{"negative thread", func(tr *Trace) { tr.Units[0].Thread = -1 }, "thread"},
+		{"negative index", func(tr *Trace) { tr.Units[0].Index = -2 }, "index"},
+		{"overfull counters", func(tr *Trace) { tr.Units[0].Counters.Instructions = 1000 }, "instructions"},
+		{"unknown method", func(tr *Trace) { tr.Units[1].Snapshots[0] = model.Stack{42} }, "method"},
+		{"too many snapshots", func(tr *Trace) {
+			s := tr.Units[0].Snapshots[0]
+			tr.Units[0].Snapshots = []model.Stack{s, s, s, s}
+		}, "snapshots"},
+		{"unknown quality bits", func(tr *Trace) { tr.Units[0].Quality = 0x80 }, "quality"},
+		{"method ids out of order", func(tr *Trace) {
+			tr.Methods[0], tr.Methods[1] = tr.Methods[1], tr.Methods[0]
+		}, "method"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tr := threadedTrace()
+			c.break_(tr)
+			err := tr.Validate()
+			if err == nil {
+				t.Fatalf("%s not caught", c.name)
+			}
+			if !strings.Contains(strings.ToLower(err.Error()), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+	var nilTrace *Trace
+	if err := nilTrace.Validate(); err == nil {
+		t.Fatal("nil trace should not validate")
+	}
+}
+
+func TestRepairDuplicatesAndReorder(t *testing.T) {
+	tr := threadedTrace()
+	// Duplicate unit 2 (append with same id) and swap two units.
+	dup := tr.Units[2]
+	dup.Snapshots = append([]model.Stack(nil), dup.Snapshots...)
+	tr.Units = append(tr.Units, dup)
+	tr.Units[0], tr.Units[5] = tr.Units[5], tr.Units[0]
+	if err := tr.Validate(); err == nil {
+		t.Fatal("broken trace should not validate")
+	}
+	rep, err := tr.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Changed() {
+		t.Fatal("repair reported no changes")
+	}
+	if rep.UnitsDropped != 1 {
+		t.Fatalf("UnitsDropped=%d want 1", rep.UnitsDropped)
+	}
+	if rep.UnitsReordered == 0 {
+		t.Fatal("reordering not reported")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("repaired trace invalid: %v", err)
+	}
+	if len(tr.Units) != 8 {
+		t.Fatalf("units=%d want 8", len(tr.Units))
+	}
+	for i, u := range tr.Units {
+		if u.ID != i {
+			t.Fatalf("id %d at position %d", u.ID, i)
+		}
+	}
+	if rep.String() == "no changes" {
+		t.Fatal("String should describe the repair")
+	}
+}
+
+func TestRepairFlagsSequenceGaps(t *testing.T) {
+	tr := threadedTrace()
+	// Remove thread 0's unit at index 2: the stream jumps 1 → 3.
+	tr.Units = append(tr.Units[:2], tr.Units[3:]...)
+	rep, err := tr.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FlaggedTruncated != 1 {
+		t.Fatalf("FlaggedTruncated=%d want 1", rep.FlaggedTruncated)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The unit after the gap carries the flag.
+	found := false
+	for _, u := range tr.Units {
+		if u.Thread == 0 && u.Index == 3 {
+			found = u.Quality.Has(Truncated)
+		}
+	}
+	if !found {
+		t.Fatal("unit after the gap not flagged Truncated")
+	}
+}
+
+func TestRepairDropsForeignFrames(t *testing.T) {
+	tr := threadedTrace()
+	tr.Units[1].Snapshots[0] = model.Stack{model.MethodID(99)}
+	rep, err := tr.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FramesDropped == 0 {
+		t.Fatal("foreign frame not dropped")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Units[1].Quality.Has(SnapshotsPartial) {
+		t.Fatal("unit with dropped frame not flagged SnapshotsPartial")
+	}
+}
+
+func TestEffectiveQualityDerivesFlags(t *testing.T) {
+	tr := threadedTrace()
+	tr.Units[0].Counters = Counters{}
+	tr.Units[1].Snapshots = tr.Units[1].Snapshots[:1]
+	if q := tr.EffectiveQuality(0); !q.Has(CountersMissing) {
+		t.Fatalf("zero counters not derived: %v", q)
+	}
+	if q := tr.EffectiveQuality(1); !q.Has(SnapshotsPartial) {
+		t.Fatalf("short snapshots not derived: %v", q)
+	}
+	if q := tr.EffectiveQuality(2); q != OK {
+		t.Fatalf("clean unit flagged: %v", q)
+	}
+	if got := tr.DegradedFraction(); got != 0.25 {
+		t.Fatalf("DegradedFraction=%v want 0.25", got)
+	}
+	sum := tr.Summarize()
+	if sum.OK != 6 || sum.CountersMissing != 1 || sum.SnapshotsPartial != 1 {
+		t.Fatalf("summary %+v", sum)
+	}
+	if !strings.Contains(sum.String(), "counters_missing") {
+		t.Fatalf("summary string %q", sum)
+	}
+}
+
+func TestQualityString(t *testing.T) {
+	if got := OK.String(); got != "ok" {
+		t.Fatalf("OK=%q", got)
+	}
+	q := CountersMissing | Truncated
+	s := q.String()
+	if !strings.Contains(s, "counters_missing") || !strings.Contains(s, "truncated") {
+		t.Fatalf("flags=%q", s)
+	}
+}
+
+// Satellite regression: zero-instruction units must not drag the oracle
+// CPI toward zero or inject CPI-0 points into σ estimation.
+func TestOracleCPIExcludesInvalidUnits(t *testing.T) {
+	tr := threadedTrace()
+	want := tr.OracleCPI()
+	tr.Units = append(tr.Units, Unit{
+		ID: len(tr.Units), Thread: 2, Index: 0,
+		Snapshots: tr.Units[0].Snapshots,
+	})
+	if got := tr.OracleCPI(); got != want {
+		t.Fatalf("OracleCPI moved from %v to %v after adding a zero-instruction unit", want, got)
+	}
+	if got := len(tr.CPIs()); got != 8 {
+		t.Fatalf("CPIs length %d want 8 (invalid unit included)", got)
+	}
+	// Explicit flag without zero counters also excludes.
+	tr2 := threadedTrace()
+	want2 := len(tr2.CPIs())
+	tr2.Units[0].Quality |= CountersMissing
+	if got := len(tr2.CPIs()); got != want2-1 {
+		t.Fatalf("flagged unit not excluded: %d CPIs", got)
+	}
+}
+
+func TestDecodeRejectsStructurallyInvalid(t *testing.T) {
+	tr := threadedTrace()
+	tr.Units[2].ID = 99 // non-dense
+	var gob, js bytes.Buffer
+	if err := tr.EncodeGob(&gob); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.EncodeJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeGob(&gob); err == nil {
+		t.Fatal("invalid gob decoded without error")
+	} else if !strings.Contains(err.Error(), "non-dense") {
+		t.Fatalf("error does not surface the Validate failure: %v", err)
+	}
+	if _, err := DecodeJSON(&js); err == nil {
+		t.Fatal("invalid json decoded without error")
+	}
+}
+
+func TestDecodeTruncatedStream(t *testing.T) {
+	tr := threadedTrace()
+	var gob, js bytes.Buffer
+	if err := tr.EncodeGob(&gob); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.EncodeJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, 7, gob.Len() / 2, gob.Len() - 1} {
+		if _, err := DecodeGob(bytes.NewReader(gob.Bytes()[:cut])); err == nil {
+			t.Fatalf("gob truncated at %d decoded without error", cut)
+		}
+	}
+	for _, cut := range []int{1, 7, js.Len() / 2, js.Len() - 2} {
+		if _, err := DecodeJSON(bytes.NewReader(js.Bytes()[:cut])); err == nil {
+			t.Fatalf("json truncated at %d decoded without error", cut)
+		}
+	}
+}
+
+func TestRepairIdempotent(t *testing.T) {
+	tr := threadedTrace()
+	dup := tr.Units[1]
+	tr.Units = append(tr.Units, dup)
+	if _, err := tr.Repair(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := tr.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Changed() {
+		t.Fatalf("second repair changed a repaired trace: %+v", rep)
+	}
+}

@@ -2,9 +2,18 @@
 # CI gate: build everything, lint with vet, then run the full test suite
 # under the race detector so the parallel compute kernels (the k sweep,
 # k-means restarts, silhouette passes, the experiment driver) are
-# exercised with synchronization checking on every change.
+# exercised with synchronization checking on every change. A short
+# fuzzing smoke on the trace decoders closes the loop on the failure
+# model: no byte stream may panic the decode path.
 set -eux
 
 go build ./...
 go vet ./...
 go test -race ./...
+
+# Fuzz smoke: a small time budget per decoder target. Any crasher the
+# engine finds is persisted under internal/trace/testdata/fuzz and will
+# fail plain `go test` runs from then on.
+for target in FuzzDecodeGob FuzzDecodeJSON; do
+	go test -run='^$' -fuzz="^${target}\$" -fuzztime=10s ./internal/trace
+done
