@@ -1,10 +1,11 @@
-# Developer entry points. `make check` is the CI gate: it must stay
-# green, including the race detector over the parallel compute kernels
+# Developer entry points. `make check` is the staged CI gate (see
+# scripts/check.sh): tier-1 build+test, vet, gofmt, the race detector
+# over the parallel compute kernels, the telemetry 0-alloc bench smoke
 # and a short fuzz smoke on the trace decoders.
 
 GO ?= go
 
-.PHONY: build test bench race vet fuzz check
+.PHONY: build test bench race vet fuzz check tier1
 
 build:
 	$(GO) build ./...
@@ -18,13 +19,19 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Benchmark snapshot of the performance-tracked kernels (ChooseK, phase
+# formation, SimProf selection, telemetry fast paths) → BENCH_pipeline.json.
+# Set BENCHTIME=1s for stable numbers; the default 1x is a smoke run.
 bench:
-	$(GO) test -bench=. -benchmem -run '^$$' ./internal/cluster/ ./internal/phase/
+	./scripts/bench.sh
 
 # Short-budget fuzzing of the trace decode path (the trust boundary of
 # the failure model in DESIGN.md §9). Raise -fuzztime for a deep run.
 fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzDecodeGob$$' -fuzztime=10s ./internal/trace
 	$(GO) test -run='^$$' -fuzz='^FuzzDecodeJSON$$' -fuzztime=10s ./internal/trace
+
+# The fast must-stay-green core of the CI gate.
+tier1: ; ./scripts/check.sh tier1-build tier1-test
 
 check: ; ./scripts/check.sh

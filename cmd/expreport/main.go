@@ -8,13 +8,18 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"strings"
 
 	"simprof/internal/experiments"
 	"simprof/internal/model"
+	"simprof/internal/obs"
 	"simprof/internal/report"
 )
 
@@ -24,7 +29,29 @@ func main() {
 	scale := flag.String("scale", "default", "experiment scale: quick or default")
 	repeats := flag.Int("repeats", 0, "override draws averaged for randomized methods")
 	workers := flag.Int("workers", 0, "worker goroutines for the compute kernels (0 = GOMAXPROCS, 1 = serial)")
+	telemetry := flag.String("telemetry", "", "write a JSON run manifest (span tree, metrics) to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and a telemetry expvar snapshot on this address")
 	flag.Parse()
+
+	var manifest *obs.Manifest
+	var root *obs.Span
+	if *telemetry != "" || *pprofAddr != "" {
+		obs.Enable()
+		if *pprofAddr != "" {
+			expvar.Publish("simprof_obs", expvar.Func(func() any {
+				return obs.Default().Snapshot()
+			}))
+			ln, err := net.Listen("tcp", *pprofAddr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "expreport: pprof: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("pprof + expvar on http://%s/debug/pprof\n", ln.Addr())
+			go func() { _ = http.Serve(ln, nil) }()
+		}
+		manifest = obs.NewManifest("expreport", os.Args[1:])
+		root = obs.StartRun("expreport " + *exp)
+	}
 
 	cfg := experiments.Default()
 	if *scale == "quick" {
@@ -38,18 +65,18 @@ func main() {
 	s := experiments.NewSuite(cfg)
 
 	runners := map[string]func(*experiments.Suite) error{
-		"tableI":    tableI,
-		"fig6":      fig6,
-		"fig7":      fig7,
-		"fig8":      fig8,
-		"fig9":      fig9,
-		"fig10":     fig10,
-		"fig11":     fig11,
-		"tableII":   tableII,
-		"fig12":     fig12,
-		"fig13":     fig13,
-		"fig14":     func(s *experiments.Suite) error { return anatomy(s, "spark") },
-		"fig15":     func(s *experiments.Suite) error { return anatomy(s, "hadoop") },
+		"tableI":      tableI,
+		"fig6":        fig6,
+		"fig7":        fig7,
+		"fig8":        fig8,
+		"fig9":        fig9,
+		"fig10":       fig10,
+		"fig11":       fig11,
+		"tableII":     tableII,
+		"fig12":       fig12,
+		"fig13":       fig13,
+		"fig14":       func(s *experiments.Suite) error { return anatomy(s, "spark") },
+		"fig15":       func(s *experiments.Suite) error { return anatomy(s, "hadoop") },
 		"ablations":   ablations,
 		"design":      design,
 		"degradation": degradation,
@@ -76,9 +103,23 @@ func main() {
 		}
 	}
 	for _, e := range toRun {
-		if err := runners[e](s); err != nil {
+		span := obs.StartSpan("expreport." + e)
+		err := runners[e](s)
+		span.End()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "expreport: %s: %v\n", e, err)
 			os.Exit(1)
+		}
+	}
+	if manifest != nil {
+		root.End()
+		manifest.Finalize()
+		if *telemetry != "" {
+			if err := manifest.WriteFile(*telemetry); err != nil {
+				fmt.Fprintf(os.Stderr, "expreport: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("telemetry manifest → %s\n", *telemetry)
 		}
 	}
 }

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"simprof/internal/obs"
+	"simprof/internal/report"
+)
+
+// cmdInspect renders a telemetry manifest written by another simprof
+// run with -telemetry: build and workload provenance, the span tree
+// with hot stages, the Neyman allocation table, fault-channel counts
+// and the metric snapshot.
+func cmdInspect(args []string) error {
+	fs := newFlagSet("inspect")
+	path := fs.String("manifest", "", "telemetry manifest written with -telemetry")
+	metrics := fs.Bool("metrics", true, "render the metric snapshot")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *path == "" {
+		return usageErr(fs, "-manifest is required")
+	}
+	m, err := obs.ReadManifestFile(*path)
+	if err != nil {
+		return err
+	}
+	renderManifest(os.Stdout, m, *metrics)
+	return nil
+}
+
+func renderManifest(w *os.File, m *obs.Manifest, withMetrics bool) {
+	fmt.Fprintf(w, "%s  (manifest v%d)\n", m.Tool, m.Version)
+	if len(m.Args) > 0 {
+		fmt.Fprintf(w, "args:  %s\n", strings.Join(m.Args, " "))
+	}
+	fmt.Fprintf(w, "build: %s %s", m.Build.GoVersion, shortRev(m.Build.Revision))
+	if m.Build.Modified {
+		fmt.Fprint(w, " (dirty)")
+	}
+	fmt.Fprintln(w)
+
+	if wl := m.Workload; wl != nil {
+		fmt.Fprintf(w, "\nworkload: %s on %s (input %q, seed %d, workers %d)\n",
+			wl.Benchmark, wl.Framework, wl.Input, wl.Seed, wl.Workers)
+		fmt.Fprintf(w, "  %d units × %dM instructions, oracle CPI %.4f\n",
+			wl.Units, wl.UnitInstr/1_000_000, wl.OracleCPI)
+		if wl.DegradedFraction > 0 {
+			fmt.Fprintf(w, "  degraded units: %.1f%% (%s)\n", 100*wl.DegradedFraction, wl.Quality)
+		}
+	}
+
+	if fi := m.Faults; fi != nil {
+		fmt.Fprintf(w, "\nfaults injected (%s, seed %d):\n", fi.Spec, fi.Seed)
+		t := report.NewTable("", "Channel", "Count")
+		t.RowS("counters dropped", fmt.Sprint(fi.CountersDropped))
+		t.RowS("multiplexed", fmt.Sprint(fi.Multiplexed))
+		t.RowS("snapshots lost", fmt.Sprint(fi.SnapshotsLost))
+		t.RowS("crashed threads", fmt.Sprint(fi.CrashedThreads))
+		t.RowS("units lost", fmt.Sprint(fi.UnitsLost))
+		t.RowS("duplicated", fmt.Sprint(fi.Duplicated))
+		t.RowS("displaced", fmt.Sprint(fi.Displaced))
+		t.Render(w)
+		if fi.Repair != "" {
+			fmt.Fprintf(w, "  repair: %s\n", fi.Repair)
+		}
+	}
+
+	if pi := m.Phases; pi != nil {
+		fmt.Fprintf(w, "\nphases: k=%d chosen (silhouette %.3f)\n", pi.K, pi.Silhouette)
+		if len(pi.KScores) > 0 {
+			var parts []string
+			for i, s := range pi.KScores {
+				mark := ""
+				if i+1 == pi.K {
+					mark = "*"
+				}
+				if math.IsNaN(s) {
+					parts = append(parts, fmt.Sprintf("k=%d: -", i+1))
+					continue
+				}
+				parts = append(parts, fmt.Sprintf("k=%d: %.3f%s", i+1, s, mark))
+			}
+			fmt.Fprintf(w, "  sweep: %s\n", strings.Join(parts, "  "))
+		}
+	}
+
+	if si := m.Sampling; si != nil {
+		fmt.Fprintf(w, "\nsampling: %s, n=%d\n", si.Method, si.N)
+		fmt.Fprintf(w, "  est CPI %.4f ± %.4f [%.4f, %.4f] at %.1f%% (oracle %.4f, rel err %.2f%%)\n",
+			si.EstCPI, si.SE, si.CILo, si.CIHi, 100*si.Confidence, si.OracleCPI, 100*si.RelErr)
+		if si.SEInflation > 1 {
+			fmt.Fprintf(w, "  SE inflated ×%.2f by mean-imputed strata\n", si.SEInflation)
+		}
+		if len(si.Strata) > 0 {
+			t := report.NewTable("Neyman allocation (Eq. 1)",
+				"Phase", "Units", "Measured", "Weight", "Sigma", "Alloc", "Sampled mean", "Imputed")
+			for _, s := range si.Strata {
+				imputed := ""
+				if s.Imputed {
+					imputed = "yes"
+				}
+				t.RowS(fmt.Sprint(s.Phase), fmt.Sprint(s.Units), fmt.Sprint(s.Measured),
+					fmt.Sprintf("%.1f%%", 100*s.Weight), fmt.Sprintf("%.3f", s.Sigma),
+					fmt.Sprint(s.Alloc), fmt.Sprintf("%.4f", s.SampledMean), imputed)
+			}
+			t.Render(w)
+		}
+	}
+
+	if m.Spans != nil {
+		fmt.Fprintf(w, "\nspan tree (total %s):\n", fmtDur(m.Spans.Duration()))
+		m.Spans.Walk(func(sp *obs.Span, depth int) {
+			fmt.Fprintf(w, "  %s%-*s %10s\n", strings.Repeat("  ", depth),
+				40-2*depth, sp.Name, fmtDur(sp.Duration()))
+		})
+		renderHotStages(w, m.Spans)
+	}
+
+	if withMetrics && len(m.Metrics) > 0 {
+		fmt.Fprintln(w, "\nmetrics:")
+		for _, mt := range m.Metrics {
+			switch mt.Kind {
+			case "histogram":
+				mean := 0.0
+				if mt.Value > 0 {
+					mean = mt.Sum / mt.Value
+				}
+				fmt.Fprintf(w, "  %-32s count=%.0f sum=%.4g mean=%.4g\n", mt.Name, mt.Value, mt.Sum, mean)
+			default:
+				fmt.Fprintf(w, "  %-32s %v\n", mt.Name, mt.Value)
+			}
+		}
+	}
+}
+
+// renderHotStages lists the stages with the largest self time (span
+// duration minus children) — where the run actually went.
+func renderHotStages(w *os.File, root *obs.Span) {
+	type stage struct {
+		name string
+		self time.Duration
+	}
+	var stages []stage
+	total := root.Duration()
+	root.Walk(func(sp *obs.Span, depth int) {
+		stages = append(stages, stage{sp.Name, sp.SelfDuration()})
+	})
+	sort.SliceStable(stages, func(a, b int) bool { return stages[a].self > stages[b].self })
+	if len(stages) > 8 {
+		stages = stages[:8]
+	}
+	t := report.NewTable("hot stages (self time)", "Stage", "Self", "Share")
+	for _, s := range stages {
+		share := 0.0
+		if total > 0 {
+			share = float64(s.self) / float64(total)
+		}
+		t.RowS(s.name, fmtDur(s.self), fmt.Sprintf("%.1f%%", 100*share))
+	}
+	t.Render(w)
+}
+
+func shortRev(rev string) string {
+	if len(rev) > 12 {
+		return rev[:12]
+	}
+	return rev
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}

@@ -12,11 +12,18 @@
 //	    run all four sampling approaches and report their errors
 //	simprof sensitivity -bench cc -framework spark -graphscale 19
 //	    run the Table II input-sensitivity study for a graph workload
+//	simprof inspect -manifest run.json
+//	    render a telemetry manifest written with -telemetry
+//
+// Every pipeline command takes -telemetry <file> to write a JSON run
+// manifest and -pprof <addr> to serve net/http/pprof while it runs.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -50,6 +57,8 @@ func main() {
 		err = cmdCompare(os.Args[2:])
 	case "sensitivity":
 		err = cmdSensitivity(os.Args[2:])
+	case "inspect":
+		err = cmdInspect(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -57,7 +66,11 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	if err != nil {
+	switch {
+	case err == nil:
+	case errors.Is(err, errHelp):
+		// -h on a subcommand: usage was already printed.
+	default:
 		fmt.Fprintf(os.Stderr, "simprof: %v\n", err)
 		os.Exit(1)
 	}
@@ -73,8 +86,72 @@ commands:
   plan         sample size needed for a target error bound
   compare      error of SECOND/SRS/CODE/SimProf on a trace
   sensitivity  input-sensitivity study for cc/rank (Table II inputs)
+  inspect      render a telemetry manifest written with -telemetry
 
 run 'simprof <command> -h' for the command's flags`)
+}
+
+// errHelp marks a -h/-help parse: usage has been printed, exit clean.
+var errHelp = errors.New("help requested")
+
+// newFlagSet builds a subcommand FlagSet that reports parse errors
+// through the uniform usageErr path instead of exiting or printing on
+// its own.
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}
+
+// parseFlags parses args, turning flag errors into "usage: simprof
+// <cmd>: ..." errors and -h into a printed usage plus errHelp.
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	err := fs.Parse(args)
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, flag.ErrHelp) {
+		fmt.Fprintf(os.Stderr, "usage: simprof %s [flags]\n\nflags:\n", fs.Name())
+		fs.SetOutput(os.Stderr)
+		fs.PrintDefaults()
+		return errHelp
+	}
+	return usageErr(fs, "%v", err)
+}
+
+// usageErr produces the uniform flag-validation error: every bad flag
+// value on every subcommand fails with "usage: simprof <cmd>: reason".
+func usageErr(fs *flag.FlagSet, format string, args ...any) error {
+	return fmt.Errorf("usage: simprof %s: %s (run 'simprof %s -h' for flags)",
+		fs.Name(), fmt.Sprintf(format, args...), fs.Name())
+}
+
+// validateWorkload rejects unknown -bench / -framework values up front
+// instead of failing deep inside workload construction.
+func validateWorkload(fs *flag.FlagSet, bench, fw string) error {
+	known := workloads.Benchmarks()
+	ok := false
+	for _, b := range known {
+		if b == bench {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return usageErr(fs, "unknown -bench %q (choose from: %s)", bench, strings.Join(known, " "))
+	}
+	if fw != "spark" && fw != "hadoop" {
+		return usageErr(fs, "unknown -framework %q (spark or hadoop)", fw)
+	}
+	return nil
+}
+
+// validateConfidence checks a -confidence level is a proper probability.
+func validateConfidence(fs *flag.FlagSet, conf float64) error {
+	if conf <= 0 || conf >= 1 {
+		return usageErr(fs, "-confidence must be in (0,1), got %v", conf)
+	}
+	return nil
 }
 
 // workloadFlags registers the common workload-scale flags.
@@ -91,14 +168,23 @@ func workloadFlags(fs *flag.FlagSet) (*string, *string, *uint64, *workloads.Opti
 }
 
 func cmdProfile(args []string) error {
-	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	fs := newFlagSet("profile")
 	bench, fw, seed, opts := workloadFlags(fs)
 	out := fs.String("out", "", "output trace file (gob; .json for JSON)")
 	faultSpec := fs.String("faults", "", `inject profiler faults before writing, e.g. "rate=0.05" or "drop=0.1,crash=0.02,snap=0.05" (keys: drop mux muxcov snap crash dup reorder rate)`)
 	faultSeed := fs.Uint64("faultseed", 0, "seed for the fault injector (default: derived from -seed)")
-	fs.Parse(args)
+	tel := telemetryFlags(fs)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	if *out == "" {
-		return fmt.Errorf("profile: -out is required")
+		return usageErr(fs, "-out is required")
+	}
+	if err := validateWorkload(fs, *bench, *fw); err != nil {
+		return err
+	}
+	if err := tel.start("profile", args); err != nil {
+		return err
 	}
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
@@ -113,7 +199,7 @@ func cmdProfile(args []string) error {
 	if *faultSpec != "" {
 		fcfg, err := faults.ParseSpec(*faultSpec)
 		if err != nil {
-			return err
+			return usageErr(fs, "%v", err)
 		}
 		fcfg.Seed = *faultSeed
 		if fcfg.Seed == 0 {
@@ -134,6 +220,9 @@ func cmdProfile(args []string) error {
 		}
 		sum := tr.Summarize()
 		fmt.Printf("degraded units: %.1f%% (%s)\n", 100*tr.DegradedFraction(), sum)
+		if tel.manifest != nil {
+			tel.manifest.Faults = faultInfo(fcfg, frep, rrep)
+		}
 	}
 	f, err := os.Create(*out)
 	if err != nil {
@@ -150,7 +239,10 @@ func cmdProfile(args []string) error {
 	}
 	fmt.Printf("%s: %d sampling units (%dM instructions each), oracle CPI %.3f → %s\n",
 		tr.Name(), len(tr.Units), tr.UnitInstr/1_000_000, tr.OracleCPI(), *out)
-	return nil
+	if tel.manifest != nil {
+		tel.manifest.Workload = workloadInfo(tr, *seed, 0)
+	}
+	return tel.finish()
 }
 
 func loadTrace(path string) (*trace.Trace, error) {
@@ -184,13 +276,19 @@ func formPhases(path string, seed uint64, workers int) (*trace.Trace, *phase.Pha
 }
 
 func cmdPhases(args []string) error {
-	fs := flag.NewFlagSet("phases", flag.ExitOnError)
+	fs := newFlagSet("phases")
 	path := fs.String("trace", "", "trace file from 'simprof profile'")
 	seed := fs.Uint64("seed", 42, "random seed")
 	workers := workersFlag(fs)
-	fs.Parse(args)
+	tel := telemetryFlags(fs)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	if *path == "" {
-		return fmt.Errorf("phases: -trace is required")
+		return usageErr(fs, "-trace is required")
+	}
+	if err := tel.start("phases", args); err != nil {
+		return err
 	}
 	tr, ph, err := formPhases(*path, *seed, *workers)
 	if err != nil {
@@ -216,19 +314,35 @@ func cmdPhases(args []string) error {
 	cov := ph.CoV()
 	fmt.Printf("CoV of CPI: population %.3f, weighted %.3f, max %.3f\n",
 		cov.Population, cov.Weighted, cov.Max)
-	return nil
+	if tel.manifest != nil {
+		tel.manifest.Workload = workloadInfo(tr, *seed, *workers)
+		tel.manifest.Phases = phaseInfo(ph)
+	}
+	return tel.finish()
 }
 
 func cmdSample(args []string) error {
-	fs := flag.NewFlagSet("sample", flag.ExitOnError)
+	fs := newFlagSet("sample")
 	path := fs.String("trace", "", "trace file")
 	n := fs.Int("n", 20, "number of simulation points")
 	conf := fs.Float64("confidence", 0.997, "confidence level for the interval")
 	seed := fs.Uint64("seed", 42, "random seed")
 	workers := workersFlag(fs)
-	fs.Parse(args)
+	tel := telemetryFlags(fs)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	if *path == "" {
-		return fmt.Errorf("sample: -trace is required")
+		return usageErr(fs, "-trace is required")
+	}
+	if *n <= 0 {
+		return usageErr(fs, "-n must be positive, got %d", *n)
+	}
+	if err := validateConfidence(fs, *conf); err != nil {
+		return err
+	}
+	if err := tel.start("sample", args); err != nil {
+		return err
 	}
 	tr, ph, err := formPhases(*path, *seed, *workers)
 	if err != nil {
@@ -248,19 +362,36 @@ func cmdSample(args []string) error {
 	fmt.Printf("bootstrap CI:  %s   (distribution-free cross-check)\n",
 		sp.BootstrapCI(*conf, 2000, *seed))
 	fmt.Printf("simulation point unit ids: %v\n", sp.UnitIDs)
-	return nil
+	if tel.manifest != nil {
+		tel.manifest.Workload = workloadInfo(tr, *seed, *workers)
+		tel.manifest.Phases = phaseInfo(ph)
+		tel.manifest.Sampling = samplingInfo(ph, sp, *n, *conf)
+	}
+	return tel.finish()
 }
 
 func cmdPlan(args []string) error {
-	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	fs := newFlagSet("plan")
 	path := fs.String("trace", "", "trace file")
 	errTarget := fs.Float64("err", 0.05, "target relative CPI error")
 	conf := fs.Float64("confidence", 0.997, "confidence level")
 	seed := fs.Uint64("seed", 42, "random seed")
 	workers := workersFlag(fs)
-	fs.Parse(args)
+	tel := telemetryFlags(fs)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	if *path == "" {
-		return fmt.Errorf("plan: -trace is required")
+		return usageErr(fs, "-trace is required")
+	}
+	if *errTarget <= 0 || *errTarget >= 1 {
+		return usageErr(fs, "-err must be in (0,1), got %v", *errTarget)
+	}
+	if err := validateConfidence(fs, *conf); err != nil {
+		return err
+	}
+	if err := tel.start("plan", args); err != nil {
+		return err
 	}
 	tr, ph, err := formPhases(*path, *seed, *workers)
 	if err != nil {
@@ -272,18 +403,31 @@ func cmdPlan(args []string) error {
 	}
 	fmt.Printf("%s: %d of %d units needed for ±%.0f%% CPI at %.1f%% confidence\n",
 		tr.Name(), nReq, len(tr.Units), 100**errTarget, 100**conf)
-	return nil
+	if tel.manifest != nil {
+		tel.manifest.Workload = workloadInfo(tr, *seed, *workers)
+		tel.manifest.Phases = phaseInfo(ph)
+	}
+	return tel.finish()
 }
 
 func cmdCompare(args []string) error {
-	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	fs := newFlagSet("compare")
 	path := fs.String("trace", "", "trace file")
 	n := fs.Int("n", 20, "sample size for SRS/SimProf")
 	seed := fs.Uint64("seed", 42, "random seed")
 	workers := workersFlag(fs)
-	fs.Parse(args)
+	tel := telemetryFlags(fs)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	if *path == "" {
-		return fmt.Errorf("compare: -trace is required")
+		return usageErr(fs, "-trace is required")
+	}
+	if *n <= 0 {
+		return usageErr(fs, "-n must be positive, got %d", *n)
+	}
+	if err := tel.start("compare", args); err != nil {
+		return err
 	}
 	tr, ph, err := formPhases(*path, *seed, *workers)
 	if err != nil {
@@ -312,19 +456,33 @@ func cmdCompare(args []string) error {
 			fmt.Sprintf("%.2f%%", 100*s.Err(tr)))
 	}
 	t.Render(os.Stdout)
-	return nil
+	if tel.manifest != nil {
+		tel.manifest.Workload = workloadInfo(tr, *seed, *workers)
+		tel.manifest.Phases = phaseInfo(ph)
+		tel.manifest.Sampling = samplingInfo(ph, sp, *n, core.DefaultConfig().Confidence)
+	}
+	return tel.finish()
 }
 
 func cmdSensitivity(args []string) error {
-	fs := flag.NewFlagSet("sensitivity", flag.ExitOnError)
+	fs := newFlagSet("sensitivity")
 	bench := fs.String("bench", "cc", "graph benchmark: cc or rank")
 	fw := fs.String("framework", "spark", "framework: spark or hadoop")
 	scale := fs.Int("graphscale", 19, "Kronecker scale of the Table II inputs")
 	seed := fs.Uint64("seed", 42, "random seed")
 	workers := workersFlag(fs)
-	fs.Parse(args)
+	tel := telemetryFlags(fs)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	if *bench != "cc" && *bench != "rank" {
-		return fmt.Errorf("sensitivity: -bench must be cc or rank")
+		return usageErr(fs, "-bench must be cc or rank, got %q", *bench)
+	}
+	if *fw != "spark" && *fw != "hadoop" {
+		return usageErr(fs, "unknown -framework %q (spark or hadoop)", *fw)
+	}
+	if err := tel.start("sensitivity", args); err != nil {
+		return err
 	}
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
@@ -370,5 +528,9 @@ func cmdSensitivity(args []string) error {
 	kept := rep.SensitivePointFraction(ph, sp.UnitIDs)
 	fmt.Printf("%d sensitive, %d insensitive phases; %.0f%% of simulation points can be skipped per reference input\n",
 		sens, insens, 100*(1-kept))
-	return nil
+	if tel.manifest != nil {
+		tel.manifest.Workload = workloadInfo(tr, *seed, *workers)
+		tel.manifest.Phases = phaseInfo(ph)
+	}
+	return tel.finish()
 }

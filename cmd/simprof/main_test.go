@@ -1,0 +1,190 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"simprof/internal/core"
+	"simprof/internal/obs"
+	"simprof/internal/workloads"
+)
+
+// TestFlagValidation checks that every bad flag value fails through the
+// uniform "usage: simprof <cmd>: ..." error path — no panics, no silent
+// defaults, no os.Exit from inside flag parsing.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func([]string) error
+		args []string
+		want string
+	}{
+		{"profile/no-out", cmdProfile, []string{"-bench", "wc"}, "usage: simprof profile"},
+		{"profile/bad-bench", cmdProfile, []string{"-bench", "nope", "-out", os.DevNull}, `unknown -bench "nope"`},
+		{"profile/bad-framework", cmdProfile, []string{"-framework", "flink", "-out", os.DevNull}, `unknown -framework "flink"`},
+		{"profile/bad-faults", cmdProfile, []string{"-out", os.DevNull, "-faults", "bogus=="}, "usage: simprof profile"},
+		{"profile/unknown-flag", cmdProfile, []string{"-wat"}, "usage: simprof profile"},
+		{"phases/no-trace", cmdPhases, []string{}, "usage: simprof phases"},
+		{"sample/no-trace", cmdSample, []string{"-n", "5"}, "usage: simprof sample"},
+		{"sample/zero-n", cmdSample, []string{"-trace", "x.gob", "-n", "0"}, "-n must be positive"},
+		{"sample/neg-n", cmdSample, []string{"-trace", "x.gob", "-n", "-3"}, "-n must be positive"},
+		{"sample/bad-confidence", cmdSample, []string{"-trace", "x.gob", "-confidence", "1.5"}, "-confidence must be in (0,1)"},
+		{"plan/no-trace", cmdPlan, []string{}, "usage: simprof plan"},
+		{"plan/err-zero", cmdPlan, []string{"-trace", "x.gob", "-err", "0"}, "-err must be in (0,1)"},
+		{"plan/err-one", cmdPlan, []string{"-trace", "x.gob", "-err", "1"}, "-err must be in (0,1)"},
+		{"compare/zero-n", cmdCompare, []string{"-trace", "x.gob", "-n", "0"}, "-n must be positive"},
+		{"sensitivity/bad-bench", cmdSensitivity, []string{"-bench", "wc"}, "-bench must be cc or rank"},
+		{"sensitivity/bad-framework", cmdSensitivity, []string{"-bench", "cc", "-framework", "f"}, `unknown -framework "f"`},
+		{"inspect/no-manifest", cmdInspect, []string{}, "usage: simprof inspect"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.run(tc.args)
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+			if !strings.HasPrefix(err.Error(), "usage: simprof "+strings.SplitN(tc.name, "/", 2)[0]) {
+				t.Fatalf("error %q does not use the uniform usage prefix", err)
+			}
+		})
+	}
+}
+
+// TestHelpFlag checks -h prints usage and resolves to errHelp (exit 0),
+// not a failure.
+func TestHelpFlag(t *testing.T) {
+	if err := cmdSample([]string{"-h"}); err != errHelp {
+		t.Fatalf("-h: got %v, want errHelp", err)
+	}
+}
+
+// smallTrace profiles a scaled-down wc_spark run and writes it as a gob
+// trace for CLI tests.
+func smallTrace(t *testing.T) string {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Seed = 7
+	opts := workloads.Options{Cores: 4, TextBytes: 48 << 20}
+	in, err := workloads.DefaultInput("wc", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := core.ProfileWorkload("wc", "spark", in, opts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "wc_sp.gob")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.EncodeGob(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareTelemetryInspectRoundTrip runs 'simprof compare -telemetry'
+// against a real (small) trace, decodes the manifest it wrote, checks
+// the structured sections, and renders it back through 'simprof
+// inspect'.
+func TestCompareTelemetryInspectRoundTrip(t *testing.T) {
+	defer obs.Disable()
+	trPath := smallTrace(t)
+	mPath := filepath.Join(t.TempDir(), "run.json")
+
+	args := []string{"-trace", trPath, "-n", "12", "-seed", "7", "-telemetry", mPath}
+	if err := cmdCompare(args); err != nil {
+		t.Fatalf("compare: %v", err)
+	}
+
+	m, err := obs.ReadManifestFile(mPath)
+	if err != nil {
+		t.Fatalf("read manifest: %v", err)
+	}
+	if m.Tool != "simprof compare" {
+		t.Errorf("tool = %q", m.Tool)
+	}
+	if m.Build.GoVersion == "" {
+		t.Error("build info missing go version")
+	}
+	if m.Workload == nil || m.Workload.Benchmark != "wc" || m.Workload.Units == 0 {
+		t.Errorf("workload section incomplete: %+v", m.Workload)
+	}
+	if m.Phases == nil || m.Phases.K < 1 || len(m.Phases.KScores) == 0 {
+		t.Fatalf("phase section incomplete: %+v", m.Phases)
+	}
+	if m.Sampling == nil || m.Sampling.Method != "SimProf" || m.Sampling.N != 12 {
+		t.Fatalf("sampling section incomplete: %+v", m.Sampling)
+	}
+	if len(m.Sampling.Strata) != m.Phases.K {
+		t.Errorf("allocation table has %d rows, want k=%d", len(m.Sampling.Strata), m.Phases.K)
+	}
+	total := 0
+	for _, s := range m.Sampling.Strata {
+		total += s.Alloc
+	}
+	if total != m.Sampling.N {
+		t.Errorf("allocations sum to %d, want n=%d", total, m.Sampling.N)
+	}
+	if m.Sampling.CILo > m.Sampling.EstCPI || m.Sampling.CIHi < m.Sampling.EstCPI {
+		t.Errorf("CI [%v, %v] does not bracket estimate %v", m.Sampling.CILo, m.Sampling.CIHi, m.Sampling.EstCPI)
+	}
+	if m.Spans == nil || len(m.Spans.Children) == 0 {
+		t.Fatal("manifest has no span tree")
+	}
+	found := map[string]bool{}
+	m.Spans.Walk(func(sp *obs.Span, depth int) { found[sp.Name] = true })
+	for _, want := range []string{"simprof compare", "phase.form", "phase.cluster", "sampling.simprof"} {
+		if !found[want] {
+			t.Errorf("span tree missing %q", want)
+		}
+	}
+	if len(m.Metrics) == 0 {
+		t.Error("manifest has no metrics")
+	}
+
+	if err := cmdInspect([]string{"-manifest", mPath}); err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+}
+
+// TestProfileFaultManifest checks that 'simprof profile -faults
+// -telemetry' records the fault channel counts in the manifest.
+func TestProfileFaultManifest(t *testing.T) {
+	defer obs.Disable()
+	dir := t.TempDir()
+	out := filepath.Join(dir, "wc.gob")
+	mPath := filepath.Join(dir, "profile.json")
+	args := []string{"-bench", "wc", "-framework", "spark", "-seed", "7",
+		"-textbytes", "50331648", "-faults", "rate=0.08", "-out", out, "-telemetry", mPath}
+	if err := cmdProfile(args); err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	m, err := obs.ReadManifestFile(mPath)
+	if err != nil {
+		t.Fatalf("read manifest: %v", err)
+	}
+	if m.Faults == nil {
+		t.Fatal("manifest has no fault section")
+	}
+	if m.Faults.Spec == "" || m.Faults.Seed == 0 {
+		t.Errorf("fault provenance incomplete: %+v", m.Faults)
+	}
+	injected := m.Faults.CountersDropped + m.Faults.Multiplexed + m.Faults.SnapshotsLost +
+		m.Faults.UnitsLost + m.Faults.Duplicated + m.Faults.Displaced
+	if injected == 0 {
+		t.Error("rate=0.08 injected nothing")
+	}
+	if m.Workload == nil || m.Workload.DegradedFraction == 0 {
+		t.Errorf("workload degraded fraction not recorded: %+v", m.Workload)
+	}
+}

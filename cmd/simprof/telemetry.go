@@ -1,0 +1,176 @@
+package main
+
+import (
+	"expvar"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"sync"
+
+	"simprof/internal/faults"
+	"simprof/internal/obs"
+	"simprof/internal/phase"
+	"simprof/internal/sampling"
+	"simprof/internal/stats"
+	"simprof/internal/trace"
+)
+
+// telemetry carries the observability knobs shared by every simprof
+// subcommand: -telemetry writes a JSON run manifest, -pprof serves
+// net/http/pprof plus an expvar snapshot of the obs registry. Either
+// flag enables the obs subsystem; with both empty the pipeline runs
+// with the allocation-free no-op sink.
+type telemetry struct {
+	manifestPath string
+	pprofAddr    string
+	manifest     *obs.Manifest
+	root         *obs.Span
+}
+
+// telemetryFlags registers the shared observability flags.
+func telemetryFlags(fs *flag.FlagSet) *telemetry {
+	t := &telemetry{}
+	fs.StringVar(&t.manifestPath, "telemetry", "",
+		"write a JSON run manifest (span tree, metrics, allocation tables) to this file")
+	fs.StringVar(&t.pprofAddr, "pprof", "",
+		"serve net/http/pprof and an expvar snapshot of the telemetry registry on this address (e.g. localhost:6060)")
+	return t
+}
+
+// start enables telemetry (when requested), opens the run's root span
+// and starts the pprof server.
+func (t *telemetry) start(cmd string, args []string) error {
+	if t.manifestPath == "" && t.pprofAddr == "" {
+		return nil
+	}
+	obs.Enable()
+	if t.pprofAddr != "" {
+		if err := servePprof(t.pprofAddr); err != nil {
+			return err
+		}
+	}
+	t.manifest = obs.NewManifest("simprof "+cmd, args)
+	t.root = obs.StartRun("simprof " + cmd)
+	return nil
+}
+
+// finish closes the root span, snapshots metrics and spans into the
+// manifest and writes it. A no-op when telemetry was not requested.
+func (t *telemetry) finish() error {
+	if t.manifest == nil {
+		return nil
+	}
+	t.root.End()
+	t.manifest.Finalize()
+	if t.manifestPath == "" {
+		return nil
+	}
+	if err := t.manifest.WriteFile(t.manifestPath); err != nil {
+		return err
+	}
+	fmt.Printf("telemetry manifest → %s\n", t.manifestPath)
+	return nil
+}
+
+// expvar publication is process-global; guard against double Publish
+// when tests start several servers.
+var pprofOnce sync.Once
+
+// servePprof binds addr and serves the default mux (pprof handlers +
+// expvar) in the background for the lifetime of the process. Binding
+// errors surface immediately instead of dying silently in a goroutine.
+func servePprof(addr string) error {
+	pprofOnce.Do(func() {
+		expvar.Publish("simprof_obs", expvar.Func(func() any {
+			return obs.Default().Snapshot()
+		}))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("pprof: listen %s: %w", addr, err)
+	}
+	fmt.Printf("pprof + expvar on http://%s/debug/pprof\n", ln.Addr())
+	go func() { _ = http.Serve(ln, nil) }()
+	return nil
+}
+
+// workloadInfo fills the manifest's workload section from a trace.
+func workloadInfo(tr *trace.Trace, seed uint64, workers int) *obs.WorkloadInfo {
+	return &obs.WorkloadInfo{
+		Benchmark:        tr.Benchmark,
+		Framework:        tr.Framework,
+		Input:            tr.Input,
+		Seed:             seed,
+		Workers:          workers,
+		Units:            len(tr.Units),
+		UnitInstr:        tr.UnitInstr,
+		OracleCPI:        tr.OracleCPI(),
+		DegradedFraction: tr.DegradedFraction(),
+		Quality:          tr.Summarize().String(),
+	}
+}
+
+// phaseInfo fills the manifest's phase-formation section.
+func phaseInfo(ph *phase.Phases) *obs.PhaseInfo {
+	return &obs.PhaseInfo{
+		K:                ph.K,
+		Silhouette:       ph.Silhouette,
+		KScores:          ph.KScores,
+		DegradedFraction: ph.DegradedFraction(),
+	}
+}
+
+// faultInfo fills the manifest's fault-injection section.
+func faultInfo(cfg faults.Config, rep faults.Report, repair trace.RepairReport) *obs.FaultInfo {
+	fi := &obs.FaultInfo{
+		Spec:            cfg.String(),
+		Seed:            cfg.Seed,
+		CountersDropped: rep.CountersDropped,
+		Multiplexed:     rep.Multiplexed,
+		SnapshotsLost:   rep.SnapshotsLost,
+		CrashedThreads:  rep.CrashedThreads,
+		UnitsLost:       rep.UnitsLost,
+		Duplicated:      rep.Duplicated,
+		Displaced:       rep.Displaced,
+	}
+	if repair.Changed() {
+		fi.Repair = repair.String()
+	}
+	return fi
+}
+
+// samplingInfo fills the manifest's sampling section, including the
+// per-stratum Neyman allocation table.
+func samplingInfo(ph *phase.Phases, sp sampling.Stratified, n int, conf float64) *obs.SamplingInfo {
+	iv := sp.CI(conf)
+	si := &obs.SamplingInfo{
+		Method:      sp.Method,
+		N:           n,
+		Confidence:  conf,
+		EstCPI:      sp.EstCPI,
+		SE:          sp.SE,
+		CILo:        iv.Lo(),
+		CIHi:        iv.Hi(),
+		OracleCPI:   ph.Trace.OracleCPI(),
+		RelErr:      sp.Err(ph.Trace),
+		SEInflation: sp.SEInflation,
+	}
+	Nh := ph.Sizes()
+	measured := ph.MeasuredSizes()
+	weights := ph.Weights()
+	for h := 0; h < ph.K; h++ {
+		si.Strata = append(si.Strata, obs.StratumInfo{
+			Phase:       h,
+			Units:       Nh[h],
+			Measured:    measured[h],
+			Weight:      weights[h],
+			Sigma:       stats.StdDev(ph.PhaseCPIs(h)),
+			Alloc:       sp.Alloc[h],
+			SampledMean: sp.PhaseMean[h],
+			Imputed:     sp.Imputed[h],
+		})
+	}
+	return si
+}

@@ -3,7 +3,21 @@ package cluster
 import (
 	"fmt"
 
+	"simprof/internal/obs"
 	"simprof/internal/parallel"
+)
+
+// Sweep telemetry: how long each k of the silhouette sweep costs and
+// how many sweeps ran. Per-k timings use a histogram (not spans)
+// because the sweep tasks run concurrently on the worker pool.
+var (
+	obsSweeps = obs.NewCounter("cluster.choosek_sweeps",
+		"ChooseK sweeps run")
+	obsSweepK = obs.NewCounter("cluster.choosek_ks",
+		"k values swept (clustering + silhouette each)")
+	obsSweepSeconds = obs.NewHistogram("cluster.choosek_k_seconds",
+		"wall seconds per swept k (k-means restarts + silhouette)",
+		0.001, 0.01, 0.1, 1, 10)
 )
 
 // KSelection records the outcome of the k sweep used by phase formation.
@@ -80,8 +94,10 @@ func ChooseK(points [][]float64, opts ChooseKOptions) (KSelection, error) {
 	results := make([]Result, maxK+1)
 	// k = 1 scores 0 by definition (silhouette undefined).
 	sel.Scores[0] = 0
+	obsSweeps.Inc()
 	err := eng.ForEachIndexErr(maxK-1, func(i int) error {
 		k := i + 2
+		t := obs.StartTimer()
 		kmOpts := o.KMeans
 		kmOpts.Seed = o.KMeans.Seed + uint64(k)*101
 		res, err := kMeansWith(eng, points, k, kmOpts)
@@ -90,6 +106,8 @@ func ChooseK(points [][]float64, opts ChooseKOptions) (KSelection, error) {
 		}
 		results[k] = res
 		sel.Scores[k-1] = SimplifiedSilhouetteWith(eng, points, res.Centers, res.Assign)
+		obsSweepK.Inc()
+		obsSweepSeconds.ObserveTimer(t)
 		return nil
 	})
 	if err != nil {

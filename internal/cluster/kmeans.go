@@ -17,8 +17,24 @@ import (
 	"math"
 	"math/rand/v2"
 
+	"simprof/internal/obs"
 	"simprof/internal/parallel"
 	"simprof/internal/stats"
+)
+
+// Clustering telemetry: per-restart convergence behaviour and the cost
+// of the k sweep. Recorded only while obs is enabled.
+var (
+	obsRestarts = obs.NewCounter("cluster.restarts",
+		"independent k-means restarts run")
+	obsLloydIters = obs.NewHistogram("cluster.lloyd_iters",
+		"Lloyd iterations per restart until convergence",
+		1, 2, 4, 8, 16, 32, 64)
+	obsConvergenceDelta = obs.NewHistogram("cluster.convergence_delta",
+		"final |Δinertia| of each restart (absolute, pre-tolerance scale)",
+		1e-12, 1e-9, 1e-6, 1e-3, 1, 1e3)
+	obsEmptyReseeds = obs.NewCounter("cluster.empty_reseeds",
+		"empty clusters re-seeded at the farthest point")
 )
 
 // pointChunk is the fixed chunk size for loops over points. It is part
@@ -243,6 +259,7 @@ func lloyd(points [][]float64, k int, rng *rand.Rand, o Options, eng *parallel.E
 		}
 		for c := range next {
 			if sizes[c] == 0 {
+				obsEmptyReseeds.Inc()
 				// Re-seed an empty cluster at the point farthest from
 				// its center — standard k-means repair.
 				far, farD := 0, -1.0
@@ -268,6 +285,11 @@ func lloyd(points [][]float64, k int, rng *rand.Rand, o Options, eng *parallel.E
 	// Final assignment pass so Assign/Sizes/Inertia are consistent with
 	// the returned (post-update) centers.
 	inertia = assignPoints(eng, points, centers, assign, sizes, sc, false)
+	obsRestarts.Inc()
+	obsLloydIters.Observe(float64(iter + 1))
+	if !math.IsInf(prev, 1) {
+		obsConvergenceDelta.Observe(math.Abs(prev - inertia))
+	}
 	return Result{K: k, Centers: centers, Assign: assign, Sizes: sizes, Inertia: inertia, Iters: iter + 1}
 }
 

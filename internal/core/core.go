@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"simprof/internal/cpu"
+	"simprof/internal/obs"
 	"simprof/internal/phase"
 	"simprof/internal/profiler"
 	"simprof/internal/sampling"
@@ -65,6 +66,8 @@ func DefaultConfig() Config {
 // on the simulated machine and collects the profiling trace. Hadoop
 // traces are merged per core automatically (§III-A).
 func ProfileWorkload(bench, framework string, in synth.InputStats, wopts workloads.Options, cfg Config) (*trace.Trace, error) {
+	span := obs.StartSpan("core.profile " + bench + "_" + framework)
+	defer span.End()
 	wopts.Seed = cfg.Seed
 	threads, table, err := workloads.Build(bench, framework, in, wopts)
 	if err != nil {

@@ -21,8 +21,30 @@ import (
 	"strings"
 
 	"simprof/internal/model"
+	"simprof/internal/obs"
 	"simprof/internal/stats"
 	"simprof/internal/trace"
+)
+
+// Per-channel injection telemetry, one counter per fault class, so a
+// run manifest can attribute degradation to its source.
+var (
+	obsApplies = obs.NewCounter("faults.applies",
+		"fault schedules applied to a trace")
+	obsDropped = obs.NewCounter("faults.counters_dropped",
+		"units whose counters were zeroed by injection")
+	obsMuxed = obs.NewCounter("faults.multiplexed",
+		"units with multiplex-scaled counter readings")
+	obsSnapsLost = obs.NewCounter("faults.snapshots_lost",
+		"call-stack snapshots removed by injection")
+	obsCrashes = obs.NewCounter("faults.crashed_threads",
+		"thread streams truncated by injected crashes")
+	obsUnitsLost = obs.NewCounter("faults.units_lost",
+		"units removed by injected crashes")
+	obsDuplicated = obs.NewCounter("faults.duplicated",
+		"units duplicated by injected retry uploads")
+	obsDisplaced = obs.NewCounter("faults.displaced",
+		"units displaced by injected reordering")
 )
 
 // Config sets the per-channel fault rates. All rates are probabilities
@@ -220,7 +242,20 @@ func Apply(tr *trace.Trace, cfg Config) (*trace.Trace, Report, error) {
 	applySnapshotLoss(out, cfg, &rep)
 	applyDuplicates(out, cfg, &rep)
 	applyReorder(out, cfg, &rep)
+	rep.observe()
 	return out, rep, nil
+}
+
+// observe mirrors the report into the per-channel counters.
+func (r Report) observe() {
+	obsApplies.Inc()
+	obsDropped.Add(int64(r.CountersDropped))
+	obsMuxed.Add(int64(r.Multiplexed))
+	obsSnapsLost.Add(int64(r.SnapshotsLost))
+	obsCrashes.Add(int64(r.CrashedThreads))
+	obsUnitsLost.Add(int64(r.UnitsLost))
+	obsDuplicated.Add(int64(r.Duplicated))
+	obsDisplaced.Add(int64(r.Displaced))
 }
 
 // cloneTrace deep-copies the parts Apply may mutate (units and their

@@ -1,0 +1,113 @@
+package obs_test
+
+import (
+	"math"
+	"testing"
+
+	"simprof/internal/core"
+	"simprof/internal/obs"
+	"simprof/internal/workloads"
+)
+
+type pipelineResult struct {
+	oracleCPI uint64 // Float64bits
+	k         int
+	sil       uint64
+	estCPI    uint64
+	se        uint64
+	unitIDs   []int
+	assign    []int
+	alloc     []int
+}
+
+func runPipeline(t *testing.T) pipelineResult {
+	t.Helper()
+	opts := workloads.Options{
+		Cores: 4, TextBytes: 48 << 20, SortBytes: 64 << 20,
+		GraphScale: 15, GraphEdgeFactor: 12,
+		SparkIterations: 5, HadoopIterations: 2,
+	}
+	cfg := core.DefaultConfig()
+	cfg.Seed = 11
+	in, err := workloads.DefaultInput("wc", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := core.ProfileWorkload("wc", "hadoop", in, opts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph, err := core.FormPhases(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := core.SelectPoints(ph, 20, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pipelineResult{
+		oracleCPI: math.Float64bits(tr.OracleCPI()),
+		k:         ph.K,
+		sil:       math.Float64bits(ph.Silhouette),
+		estCPI:    math.Float64bits(sp.EstCPI),
+		se:        math.Float64bits(sp.SE),
+		unitIDs:   sp.UnitIDs,
+		assign:    ph.Assign,
+		alloc:     sp.Alloc,
+	}
+}
+
+// TestTelemetryDoesNotPerturbPipeline is the determinism contract of
+// DESIGN.md §10: every numeric pipeline output is bit-for-bit identical
+// with telemetry recording on or off. Instrumentation may count and
+// time, but it may not touch an RNG stream or a floating-point
+// accumulation.
+func TestTelemetryDoesNotPerturbPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run")
+	}
+	obs.Disable()
+	off := runPipeline(t)
+
+	obs.Enable()
+	root := obs.StartRun("determinism-test")
+	on := runPipeline(t)
+	root.End()
+	obs.Disable()
+
+	if off.oracleCPI != on.oracleCPI {
+		t.Errorf("oracle CPI differs: %x vs %x", off.oracleCPI, on.oracleCPI)
+	}
+	if off.k != on.k || off.sil != on.sil {
+		t.Errorf("phase formation differs: k %d/%d sil %x/%x", off.k, on.k, off.sil, on.sil)
+	}
+	if off.estCPI != on.estCPI || off.se != on.se {
+		t.Errorf("estimate differs: est %x/%x se %x/%x", off.estCPI, on.estCPI, off.se, on.se)
+	}
+	if len(off.unitIDs) != len(on.unitIDs) {
+		t.Fatalf("sample sizes differ: %d vs %d", len(off.unitIDs), len(on.unitIDs))
+	}
+	for i := range off.unitIDs {
+		if off.unitIDs[i] != on.unitIDs[i] {
+			t.Fatalf("unit id %d differs: %d vs %d", i, off.unitIDs[i], on.unitIDs[i])
+		}
+	}
+	for i := range off.assign {
+		if off.assign[i] != on.assign[i] {
+			t.Fatalf("assignment %d differs", i)
+		}
+	}
+	for h := range off.alloc {
+		if off.alloc[h] != on.alloc[h] {
+			t.Fatalf("allocation %d differs: %d vs %d", h, off.alloc[h], on.alloc[h])
+		}
+	}
+
+	// The enabled run should actually have recorded something.
+	if len(obs.Default().Snapshot()) == 0 {
+		t.Error("enabled run recorded no metrics — instrumentation missing")
+	}
+	if tree := obs.SpanTree(); tree == nil || len(tree.Children) == 0 {
+		t.Error("enabled run recorded no spans")
+	}
+}

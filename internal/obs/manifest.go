@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
+)
+
+// ManifestVersion is bumped whenever the manifest schema changes shape.
+const ManifestVersion = 1
+
+// Manifest is the structured provenance record of one pipeline run:
+// what ran, with which seeds and knobs, what the pipeline decided
+// (k, silhouette, allocation), what it estimated (CPI, SE, CI), and
+// the telemetry it produced (metric snapshot, span tree). It is plain
+// data with no pipeline imports, so the cmd layer fills the typed
+// sections from the packages that own them.
+type Manifest struct {
+	Version int       `json:"version"`
+	Tool    string    `json:"tool"` // e.g. "simprof compare"
+	Args    []string  `json:"args,omitempty"`
+	Build   BuildInfo `json:"build"`
+
+	Workload *WorkloadInfo `json:"workload,omitempty"`
+	Faults   *FaultInfo    `json:"faults,omitempty"`
+	Phases   *PhaseInfo    `json:"phases,omitempty"`
+	Sampling *SamplingInfo `json:"sampling,omitempty"`
+
+	Metrics []Metric `json:"metrics,omitempty"`
+	Spans   *Span    `json:"spans,omitempty"`
+}
+
+// BuildInfo identifies the binary that produced a manifest.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	// Revision is the VCS revision baked in by the Go toolchain
+	// (git describe equivalent), "devel" when built without VCS stamps.
+	Revision string `json:"revision"`
+	Modified bool   `json:"modified,omitempty"` // dirty working tree
+}
+
+// WorkloadInfo records what was profiled.
+type WorkloadInfo struct {
+	Benchmark string  `json:"benchmark"`
+	Framework string  `json:"framework"`
+	Input     string  `json:"input,omitempty"`
+	Seed      uint64  `json:"seed"`
+	Workers   int     `json:"workers"`
+	Units     int     `json:"units"`
+	UnitInstr uint64  `json:"unit_instr"`
+	OracleCPI float64 `json:"oracle_cpi"`
+	// DegradedFraction is the share of units with any effective quality
+	// flag; Quality is the human-readable tally.
+	DegradedFraction float64 `json:"degraded_fraction"`
+	Quality          string  `json:"quality,omitempty"`
+}
+
+// FaultInfo records an injected fault schedule and its per-channel
+// injection counts.
+type FaultInfo struct {
+	Spec            string `json:"spec"`
+	Seed            uint64 `json:"seed"`
+	CountersDropped int    `json:"counters_dropped"`
+	Multiplexed     int    `json:"multiplexed"`
+	SnapshotsLost   int    `json:"snapshots_lost"`
+	CrashedThreads  int    `json:"crashed_threads"`
+	UnitsLost       int    `json:"units_lost"`
+	Duplicated      int    `json:"duplicated"`
+	Displaced       int    `json:"displaced"`
+	Repair          string `json:"repair,omitempty"` // repair report, if Repair ran
+}
+
+// PhaseInfo records the phase-formation outcome.
+type PhaseInfo struct {
+	K                int       `json:"k"`
+	Silhouette       float64   `json:"silhouette"`
+	KScores          []float64 `json:"k_scores,omitempty"` // silhouette per swept k (index 0 ↔ k=1)
+	DegradedFraction float64   `json:"degraded_fraction"`
+}
+
+// SamplingInfo records a sampling run: the estimate, its uncertainty
+// and the per-stratum allocation that produced it.
+type SamplingInfo struct {
+	Method      string        `json:"method"`
+	N           int           `json:"n"` // requested sample size
+	Confidence  float64       `json:"confidence"`
+	EstCPI      float64       `json:"est_cpi"`
+	SE          float64       `json:"se"`
+	CILo        float64       `json:"ci_lo"`
+	CIHi        float64       `json:"ci_hi"`
+	OracleCPI   float64       `json:"oracle_cpi"`
+	RelErr      float64       `json:"rel_err"`
+	SEInflation float64       `json:"se_inflation,omitempty"`
+	Strata      []StratumInfo `json:"strata,omitempty"`
+}
+
+// StratumInfo is one row of the Neyman allocation table (Eq. 1).
+type StratumInfo struct {
+	Phase       int     `json:"phase"`
+	Units       int     `json:"units"`    // population N_h
+	Measured    int     `json:"measured"` // drawable frame size
+	Weight      float64 `json:"weight"`   // N_h / N
+	Sigma       float64 `json:"sigma"`    // profiled σ_h
+	Alloc       int     `json:"alloc"`    // n_h
+	SampledMean float64 `json:"sampled_mean"`
+	Imputed     bool    `json:"imputed,omitempty"`
+}
+
+// NewManifest builds a manifest shell with build info filled in.
+func NewManifest(tool string, args []string) *Manifest {
+	return &Manifest{
+		Version: ManifestVersion,
+		Tool:    tool,
+		Args:    args,
+		Build:   CurrentBuild(),
+	}
+}
+
+// CurrentBuild reads the binary's build metadata.
+func CurrentBuild() BuildInfo {
+	b := BuildInfo{GoVersion: runtime.Version(), Revision: "devel"}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				b.Revision = s.Value
+			case "vcs.modified":
+				b.Modified = s.Value == "true"
+			}
+		}
+	}
+	return b
+}
+
+// Finalize attaches the default registry's metric snapshot and the
+// current span tree to the manifest. Call once, after the root span's
+// End.
+func (m *Manifest) Finalize() {
+	m.Metrics = Default().Snapshot()
+	m.Spans = SpanTree()
+}
+
+// Encode writes the manifest as indented JSON. Field order is fixed by
+// the struct layout and metric order by name, so the output is
+// deterministic up to durations.
+func (m *Manifest) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		return fmt.Errorf("obs: encode manifest: %w", err)
+	}
+	return nil
+}
+
+// WriteFile writes the manifest to path.
+func (m *Manifest) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: write manifest: %w", err)
+	}
+	defer f.Close()
+	if err := m.Encode(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// DecodeManifest reads a manifest and checks its version.
+func DecodeManifest(r io.Reader) (*Manifest, error) {
+	var m Manifest
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("obs: decode manifest: %w", err)
+	}
+	if m.Version != ManifestVersion {
+		return nil, fmt.Errorf("obs: manifest version %d, this binary reads %d", m.Version, ManifestVersion)
+	}
+	return &m, nil
+}
+
+// ReadManifestFile reads and decodes the manifest at path.
+func ReadManifestFile(path string) (*Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: read manifest: %w", err)
+	}
+	defer f.Close()
+	return DecodeManifest(f)
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one timed region of a run. Spans form a tree: the CLI opens a
+// root with StartRun, pipeline stages open children with StartSpan and
+// close them with End. Durations come from the monotonic clock; the
+// tree structure follows the driver's stage order, which is
+// deterministic because stages open and close sequentially (metrics,
+// not spans, are used inside parallel loops).
+type Span struct {
+	Name string `json:"name"`
+	// StartNS is the span's start offset from the root start, DurNS its
+	// monotonic duration, both in nanoseconds.
+	StartNS  int64   `json:"start_ns"`
+	DurNS    int64   `json:"dur_ns"`
+	Children []*Span `json:"children,omitempty"`
+
+	parent *Span
+	start  time.Time
+}
+
+// Duration returns the span's measured duration.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(s.DurNS)
+}
+
+// SelfDuration returns the span's duration minus its children's — the
+// time spent in the stage itself.
+func (s *Span) SelfDuration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := s.DurNS
+	for _, c := range s.Children {
+		d -= c.DurNS
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// Walk visits the span and every descendant depth-first, passing each
+// node's depth (0 for the receiver).
+func (s *Span) Walk(fn func(sp *Span, depth int)) {
+	if s == nil {
+		return
+	}
+	var rec func(sp *Span, depth int)
+	rec = func(sp *Span, depth int) {
+		fn(sp, depth)
+		for _, c := range sp.Children {
+			rec(c, depth+1)
+		}
+	}
+	rec(s, 0)
+}
+
+// spanState is the process-wide span collector: one tree per run, with
+// a "current" cursor that StartSpan attaches to and End pops.
+var spanState struct {
+	mu      sync.Mutex
+	root    *Span
+	current *Span
+	t0      time.Time
+}
+
+// StartRun resets the span tree and opens a new root span. It returns
+// nil (and collects nothing) while telemetry is disabled.
+func StartRun(name string) *Span {
+	if !enabled.Load() {
+		return nil
+	}
+	spanState.mu.Lock()
+	defer spanState.mu.Unlock()
+	now := time.Now()
+	root := &Span{Name: name, start: now}
+	spanState.root = root
+	spanState.current = root
+	spanState.t0 = now
+	return root
+}
+
+// StartSpan opens a child of the current span and makes it current.
+// Disabled telemetry (or no active run) returns nil; nil spans no-op on
+// End, so call sites need no guards.
+func StartSpan(name string) *Span {
+	if !enabled.Load() {
+		return nil
+	}
+	spanState.mu.Lock()
+	defer spanState.mu.Unlock()
+	if spanState.current == nil {
+		return nil
+	}
+	now := time.Now()
+	s := &Span{
+		Name:    name,
+		StartNS: now.Sub(spanState.t0).Nanoseconds(),
+		parent:  spanState.current,
+		start:   now,
+	}
+	spanState.current.Children = append(spanState.current.Children, s)
+	spanState.current = s
+	return s
+}
+
+// End closes the span, recording its monotonic duration. If the span is
+// the current one, the cursor pops back to its parent; ending out of
+// order just records the duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	spanState.mu.Lock()
+	defer spanState.mu.Unlock()
+	s.DurNS = time.Since(s.start).Nanoseconds()
+	if spanState.current == s {
+		spanState.current = s.parent
+	}
+}
+
+// SpanTree returns the current run's root span, or nil if no run was
+// started. The returned tree is live; call after the root's End.
+func SpanTree() *Span {
+	spanState.mu.Lock()
+	defer spanState.mu.Unlock()
+	return spanState.root
+}
+
+// Timer marks a start time for histogram-recorded durations. The zero
+// Timer (returned while telemetry is disabled) records nothing, so the
+// disabled path performs no clock reads and no allocations.
+type Timer struct{ t time.Time }
+
+// StartTimer returns a running timer, or the zero Timer when disabled.
+func StartTimer() Timer {
+	if !enabled.Load() {
+		return Timer{}
+	}
+	return Timer{t: time.Now()}
+}
+
+// ObserveTimer records the elapsed seconds since t started. Zero timers
+// and nil histograms no-op.
+func (h *Histogram) ObserveTimer(t Timer) {
+	if h == nil || t.t.IsZero() {
+		return
+	}
+	h.Observe(time.Since(t.t).Seconds())
+}

@@ -31,6 +31,23 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"simprof/internal/obs"
+)
+
+// Pool-utilization telemetry (recorded only while obs is enabled; the
+// disabled path is a single atomic load per loop, not per chunk).
+var (
+	obsLoops = obs.NewCounter("parallel.loops",
+		"parallel loops issued on any engine")
+	obsLoopsSerial = obs.NewCounter("parallel.loops_serial",
+		"loops that ran inline on the caller (single chunk or workers=1)")
+	obsChunks = obs.NewCounter("parallel.chunks",
+		"chunks processed across all loops")
+	obsHelpers = obs.NewCounter("parallel.helpers",
+		"helper goroutines launched")
+	obsHelperDenied = obs.NewCounter("parallel.helper_denied",
+		"helper launches denied by an exhausted engine or token budget")
 )
 
 // tokens is the process-wide helper budget. Helpers (extra goroutines
@@ -148,7 +165,10 @@ func (e *Engine) ForEachChunk(n, chunkSize int, fn func(chunk, lo, hi int)) {
 		}
 		fn(c, lo, hi)
 	}
+	obsLoops.Inc()
+	obsChunks.Add(int64(chunks))
 	if chunks == 1 || e.workers <= 1 {
+		obsLoopsSerial.Inc()
 		for c := 0; c < chunks; c++ {
 			run(c)
 		}
@@ -207,13 +227,16 @@ func (e *Engine) acquireHelper() bool {
 	select {
 	case <-e.helpers:
 	default:
+		obsHelperDenied.Inc()
 		return false
 	}
 	select {
 	case <-tokens:
+		obsHelpers.Inc()
 		return true
 	default:
 		e.helpers <- struct{}{}
+		obsHelperDenied.Inc()
 		return false
 	}
 }

@@ -13,9 +13,22 @@ import (
 
 	"simprof/internal/cluster"
 	"simprof/internal/model"
+	"simprof/internal/obs"
 	"simprof/internal/parallel"
 	"simprof/internal/stats"
 	"simprof/internal/trace"
+)
+
+// Phase-formation telemetry: stage spans cover the sequential pipeline
+// stages; counters record how many units entered formation and how many
+// were fenced out as degraded.
+var (
+	obsFormRuns = obs.NewCounter("phase.form_runs",
+		"phase formations run")
+	obsFormUnits = obs.NewCounter("phase.units",
+		"sampling units entering phase formation")
+	obsFormDegraded = obs.NewCounter("phase.degraded_units",
+		"degraded units classified onto formed centers instead of trained on")
 )
 
 // Options controls phase formation. Zero values select the paper's
@@ -151,6 +164,10 @@ func Form(tr *trace.Trace, opts Options) (*Phases, error) {
 	if len(tr.Units) == 0 {
 		return nil, fmt.Errorf("phase: trace has no sampling units")
 	}
+	formSpan := obs.StartSpan("phase.form")
+	defer formSpan.End()
+	obsFormRuns.Inc()
+	obsFormUnits.Add(int64(len(tr.Units)))
 	eng := parallel.New(o.Workers)
 
 	degraded := make([]bool, len(tr.Units))
@@ -166,10 +183,13 @@ func Form(tr *trace.Trace, opts Options) (*Phases, error) {
 		return nil, fmt.Errorf("phase: no fully observed sampling units (all %d degraded)", len(tr.Units))
 	}
 
+	vecSpan := obs.StartSpan("phase.vectorize")
 	full := fullSpace(tr)
 	vectors := full.vectorizeWith(eng, tr)
+	vecSpan.End()
 	// Univariate linear-regression feature selection against IPC, on
 	// fully observed units only (a dropped counter is not IPC 0).
+	selSpan := obs.StartSpan("phase.feature_select")
 	cleanVecs := make([][]float64, len(clean))
 	cleanIPC := make([]float64, len(clean))
 	for k, i := range clean {
@@ -202,12 +222,15 @@ func Form(tr *trace.Trace, opts Options) (*Phases, error) {
 	for k, i := range clean {
 		cleanSelected[k] = selected[i]
 	}
+	selSpan.End()
+	clusterSpan := obs.StartSpan("phase.cluster")
 	sel, err := cluster.ChooseK(cleanSelected, cluster.ChooseKOptions{
 		MaxK:      o.MaxPhases,
 		Threshold: o.SilhouetteThreshold,
 		KMeans:    cluster.Options{Seed: o.Seed},
 		Workers:   o.Workers,
 	})
+	clusterSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("phase: clustering: %w", err)
 	}
@@ -217,6 +240,7 @@ func Form(tr *trace.Trace, opts Options) (*Phases, error) {
 	}
 	// Classify degraded units onto the formed centers so they keep a
 	// phase (and so phase weights reflect the whole execution).
+	obsFormDegraded.Add(int64(len(tr.Units) - len(clean)))
 	for i := range tr.Units {
 		if degraded[i] {
 			c, _ := cluster.NearestCenter(selected[i], sel.Best.Centers)

@@ -1,0 +1,97 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting
+// the file under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run 'go test ./internal/report -update' to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (re-run with -update after intentional changes)\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}
+
+// TestPhaseTableGolden locks in the exact rendering of the phase table
+// that 'simprof phases' prints: column order, alignment, separator and
+// trailing-whitespace rules.
+func TestPhaseTableGolden(t *testing.T) {
+	var buf bytes.Buffer
+	tb := NewTable("", "Phase", "Units", "Weight", "Mean CPI", "CPI CoV", "LLC MPKI", "Type", "Dominant method")
+	rows := []struct {
+		units  int
+		weight float64
+		cpi    float64
+		cov    float64
+		mpki   float64
+		kind   string
+		method string
+	}{
+		{212, 0.930, 1.66, 0.173, 1.52, "map", "WordCount$Map.map"},
+		{16, 0.070, 2.37, 0.134, 4.80, "sort", "TimSort.sort"},
+		{3, 0.000, 0.98, 0.012, 0.11, "io", "DiskStore.write"},
+	}
+	for h, r := range rows {
+		tb.RowS(fmt.Sprint(h), fmt.Sprint(r.units), fmt.Sprintf("%.1f%%", 100*r.weight),
+			fmt.Sprintf("%.2f", r.cpi), fmt.Sprintf("%.3f", r.cov),
+			fmt.Sprintf("%.2f", r.mpki), r.kind, r.method)
+	}
+	tb.Render(&buf)
+	checkGolden(t, "phase_table", buf.Bytes())
+}
+
+// TestCompareTableGolden locks in the rendering of the four-approach
+// comparison table that 'simprof compare' prints.
+func TestCompareTableGolden(t *testing.T) {
+	var buf bytes.Buffer
+	tb := NewTable("wc_sp — CPI estimates (oracle 1.7905)",
+		"Approach", "Points", "Est CPI", "Error")
+	for _, r := range []struct {
+		method string
+		points int
+		est    float64
+		err    float64
+	}{
+		{"SECOND", 193, 1.7403, 0.0281},
+		{"SRS", 20, 1.7146, 0.0424},
+		{"CODE", 2, 1.5621, 0.1276},
+		{"SimProf", 20, 1.7078, 0.0462},
+	} {
+		tb.RowS(r.method, fmt.Sprint(r.points), fmt.Sprintf("%.4f", r.est),
+			fmt.Sprintf("%.2f%%", 100*r.err))
+	}
+	tb.Render(&buf)
+	checkGolden(t, "compare_table", buf.Bytes())
+}
+
+// TestBarChartGolden locks in the bar-chart rendering used by the
+// Fig. 9 phase-count chart.
+func TestBarChartGolden(t *testing.T) {
+	var buf bytes.Buffer
+	BarChart(&buf, "Fig. 9 — number of phases",
+		[]string{"wc_sp", "sort_hp", "cc_sp"}, []float64{4, 7, 2}, "%.0f")
+	checkGolden(t, "bar_chart", buf.Bytes())
+}

@@ -5,8 +5,22 @@ import (
 	"math"
 	"sort"
 
+	"simprof/internal/obs"
 	"simprof/internal/phase"
 	"simprof/internal/stats"
+)
+
+// Allocation telemetry: how the Neyman allocator behaved and how much
+// imputation widened the reported uncertainty.
+var (
+	obsDraws = obs.NewCounter("sampling.draws",
+		"simulation points drawn by stratified sampling")
+	obsImputedStrata = obs.NewCounter("sampling.imputed_strata",
+		"strata with no measurable unit, mean-imputed into the estimate")
+	obsSEInflation = obs.NewGauge("sampling.se_inflation",
+		"latest SE inflation factor charged for imputation (≥1)")
+	obsSigmaFallbacks = obs.NewCounter("sampling.sigma_fallbacks",
+		"degraded strata whose zero sampled s_h fell back to the pooled spread")
 )
 
 // NeymanAllocation distributes the overall sample size n across strata
@@ -157,6 +171,8 @@ type Stratified struct {
 // N_h²·s_pool² variance term so the reported CI widens instead of
 // pretending the missing phase was measured.
 func SimProf(ph *phase.Phases, n int, seed uint64) (Stratified, error) {
+	span := obs.StartSpan("sampling.simprof")
+	defer span.End()
 	if ph.K == 0 || len(ph.Assign) == 0 {
 		return Stratified{}, fmt.Errorf("sampling: no phases")
 	}
@@ -220,6 +236,7 @@ func SimProf(ph *phase.Phases, n int, seed uint64) (Stratified, error) {
 		// pooled clean spread instead. Fully-measured strata (the clean
 		// path) never take this branch.
 		if sh == 0 && capacity[h] < Nh[h] {
+			obsSigmaFallbacks.Inc()
 			var clean []float64
 			for g := 0; g < ph.K; g++ {
 				clean = append(clean, ph.PhaseCPIs(g)...)
@@ -249,6 +266,7 @@ func SimProf(ph *phase.Phases, n int, seed uint64) (Stratified, error) {
 				continue
 			}
 			out.Imputed[h] = true
+			obsImputedStrata.Inc()
 			out.PhaseMean[h] = pooledMean
 			out.EstCPI += out.Weights[h] * pooledMean
 			NhF := float64(Nh[h])
@@ -259,6 +277,8 @@ func SimProf(ph *phase.Phases, n int, seed uint64) (Stratified, error) {
 	if measuredVariance > 0 && variance > measuredVariance {
 		out.SEInflation = math.Sqrt(variance / measuredVariance)
 	}
+	obsDraws.Add(int64(len(out.UnitIDs)))
+	obsSEInflation.Set(out.SEInflation)
 	return out, nil
 }
 

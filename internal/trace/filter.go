@@ -1,7 +1,6 @@
 package trace
 
 import (
-
 	"simprof/internal/model"
 )
 

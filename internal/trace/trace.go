@@ -12,6 +12,16 @@ import (
 	"io"
 
 	"simprof/internal/model"
+	"simprof/internal/obs"
+)
+
+// Decode/validate telemetry: how many traces crossed the trust boundary
+// and how many were rejected there.
+var (
+	obsDecodes = obs.NewCounter("trace.decodes",
+		"traces decoded successfully (gob + json)")
+	obsDecodeErrors = obs.NewCounter("trace.decode_errors",
+		"trace decodes rejected (malformed bytes or failed validation)")
 )
 
 // Counters are the per-unit hardware counter values the profiler's
@@ -151,11 +161,14 @@ func (t *Trace) EncodeGob(w io.Writer) error {
 func DecodeGob(r io.Reader) (*Trace, error) {
 	var t Trace
 	if err := gob.NewDecoder(r).Decode(&t); err != nil {
+		obsDecodeErrors.Inc()
 		return nil, fmt.Errorf("trace: decode gob: %w", err)
 	}
 	if err := t.Validate(); err != nil {
+		obsDecodeErrors.Inc()
 		return nil, fmt.Errorf("trace: decode gob: %w", err)
 	}
+	obsDecodes.Inc()
 	return &t, nil
 }
 
@@ -170,10 +183,13 @@ func (t *Trace) EncodeJSON(w io.Writer) error {
 func DecodeJSON(r io.Reader) (*Trace, error) {
 	var t Trace
 	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		obsDecodeErrors.Inc()
 		return nil, fmt.Errorf("trace: decode json: %w", err)
 	}
 	if err := t.Validate(); err != nil {
+		obsDecodeErrors.Inc()
 		return nil, fmt.Errorf("trace: decode json: %w", err)
 	}
+	obsDecodes.Inc()
 	return &t, nil
 }

@@ -6,6 +6,21 @@ import (
 	"strings"
 
 	"simprof/internal/model"
+	"simprof/internal/obs"
+)
+
+// Repair telemetry: what normalization actually did across a run.
+var (
+	obsRepairs = obs.NewCounter("trace.repairs",
+		"Repair passes run")
+	obsRepairChanged = obs.NewCounter("trace.repairs_changed",
+		"Repair passes that modified the trace")
+	obsRepairDropped = obs.NewCounter("trace.repair_units_dropped",
+		"duplicate units dropped by Repair")
+	obsRepairReordered = obs.NewCounter("trace.repair_units_reordered",
+		"units moved back into stream order by Repair")
+	obsRepairFlagged = obs.NewCounter("trace.repair_units_flagged",
+		"quality flags materialized by Repair (missing+partial+truncated)")
 )
 
 // Quality is a bitmask of per-unit degradation flags. A zero value (OK)
@@ -365,6 +380,13 @@ func (t *Trace) Repair() (RepairReport, error) {
 			rep.FlaggedPartial++
 		}
 		u.Quality &= qualityKnown
+	}
+	obsRepairs.Inc()
+	if rep.Changed() {
+		obsRepairChanged.Inc()
+		obsRepairDropped.Add(int64(rep.UnitsDropped))
+		obsRepairReordered.Add(int64(rep.UnitsReordered))
+		obsRepairFlagged.Add(int64(rep.FlaggedMissing + rep.FlaggedPartial + rep.FlaggedTruncated))
 	}
 	return rep, t.Validate()
 }

@@ -43,9 +43,9 @@ func TestValidateAcceptsGoodTrace(t *testing.T) {
 
 func TestValidateStructuralErrors(t *testing.T) {
 	cases := []struct {
-		name  string
+		name   string
 		break_ func(*Trace)
-		want  string
+		want   string
 	}{
 		{"zero unit size", func(tr *Trace) { tr.UnitInstr = 0 }, "unitinstr"},
 		{"cadence above unit", func(tr *Trace) { tr.SnapshotEvery = 1000 }, "snapshotevery"},

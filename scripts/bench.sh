@@ -1,0 +1,27 @@
+#!/bin/sh
+# Benchmark snapshot for the performance-tracked kernels: the k sweep
+# (ChooseK), phase formation end-to-end (Form), SimProf's stratified
+# selection, and the telemetry fast paths (disabled must stay at
+# 0 allocs/op, enabled is the instrumented cost). Results stream to
+# BENCH_pipeline.json in `go test -json` (test2json) format so CI can
+# diff runs; the classic benchmark lines echo to stdout for humans.
+set -eu
+
+OUT="${1:-BENCH_pipeline.json}"
+BENCHTIME="${BENCHTIME:-1x}"
+
+go test -run '^$' \
+	-bench '^(BenchmarkChooseK|BenchmarkForm$|BenchmarkSimProfSelection$|BenchmarkTelemetry)' \
+	-benchtime "$BENCHTIME" -benchmem -json \
+	./internal/cluster ./internal/phase ./internal/sampling ./internal/obs \
+	>"$OUT"
+
+echo "wrote $OUT"
+# Re-surface the human-readable result lines: test2json may split a
+# benchmark's name and its result into separate Output events, so
+# reassemble the raw stream before filtering.
+grep -o '"Output":"[^"]*"' "$OUT" |
+	sed -e 's/^"Output":"//' -e 's/"$//' |
+	awk '{ printf "%s", $0 } END { print "" }' |
+	sed -e 's/\\n/\n/g' -e 's/\\t/\t/g' |
+	grep 'ns/op'

@@ -1,19 +1,90 @@
 #!/bin/sh
-# CI gate: build everything, lint with vet, then run the full test suite
-# under the race detector so the parallel compute kernels (the k sweep,
-# k-means restarts, silhouette passes, the experiment driver) are
-# exercised with synchronization checking on every change. A short
-# fuzzing smoke on the trace decoders closes the loop on the failure
-# model: no byte stream may panic the decode path.
-set -eux
+# CI gate, in named stages so a red run says which contract broke:
+#
+#   tier1-build   go build ./...            (everything compiles)
+#   tier1-test    go test ./...             (the correctness suite)
+#   vet           go vet ./...              (static checks)
+#   gofmt         gofmt -l                  (no unformatted files)
+#   race          go test -race ./...       (parallel kernels under the
+#                                            race detector)
+#   bench-smoke   telemetry disabled path   (0 allocs/op or the no-op
+#                                            sink contract is broken)
+#   fuzz-smoke    trace decoders            (no byte stream may panic
+#                                            the decode path)
+#
+# tier1-* is the fast must-stay-green core; the later stages are the
+# slower hardening smoke. Run individual stages with ./scripts/check.sh
+# <stage> [stage...].
+set -u
 
-go build ./...
-go vet ./...
-go test -race ./...
+fail() {
+	echo "FAIL stage=$1" >&2
+	exit 1
+}
 
-# Fuzz smoke: a small time budget per decoder target. Any crasher the
-# engine finds is persisted under internal/trace/testdata/fuzz and will
-# fail plain `go test` runs from then on.
-for target in FuzzDecodeGob FuzzDecodeJSON; do
-	go test -run='^$' -fuzz="^${target}\$" -fuzztime=10s ./internal/trace
+run_tier1_build() {
+	go build ./... || fail tier1-build
+}
+
+run_tier1_test() {
+	go test ./... || fail tier1-test
+}
+
+run_vet() {
+	go vet ./... || fail vet
+}
+
+run_gofmt() {
+	unformatted=$(gofmt -l .)
+	if [ -n "$unformatted" ]; then
+		echo "unformatted files:" >&2
+		echo "$unformatted" >&2
+		fail gofmt
+	fi
+}
+
+run_race() {
+	go test -race ./... || fail race
+}
+
+run_bench_smoke() {
+	out=$(go test -run '^$' -bench '^BenchmarkTelemetryDisabled$' -benchtime 100x -benchmem ./internal/obs) || fail bench-smoke
+	echo "$out"
+	# Every disabled-path sub-benchmark must report exactly 0 allocs/op:
+	# the no-op sink is contractually allocation-free on hot paths.
+	echo "$out" | awk '
+		/^BenchmarkTelemetryDisabled/ {
+			for (i = 1; i <= NF; i++)
+				if ($i == "allocs/op" && $(i-1) + 0 != 0) bad = 1
+		}
+		END { exit bad }
+	' || fail bench-smoke
+}
+
+run_fuzz_smoke() {
+	# A small time budget per decoder target. Any crasher the engine
+	# finds is persisted under internal/trace/testdata/fuzz and will fail
+	# plain `go test` runs from then on.
+	for target in FuzzDecodeGob FuzzDecodeJSON; do
+		go test -run='^$' -fuzz="^${target}\$" -fuzztime=10s ./internal/trace || fail fuzz-smoke
+	done
+}
+
+stages="${*:-tier1-build tier1-test vet gofmt race bench-smoke fuzz-smoke}"
+for stage in $stages; do
+	echo "==> $stage"
+	case "$stage" in
+	tier1-build) run_tier1_build ;;
+	tier1-test) run_tier1_test ;;
+	vet) run_vet ;;
+	gofmt) run_gofmt ;;
+	race) run_race ;;
+	bench-smoke) run_bench_smoke ;;
+	fuzz-smoke) run_fuzz_smoke ;;
+	*)
+		echo "unknown stage $stage" >&2
+		exit 2
+		;;
+	esac
 done
+echo "OK: $stages"
