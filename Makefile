@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test bench race vet fuzz check tier1
+.PHONY: build test bench bench-gate race vet fuzz check tier1
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,14 @@ race:
 # Set BENCHTIME=1s for stable numbers; the default 1x is a smoke run.
 bench:
 	./scripts/bench.sh
+
+# Perf-regression gate: a fresh (short) bench run compared against the
+# committed BENCH_pipeline.json baseline with noise-aware medians
+# (simprof history gate). Non-zero exit on regression. Tune with
+# GATE_BENCHTIME / GATE_BENCHCOUNT; refresh the baseline with
+# BENCHTIME=0.5s BENCHCOUNT=5 make bench and commit the result.
+bench-gate:
+	./scripts/check.sh bench-gate
 
 # Short-budget fuzzing of the trace decode path (the trust boundary of
 # the failure model in DESIGN.md §9). Raise -fuzztime for a deep run.

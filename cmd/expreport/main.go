@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"simprof/internal/experiments"
+	"simprof/internal/history"
 	"simprof/internal/model"
 	"simprof/internal/obs"
 	"simprof/internal/report"
@@ -31,11 +32,12 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines for the compute kernels (0 = GOMAXPROCS, 1 = serial)")
 	telemetry := flag.String("telemetry", "", "write a JSON run manifest (span tree, metrics) to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and a telemetry expvar snapshot on this address")
+	historyStore := flag.String("history", "", "append this run's manifest to a history store (JSONL) for 'simprof history diff'")
 	flag.Parse()
 
 	var manifest *obs.Manifest
 	var root *obs.Span
-	if *telemetry != "" || *pprofAddr != "" {
+	if *telemetry != "" || *pprofAddr != "" || *historyStore != "" {
 		obs.Enable()
 		if *pprofAddr != "" {
 			expvar.Publish("simprof_obs", expvar.Func(func() any {
@@ -120,6 +122,16 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("telemetry manifest → %s\n", *telemetry)
+		}
+		if *historyStore != "" {
+			r := history.FromManifest(manifest)
+			r.Note = "expreport " + *exp
+			r, err := history.Open(*historyStore).Append(r)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "expreport: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("recorded run #%d (key %s) → %s\n", r.Seq, r.Key, *historyStore)
 		}
 	}
 }

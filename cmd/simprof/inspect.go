@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"sort"
@@ -9,41 +10,61 @@ import (
 	"time"
 
 	"simprof/internal/obs"
+	"simprof/internal/obs/traceevent"
 	"simprof/internal/report"
 )
 
 // cmdInspect renders a telemetry manifest written by another simprof
 // run with -telemetry: build and workload provenance, the span tree
 // with hot stages, the Neyman allocation table, fault-channel counts
-// and the metric snapshot.
+// and the metric snapshot. Decoding is lenient: a manifest written by
+// a newer binary, or one with sections stripped, renders what is there
+// plus a note — it never fails the whole render.
 func cmdInspect(args []string) error {
 	fs := newFlagSet("inspect")
 	path := fs.String("manifest", "", "telemetry manifest written with -telemetry")
 	metrics := fs.Bool("metrics", true, "render the metric snapshot")
+	tracePath := fs.String("trace", "", "also export the manifest as Chrome trace-event JSON (Perfetto / about://tracing) to this file")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *path == "" {
 		return usageErr(fs, "-manifest is required")
 	}
-	m, err := obs.ReadManifestFile(*path)
+	m, note, err := obs.ReadManifestFileLenient(*path)
 	if err != nil {
 		return err
 	}
-	renderManifest(os.Stdout, m, *metrics)
+	renderManifest(os.Stdout, m, note, *metrics)
+	if *tracePath != "" {
+		if err := traceevent.WriteFile(*tracePath, m); err != nil {
+			return err
+		}
+		fmt.Printf("\ntrace events → %s (load in ui.perfetto.dev)\n", *tracePath)
+	}
 	return nil
 }
 
-func renderManifest(w *os.File, m *obs.Manifest, withMetrics bool) {
-	fmt.Fprintf(w, "%s  (manifest v%d)\n", m.Tool, m.Version)
+// renderManifest writes the human-readable view of a manifest. Missing
+// or partially-filled sections degrade to a note line, so inspect can
+// render hand-stripped and version-skewed manifests.
+func renderManifest(w io.Writer, m *obs.Manifest, note string, withMetrics bool) {
+	fmt.Fprintf(w, "%s  (manifest v%d)\n", orUnknown(m.Tool), m.Version)
+	if note != "" {
+		fmt.Fprintf(w, "note:  %s\n", note)
+	}
 	if len(m.Args) > 0 {
 		fmt.Fprintf(w, "args:  %s\n", strings.Join(m.Args, " "))
 	}
-	fmt.Fprintf(w, "build: %s %s", m.Build.GoVersion, shortRev(m.Build.Revision))
-	if m.Build.Modified {
-		fmt.Fprint(w, " (dirty)")
+	if m.Build.GoVersion == "" && m.Build.Revision == "" {
+		fmt.Fprintln(w, "build: (not recorded)")
+	} else {
+		fmt.Fprintf(w, "build: %s %s", m.Build.GoVersion, shortRev(m.Build.Revision))
+		if m.Build.Modified {
+			fmt.Fprint(w, " (dirty)")
+		}
+		fmt.Fprintln(w)
 	}
-	fmt.Fprintln(w)
 
 	if wl := m.Workload; wl != nil {
 		fmt.Fprintf(w, "\nworkload: %s on %s (input %q, seed %d, workers %d)\n",
@@ -53,6 +74,8 @@ func renderManifest(w *os.File, m *obs.Manifest, withMetrics bool) {
 		if wl.DegradedFraction > 0 {
 			fmt.Fprintf(w, "  degraded units: %.1f%% (%s)\n", 100*wl.DegradedFraction, wl.Quality)
 		}
+	} else {
+		fmt.Fprintln(w, "\nworkload: (not recorded)")
 	}
 
 	if fi := m.Faults; fi != nil {
@@ -110,6 +133,8 @@ func renderManifest(w *os.File, m *obs.Manifest, withMetrics bool) {
 					fmt.Sprint(s.Alloc), fmt.Sprintf("%.4f", s.SampledMean), imputed)
 			}
 			t.Render(w)
+		} else {
+			fmt.Fprintln(w, "  allocation table: (not recorded)")
 		}
 	}
 
@@ -120,7 +145,11 @@ func renderManifest(w *os.File, m *obs.Manifest, withMetrics bool) {
 				40-2*depth, sp.Name, fmtDur(sp.Duration()))
 		})
 		renderHotStages(w, m.Spans)
+	} else {
+		fmt.Fprintln(w, "\nspan tree: (not recorded)")
 	}
+
+	renderTimerSamples(w, m)
 
 	if withMetrics && len(m.Metrics) > 0 {
 		fmt.Fprintln(w, "\nmetrics:")
@@ -131,7 +160,8 @@ func renderManifest(w *os.File, m *obs.Manifest, withMetrics bool) {
 				if mt.Value > 0 {
 					mean = mt.Sum / mt.Value
 				}
-				fmt.Fprintf(w, "  %-32s count=%.0f sum=%.4g mean=%.4g\n", mt.Name, mt.Value, mt.Sum, mean)
+				fmt.Fprintf(w, "  %-32s count=%.0f sum=%.4g mean=%.4g%s\n",
+					mt.Name, mt.Value, mt.Sum, mean, quantileSuffix(mt))
 			default:
 				fmt.Fprintf(w, "  %-32s %v\n", mt.Name, mt.Value)
 			}
@@ -139,31 +169,92 @@ func renderManifest(w *os.File, m *obs.Manifest, withMetrics bool) {
 	}
 }
 
+// quantileSuffix renders " p50=… p90=… p99=…" for a histogram whose
+// buckets made it into the snapshot, and nothing otherwise.
+func quantileSuffix(mt obs.Metric) string {
+	p50, p90, p99 := mt.Quantile(0.50), mt.Quantile(0.90), mt.Quantile(0.99)
+	if math.IsNaN(p50) {
+		return ""
+	}
+	return fmt.Sprintf(" p50=%.4g p90=%.4g p99=%.4g", p50, p90, p99)
+}
+
 // renderHotStages lists the stages with the largest self time (span
 // duration minus children) — where the run actually went.
-func renderHotStages(w *os.File, root *obs.Span) {
+func renderHotStages(w io.Writer, root *obs.Span) {
 	type stage struct {
 		name string
 		self time.Duration
+		gid  int64
 	}
 	var stages []stage
 	total := root.Duration()
 	root.Walk(func(sp *obs.Span, depth int) {
-		stages = append(stages, stage{sp.Name, sp.SelfDuration()})
+		stages = append(stages, stage{sp.Name, sp.SelfDuration(), sp.GID})
 	})
 	sort.SliceStable(stages, func(a, b int) bool { return stages[a].self > stages[b].self })
 	if len(stages) > 8 {
 		stages = stages[:8]
 	}
-	t := report.NewTable("hot stages (self time)", "Stage", "Self", "Share")
+	t := report.NewTable("hot stages (self time)", "Stage", "Self", "Share", "Goroutine")
 	for _, s := range stages {
 		share := 0.0
 		if total > 0 {
 			share = float64(s.self) / float64(total)
 		}
-		t.RowS(s.name, fmtDur(s.self), fmt.Sprintf("%.1f%%", 100*share))
+		gid := "-"
+		if s.gid != 0 {
+			gid = fmt.Sprint(s.gid)
+		}
+		t.RowS(s.name, fmtDur(s.self), fmt.Sprintf("%.1f%%", 100*share), gid)
 	}
 	t.Render(w)
+}
+
+// renderTimerSamples summarizes the concurrent timer samples per timer
+// name: how many intervals, across how many worker goroutines, and how
+// much wall time they cover in total.
+func renderTimerSamples(w io.Writer, m *obs.Manifest) {
+	if len(m.TimerSamples) == 0 {
+		return
+	}
+	type agg struct {
+		count int
+		gids  map[int64]bool
+		durNS int64
+	}
+	byName := map[string]*agg{}
+	var names []string
+	for _, s := range m.TimerSamples {
+		a := byName[s.Name]
+		if a == nil {
+			a = &agg{gids: map[int64]bool{}}
+			byName[s.Name] = a
+			names = append(names, s.Name)
+		}
+		a.count++
+		a.gids[s.GID] = true
+		a.durNS += s.DurNS
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "\nworker timer samples (%d intervals", len(m.TimerSamples))
+	if m.TimerSamplesDropped > 0 {
+		fmt.Fprintf(w, ", %d dropped past the buffer bound", m.TimerSamplesDropped)
+	}
+	fmt.Fprintln(w, "):")
+	t := report.NewTable("", "Timer", "Intervals", "Goroutines", "Total")
+	for _, n := range names {
+		a := byName[n]
+		t.RowS(n, fmt.Sprint(a.count), fmt.Sprint(len(a.gids)), fmtDur(time.Duration(a.durNS)))
+	}
+	t.Render(w)
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "(unknown tool)"
+	}
+	return s
 }
 
 func shortRev(rev string) string {

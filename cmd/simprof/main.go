@@ -14,9 +14,15 @@
 //	    run the Table II input-sensitivity study for a graph workload
 //	simprof inspect -manifest run.json
 //	    render a telemetry manifest written with -telemetry
+//	simprof history record|list|show|diff|gate
+//	    cross-run store: append manifests + bench snapshots, diff two
+//	    runs, gate benchmark results against a committed baseline
 //
 // Every pipeline command takes -telemetry <file> to write a JSON run
 // manifest and -pprof <addr> to serve net/http/pprof while it runs.
+// 'simprof profile -trace out.json' and 'simprof inspect -trace
+// out.json' export the span tree and worker timer samples as Chrome
+// trace-event JSON for Perfetto / about://tracing.
 package main
 
 import (
@@ -59,6 +65,8 @@ func main() {
 		err = cmdSensitivity(os.Args[2:])
 	case "inspect":
 		err = cmdInspect(os.Args[2:])
+	case "history":
+		err = cmdHistory(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -87,6 +95,7 @@ commands:
   compare      error of SECOND/SRS/CODE/SimProf on a trace
   sensitivity  input-sensitivity study for cc/rank (Table II inputs)
   inspect      render a telemetry manifest written with -telemetry
+  history      cross-run store: record, list, show, diff, gate
 
 run 'simprof <command> -h' for the command's flags`)
 }
@@ -173,7 +182,7 @@ func cmdProfile(args []string) error {
 	out := fs.String("out", "", "output trace file (gob; .json for JSON)")
 	faultSpec := fs.String("faults", "", `inject profiler faults before writing, e.g. "rate=0.05" or "drop=0.1,crash=0.02,snap=0.05" (keys: drop mux muxcov snap crash dup reorder rate)`)
 	faultSeed := fs.Uint64("faultseed", 0, "seed for the fault injector (default: derived from -seed)")
-	tel := telemetryFlags(fs)
+	tel := telemetryFlagsWithTrace(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -8,6 +9,7 @@ import (
 
 	"simprof/internal/core"
 	"simprof/internal/obs"
+	"simprof/internal/obs/traceevent"
 	"simprof/internal/workloads"
 )
 
@@ -154,6 +156,78 @@ func TestCompareTelemetryInspectRoundTrip(t *testing.T) {
 
 	if err := cmdInspect([]string{"-manifest", mPath}); err != nil {
 		t.Fatalf("inspect: %v", err)
+	}
+
+	// Export the same manifest as Chrome trace events via inspect and
+	// check the schema plus the span-duration sum-match invariant.
+	tPath := filepath.Join(t.TempDir(), "run_trace.json")
+	if err := cmdInspect([]string{"-manifest", mPath, "-trace", tPath}); err != nil {
+		t.Fatalf("inspect -trace: %v", err)
+	}
+	tf, err := os.Open(tPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	file, err := traceevent.Decode(tf)
+	if err != nil {
+		t.Fatalf("decode trace export: %v", err)
+	}
+	if err := file.Validate(); err != nil {
+		t.Fatalf("trace export fails schema check: %v", err)
+	}
+	spanCount := 0
+	var wantUS float64
+	m.Spans.Walk(func(sp *obs.Span, depth int) {
+		spanCount++
+		wantUS += float64(sp.DurNS) / 1e3
+	})
+	stageEvents := 0
+	for _, e := range file.TraceEvents {
+		if e.Cat == "stage" {
+			stageEvents++
+		}
+	}
+	if stageEvents != spanCount {
+		t.Errorf("trace has %d stage events, manifest has %d spans", stageEvents, spanCount)
+	}
+	if got := file.SpanDurUS(); math.Abs(got-wantUS) > 1e-3*float64(spanCount) {
+		t.Errorf("stage durations sum to %.3fµs, manifest spans sum to %.3fµs", got, wantUS)
+	}
+}
+
+// TestProfileTraceExport checks 'simprof profile -trace' writes a
+// loadable trace-event file alongside the workload trace.
+func TestProfileTraceExport(t *testing.T) {
+	defer obs.Disable()
+	dir := t.TempDir()
+	out := filepath.Join(dir, "wc.gob")
+	tPath := filepath.Join(dir, "profile_trace.json")
+	args := []string{"-bench", "wc", "-framework", "spark", "-seed", "7",
+		"-textbytes", "50331648", "-out", out, "-trace", tPath}
+	if err := cmdProfile(args); err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	tf, err := os.Open(tPath)
+	if err != nil {
+		t.Fatalf("profile -trace wrote nothing: %v", err)
+	}
+	defer tf.Close()
+	file, err := traceevent.Decode(tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := file.Validate(); err != nil {
+		t.Fatalf("trace export fails schema check: %v", err)
+	}
+	stages := 0
+	for _, e := range file.TraceEvents {
+		if e.Cat == "stage" {
+			stages++
+		}
+	}
+	if stages == 0 {
+		t.Error("profile trace export has no stage events")
 	}
 }
 

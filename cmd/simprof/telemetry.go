@@ -11,6 +11,7 @@ import (
 
 	"simprof/internal/faults"
 	"simprof/internal/obs"
+	"simprof/internal/obs/traceevent"
 	"simprof/internal/phase"
 	"simprof/internal/sampling"
 	"simprof/internal/stats"
@@ -25,6 +26,7 @@ import (
 type telemetry struct {
 	manifestPath string
 	pprofAddr    string
+	tracePath    string
 	manifest     *obs.Manifest
 	root         *obs.Span
 }
@@ -39,10 +41,21 @@ func telemetryFlags(fs *flag.FlagSet) *telemetry {
 	return t
 }
 
+// telemetryFlagsWithTrace additionally registers -trace, the Chrome
+// trace-event export. Only subcommands that do not already use -trace
+// for their input trace file (profile) can offer it; the others export
+// via 'simprof inspect -trace'.
+func telemetryFlagsWithTrace(fs *flag.FlagSet) *telemetry {
+	t := telemetryFlags(fs)
+	fs.StringVar(&t.tracePath, "trace", "",
+		"export the run's span tree and worker timer samples as Chrome trace-event JSON (Perfetto / about://tracing) to this file")
+	return t
+}
+
 // start enables telemetry (when requested), opens the run's root span
 // and starts the pprof server.
 func (t *telemetry) start(cmd string, args []string) error {
-	if t.manifestPath == "" && t.pprofAddr == "" {
+	if t.manifestPath == "" && t.pprofAddr == "" && t.tracePath == "" {
 		return nil
 	}
 	obs.Enable()
@@ -64,13 +77,18 @@ func (t *telemetry) finish() error {
 	}
 	t.root.End()
 	t.manifest.Finalize()
-	if t.manifestPath == "" {
-		return nil
+	if t.manifestPath != "" {
+		if err := t.manifest.WriteFile(t.manifestPath); err != nil {
+			return err
+		}
+		fmt.Printf("telemetry manifest → %s\n", t.manifestPath)
 	}
-	if err := t.manifest.WriteFile(t.manifestPath); err != nil {
-		return err
+	if t.tracePath != "" {
+		if err := traceevent.WriteFile(t.tracePath, t.manifest); err != nil {
+			return err
+		}
+		fmt.Printf("trace events → %s (load in ui.perfetto.dev)\n", t.tracePath)
 	}
-	fmt.Printf("telemetry manifest → %s\n", t.manifestPath)
 	return nil
 }
 

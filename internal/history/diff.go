@@ -1,0 +1,287 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+
+	"simprof/internal/obs"
+)
+
+// SpanDelta is one stage's duration in two runs, addressed by its path
+// in the span tree ("root/phase.form/phase.cluster"). A stage present
+// in only one run has the other duration < 0.
+type SpanDelta struct {
+	Path         string
+	ADurNS       int64 // -1 when the stage is absent in A
+	BDurNS       int64 // -1 when absent in B
+	DeltaNS      int64 // B - A, when both present
+	Ratio        float64
+	ASelf, BSelf int64
+}
+
+// MetricDelta is one metric's value in two runs (histograms compare
+// observation count, sum and mean).
+type MetricDelta struct {
+	Name   string
+	Kind   string
+	A, B   float64 // counter/gauge value, histogram count
+	Delta  float64
+	AMean  float64 // histograms only
+	BMean  float64
+	OnlyIn string // "a" or "b" when the metric exists in one run
+}
+
+// SamplingDelta is the estimate-quality drift between two runs.
+type SamplingDelta struct {
+	A, B     *obs.SamplingInfo
+	EstDrift float64 // B.EstCPI - A.EstCPI
+	SERatio  float64 // B.SE / A.SE (Inf if A.SE == 0 and B.SE > 0)
+	CIWidthA float64
+	CIWidthB float64
+	RelErrA  float64
+	RelErrB  float64
+}
+
+// BenchDelta compares one benchmark's median ns/op across two runs.
+type BenchDelta struct {
+	Name         string
+	ANs, BNs     float64 // medians; -1 when absent
+	Ratio        float64 // BNs / ANs
+	ASamples     int
+	BSamples     int
+	AAllocsPerOp float64
+	BAllocsPerOp float64
+}
+
+// Diff is the full cross-run comparison of two records.
+type Diff struct {
+	A, B     *Record
+	Spans    []SpanDelta
+	Metrics  []MetricDelta
+	Sampling *SamplingDelta
+	Bench    []BenchDelta
+}
+
+// Compute diffs record a against record b (b is "current", a is the
+// reference). Sections missing on both sides yield empty slices / nil.
+func Compute(a, b *Record) *Diff {
+	d := &Diff{A: a, B: b}
+	var am, bm *obs.Manifest
+	if a != nil {
+		am = a.Manifest
+	}
+	if b != nil {
+		bm = b.Manifest
+	}
+	d.Spans = spanDeltas(am, bm)
+	d.Metrics = metricDeltas(am, bm)
+	d.Sampling = samplingDelta(am, bm)
+	var ab, bb []BenchResult
+	if a != nil {
+		ab = a.Bench
+	}
+	if b != nil {
+		bb = b.Bench
+	}
+	d.Bench = benchDeltas(ab, bb)
+	return d
+}
+
+// flattenSpans walks the tree into path → (total, self) duration rows,
+// disambiguating repeated sibling names with a #n suffix.
+func flattenSpans(root *obs.Span) (order []string, total, self map[string]int64) {
+	total = map[string]int64{}
+	self = map[string]int64{}
+	if root == nil {
+		return nil, total, self
+	}
+	var walk func(sp *obs.Span, prefix string)
+	walk = func(sp *obs.Span, prefix string) {
+		path := sp.Name
+		if prefix != "" {
+			path = prefix + "/" + sp.Name
+		}
+		if _, dup := total[path]; dup {
+			for n := 2; ; n++ {
+				cand := fmt.Sprintf("%s#%d", path, n)
+				if _, dup := total[cand]; !dup {
+					path = cand
+					break
+				}
+			}
+		}
+		order = append(order, path)
+		total[path] = sp.DurNS
+		self[path] = sp.SelfDuration().Nanoseconds()
+		for _, c := range sp.Children {
+			walk(c, path)
+		}
+	}
+	walk(root, "")
+	return order, total, self
+}
+
+func spanDeltas(am, bm *obs.Manifest) []SpanDelta {
+	var aroot, broot *obs.Span
+	if am != nil {
+		aroot = am.Spans
+	}
+	if bm != nil {
+		broot = bm.Spans
+	}
+	aorder, atot, aself := flattenSpans(aroot)
+	border, btot, bself := flattenSpans(broot)
+
+	var out []SpanDelta
+	seen := map[string]bool{}
+	add := func(path string) {
+		if seen[path] {
+			return
+		}
+		seen[path] = true
+		sd := SpanDelta{Path: path, ADurNS: -1, BDurNS: -1}
+		if v, ok := atot[path]; ok {
+			sd.ADurNS, sd.ASelf = v, aself[path]
+		}
+		if v, ok := btot[path]; ok {
+			sd.BDurNS, sd.BSelf = v, bself[path]
+		}
+		if sd.ADurNS >= 0 && sd.BDurNS >= 0 {
+			sd.DeltaNS = sd.BDurNS - sd.ADurNS
+			if sd.ADurNS > 0 {
+				sd.Ratio = float64(sd.BDurNS) / float64(sd.ADurNS)
+			}
+		}
+		out = append(out, sd)
+	}
+	for _, p := range aorder {
+		add(p)
+	}
+	for _, p := range border {
+		add(p)
+	}
+	return out
+}
+
+func metricDeltas(am, bm *obs.Manifest) []MetricDelta {
+	type key struct{ name, kind string }
+	var amx, bmx []obs.Metric
+	if am != nil {
+		amx = am.Metrics
+	}
+	if bm != nil {
+		bmx = bm.Metrics
+	}
+	bIdx := map[key]obs.Metric{}
+	for _, m := range bmx {
+		bIdx[key{m.Name, m.Kind}] = m
+	}
+	aIdx := map[key]obs.Metric{}
+	var out []MetricDelta
+	mean := func(m obs.Metric) float64 {
+		if m.Kind == "histogram" && m.Value > 0 {
+			return m.Sum / m.Value
+		}
+		return 0
+	}
+	for _, m := range amx {
+		k := key{m.Name, m.Kind}
+		aIdx[k] = m
+		md := MetricDelta{Name: m.Name, Kind: m.Kind, A: m.Value, AMean: mean(m)}
+		if bmv, ok := bIdx[k]; ok {
+			md.B = bmv.Value
+			md.BMean = mean(bmv)
+			md.Delta = md.B - md.A
+		} else {
+			md.OnlyIn = "a"
+		}
+		out = append(out, md)
+	}
+	var bOnly []MetricDelta
+	for _, m := range bmx {
+		if _, ok := aIdx[key{m.Name, m.Kind}]; !ok {
+			bOnly = append(bOnly, MetricDelta{Name: m.Name, Kind: m.Kind, B: m.Value, BMean: mean(m), Delta: m.Value, OnlyIn: "b"})
+		}
+	}
+	sort.Slice(bOnly, func(i, j int) bool { return bOnly[i].Name < bOnly[j].Name })
+	return append(out, bOnly...)
+}
+
+func samplingDelta(am, bm *obs.Manifest) *SamplingDelta {
+	var as, bs *obs.SamplingInfo
+	if am != nil {
+		as = am.Sampling
+	}
+	if bm != nil {
+		bs = bm.Sampling
+	}
+	if as == nil && bs == nil {
+		return nil
+	}
+	sd := &SamplingDelta{A: as, B: bs}
+	if as != nil {
+		sd.CIWidthA = as.CIHi - as.CILo
+		sd.RelErrA = as.RelErr
+	}
+	if bs != nil {
+		sd.CIWidthB = bs.CIHi - bs.CILo
+		sd.RelErrB = bs.RelErr
+	}
+	if as != nil && bs != nil {
+		sd.EstDrift = bs.EstCPI - as.EstCPI
+		if as.SE > 0 {
+			sd.SERatio = bs.SE / as.SE
+		}
+	}
+	return sd
+}
+
+// groupBench collects each benchmark's ns/op samples (and last
+// allocs/op) under its normalized name, remembering first-seen order.
+func groupBench(rs []BenchResult) (order []string, ns map[string][]float64, allocs map[string]float64) {
+	ns = map[string][]float64{}
+	allocs = map[string]float64{}
+	for _, r := range rs {
+		name := r.BaseName()
+		if _, ok := ns[name]; !ok {
+			order = append(order, name)
+		}
+		ns[name] = append(ns[name], r.NsPerOp)
+		allocs[name] = r.AllocsPerOp
+	}
+	return order, ns, allocs
+}
+
+func benchDeltas(a, b []BenchResult) []BenchDelta {
+	if len(a) == 0 && len(b) == 0 {
+		return nil
+	}
+	aorder, ans, aal := groupBench(a)
+	border, bns, bal := groupBench(b)
+	var out []BenchDelta
+	seen := map[string]bool{}
+	add := func(name string) {
+		if seen[name] {
+			return
+		}
+		seen[name] = true
+		bd := BenchDelta{Name: name, ANs: -1, BNs: -1}
+		if s := ans[name]; len(s) > 0 {
+			bd.ANs, bd.ASamples, bd.AAllocsPerOp = Median(s), len(s), aal[name]
+		}
+		if s := bns[name]; len(s) > 0 {
+			bd.BNs, bd.BSamples, bd.BAllocsPerOp = Median(s), len(s), bal[name]
+		}
+		if bd.ANs > 0 && bd.BNs >= 0 {
+			bd.Ratio = bd.BNs / bd.ANs
+		}
+		out = append(out, bd)
+	}
+	for _, n := range aorder {
+		add(n)
+	}
+	for _, n := range border {
+		add(n)
+	}
+	return out
+}

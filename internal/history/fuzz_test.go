@@ -1,0 +1,33 @@
+package history
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseTestJSON asserts the bench parser never panics or errors on
+// arbitrary byte streams — it sits on the same trust boundary as the
+// trace decoders: CI artifacts that may be truncated, interleaved or
+// corrupted. (Errors are reserved for I/O failures, which a byte
+// reader cannot produce aside from pathological line lengths.)
+func FuzzParseTestJSON(f *testing.F) {
+	f.Add([]byte(`{"Action":"output","Package":"p","Output":"BenchmarkX"}` + "\n" +
+		`{"Action":"output","Package":"p","Output":" \t10\t5 ns/op\n"}`))
+	f.Add([]byte("BenchmarkY-8\t100\t42 ns/op\t0 B/op\t0 allocs/op\n"))
+	f.Add([]byte(`{"Action":"output"`)) // truncated JSON
+	f.Add([]byte("Benchmark\t\x00\xff\t-1 ns/op"))
+	f.Add([]byte("{}\n{}\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rs, err := ParseTestJSON(bytes.NewReader(data))
+		if err != nil {
+			// Only the scanner's line-length limit may error; that is
+			// fine, but it must not coexist with results.
+			return
+		}
+		for _, r := range rs {
+			if r.Name == "" || r.Iters <= 0 || r.NsPerOp < 0 {
+				t.Fatalf("parser accepted invalid result %+v from %q", r, data)
+			}
+		}
+	})
+}

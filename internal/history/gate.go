@@ -1,0 +1,200 @@
+package history
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"simprof/internal/obs"
+)
+
+// Median returns the median of vs (NaN for an empty slice). The input
+// is not modified.
+func Median(vs []float64) float64 {
+	if len(vs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// MAD returns the median absolute deviation of vs around its median —
+// the robust noise scale the gate threshold derives from. 0 for fewer
+// than two samples.
+func MAD(vs []float64) float64 {
+	if len(vs) < 2 {
+		return 0
+	}
+	med := Median(vs)
+	devs := make([]float64, len(vs))
+	for i, v := range vs {
+		devs[i] = math.Abs(v - med)
+	}
+	return Median(devs)
+}
+
+// GateOptions tunes the regression gate.
+type GateOptions struct {
+	// MaxSlowdown is the minimum allowed slowdown fraction before a
+	// benchmark fails (0.25 = +25%). The per-benchmark threshold is
+	// max(MaxSlowdown, MADK·MAD/median) over the baseline samples, so a
+	// benchmark whose baseline is noisy gets proportionally more
+	// headroom than a stable one.
+	MaxSlowdown float64
+	// MADK scales the baseline noise into headroom.
+	MADK float64
+	// PerBench overrides MaxSlowdown for specific benchmarks, keyed by
+	// normalized name (no -8 suffix).
+	PerBench map[string]float64
+	// MaxSEInflation, when > 0, fails the SE gate if the current
+	// manifest's standard error exceeds baseline·(1+MaxSEInflation).
+	MaxSEInflation float64
+}
+
+// DefaultGateOptions returns the thresholds the CI stage runs with.
+func DefaultGateOptions() GateOptions {
+	return GateOptions{MaxSlowdown: 0.25, MADK: 4}
+}
+
+// ParsePerBench parses "name=pct[,name=pct...]" per-benchmark
+// overrides, pct as a fraction (0.5 = +50%).
+func ParsePerBench(spec string) (map[string]float64, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	out := map[string]float64{}
+	for _, part := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("history: bad per-bench override %q (want name=fraction)", part)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil || f < 0 {
+			return nil, fmt.Errorf("history: bad per-bench fraction %q for %s", val, name)
+		}
+		out[name] = f
+	}
+	return out, nil
+}
+
+// Gate statuses.
+const (
+	GateOK        = "ok"
+	GateRegressed = "regressed"
+	GateMissing   = "missing" // in baseline, absent from current run
+	GateNew       = "new"     // in current run, absent from baseline
+)
+
+// GateRow is one benchmark's verdict.
+type GateRow struct {
+	Name      string
+	BaseNs    float64 // baseline median ns/op (-1 when absent)
+	CurNs     float64 // current median ns/op (-1 when absent)
+	Ratio     float64 // cur/base
+	Threshold float64 // allowed slowdown fraction for this benchmark
+	Noise     float64 // baseline MAD/median
+	Samples   int     // baseline sample count
+	Status    string
+}
+
+// SEGateRow is the estimate-quality verdict between two manifests.
+type SEGateRow struct {
+	BaseSE       float64
+	CurSE        float64
+	Inflation    float64 // CurSE/BaseSE - 1
+	MaxInflation float64
+	Regressed    bool
+}
+
+// GateReport is the gate's full result. Failed is true if any tracked
+// benchmark regressed past its threshold or the SE gate tripped;
+// missing and new benchmarks are reported but do not fail the gate.
+type GateReport struct {
+	Rows   []GateRow
+	SE     *SEGateRow
+	Failed bool
+}
+
+// Gate compares current benchmark results against a baseline with a
+// noise-aware threshold: per benchmark, the medians of all samples are
+// compared and the allowed slowdown is the larger of opts.MaxSlowdown
+// and opts.MADK times the baseline's relative MAD (a benchmark whose
+// baseline run already wobbled ±10% is not failed for a 12% delta).
+func Gate(baseline, current []BenchResult, opts GateOptions) *GateReport {
+	if opts.MaxSlowdown <= 0 {
+		opts.MaxSlowdown = DefaultGateOptions().MaxSlowdown
+	}
+	if opts.MADK <= 0 {
+		opts.MADK = DefaultGateOptions().MADK
+	}
+	border, bns, _ := groupBench(baseline)
+	corder, cns, _ := groupBench(current)
+
+	rep := &GateReport{}
+	for _, name := range border {
+		base := bns[name]
+		row := GateRow{Name: name, BaseNs: Median(base), CurNs: -1, Samples: len(base)}
+		if row.BaseNs > 0 {
+			row.Noise = MAD(base) / row.BaseNs
+		}
+		row.Threshold = opts.MaxSlowdown
+		if t := opts.MADK * row.Noise; t > row.Threshold {
+			row.Threshold = t
+		}
+		if t, ok := opts.PerBench[name]; ok {
+			row.Threshold = t
+		}
+		cur, ok := cns[name]
+		if !ok {
+			row.Status = GateMissing
+			rep.Rows = append(rep.Rows, row)
+			continue
+		}
+		row.CurNs = Median(cur)
+		if row.BaseNs > 0 {
+			row.Ratio = row.CurNs / row.BaseNs
+		}
+		row.Status = GateOK
+		if row.Ratio > 1+row.Threshold {
+			row.Status = GateRegressed
+			rep.Failed = true
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	for _, name := range corder {
+		if _, ok := bns[name]; !ok {
+			rep.Rows = append(rep.Rows, GateRow{
+				Name: name, BaseNs: -1, CurNs: Median(cns[name]), Status: GateNew,
+			})
+		}
+	}
+	return rep
+}
+
+// GateSE compares estimate quality between two manifests: the current
+// run's standard error may not inflate past baseline·(1+maxInflation).
+// Manifests without sampling sections (or a zero baseline SE) pass
+// vacuously with a nil row.
+func GateSE(base, cur *obs.Manifest, maxInflation float64) *SEGateRow {
+	if base == nil || cur == nil || base.Sampling == nil || cur.Sampling == nil {
+		return nil
+	}
+	if base.Sampling.SE <= 0 {
+		return nil
+	}
+	row := &SEGateRow{
+		BaseSE:       base.Sampling.SE,
+		CurSE:        cur.Sampling.SE,
+		MaxInflation: maxInflation,
+	}
+	row.Inflation = row.CurSE/row.BaseSE - 1
+	row.Regressed = maxInflation > 0 && row.Inflation > maxInflation
+	return row
+}

@@ -1,0 +1,361 @@
+package history
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"simprof/internal/obs"
+)
+
+func testManifest(tool string, seed uint64, se float64) *obs.Manifest {
+	m := obs.NewManifest(tool, nil)
+	m.Workload = &obs.WorkloadInfo{Benchmark: "wc", Framework: "spark", Seed: seed, Units: 100}
+	m.Sampling = &obs.SamplingInfo{Method: "SimProf", N: 20, EstCPI: 1.5, SE: se, CILo: 1.5 - 3*se, CIHi: 1.5 + 3*se, RelErr: 0.01}
+	m.Spans = &obs.Span{
+		Name: tool, DurNS: 1000, GID: 1,
+		Children: []*obs.Span{
+			{Name: "phase.form", StartNS: 10, DurNS: 600, GID: 1,
+				Children: []*obs.Span{{Name: "phase.cluster", StartNS: 20, DurNS: 400, GID: 1}}},
+		},
+	}
+	m.Metrics = []obs.Metric{
+		{Name: "cluster.choosek_sweeps", Kind: "counter", Value: 1},
+		{Name: "parallel.chunks", Kind: "counter", Value: 40},
+	}
+	return m
+}
+
+func TestStoreAppendReadGet(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	s := Open(path)
+
+	// Empty store: reads as empty, Get errors.
+	recs, skipped, err := s.Records()
+	if err != nil || len(recs) != 0 || skipped != 0 {
+		t.Fatalf("empty store: recs=%d skipped=%d err=%v", len(recs), skipped, err)
+	}
+	if _, err := s.Get(0); err == nil {
+		t.Fatal("Get on empty store did not error")
+	}
+
+	m1 := testManifest("simprof compare", 7, 0.02)
+	r1, err := s.Append(FromManifest(m1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Seq != 1 || r1.Time == "" {
+		t.Fatalf("first append: seq=%d time=%q", r1.Seq, r1.Time)
+	}
+	if !strings.Contains(r1.Key, "wc_spark") || !strings.Contains(r1.Key, "seed=7") {
+		t.Errorf("key %q missing workload/seed", r1.Key)
+	}
+
+	r2 := FromManifest(testManifest("simprof compare", 7, 0.03))
+	r2.Bench = []BenchResult{{Name: "BenchmarkForm-8", Iters: 100, NsPerOp: 5000}}
+	if _, err := s.Append(r2); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, skipped, err = s.Records()
+	if err != nil || skipped != 0 {
+		t.Fatalf("read back: skipped=%d err=%v", skipped, err)
+	}
+	if len(recs) != 2 || recs[0].Seq != 1 || recs[1].Seq != 2 {
+		t.Fatalf("read back %d records: %+v", len(recs), recs)
+	}
+	if recs[1].Bench[0].NsPerOp != 5000 {
+		t.Errorf("bench results did not round trip: %+v", recs[1].Bench)
+	}
+	if recs[0].Manifest == nil || recs[0].Manifest.Sampling.SE != 0.02 {
+		t.Errorf("manifest did not round trip")
+	}
+
+	// Get by seq, last, and from the end.
+	if r, err := s.Get(2); err != nil || r.Seq != 2 {
+		t.Errorf("Get(2): %v %v", r, err)
+	}
+	if r, err := s.Get(0); err != nil || r.Seq != 2 {
+		t.Errorf("Get(0) last: %v %v", r, err)
+	}
+	if r, err := s.Get(-2); err != nil || r.Seq != 1 {
+		t.Errorf("Get(-2): %v %v", r, err)
+	}
+	if _, err := s.Get(99); err == nil {
+		t.Error("Get(99) did not error")
+	}
+}
+
+// TestStoreTornWrite checks the append-only robustness contract: a
+// truncated final line (crashed writer) is skipped and counted, and
+// appends still work afterwards.
+func TestStoreTornWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	s := Open(path)
+	if _, err := s.Append(FromManifest(testManifest("simprof compare", 7, 0.02))); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":2,"key":"trunc`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	recs, skipped, err := s.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || skipped != 1 {
+		t.Fatalf("torn store: recs=%d skipped=%d", len(recs), skipped)
+	}
+	r3, err := s.Append(FromManifest(testManifest("simprof compare", 8, 0.02)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Seq != 2 {
+		t.Errorf("append after torn write got seq %d", r3.Seq)
+	}
+}
+
+func TestKeyDegenerate(t *testing.T) {
+	if k := Key(nil); k != "-/-/-/-" {
+		t.Errorf("nil manifest key = %q", k)
+	}
+	m := &obs.Manifest{Tool: "expreport"}
+	if k := Key(m); !strings.Contains(k, "expreport") || !strings.HasSuffix(k, "-/-") {
+		t.Errorf("workload-less key = %q", k)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := FromManifest(testManifest("simprof compare", 7, 0.020))
+	b := FromManifest(testManifest("simprof compare", 7, 0.030))
+	// Make run B slower in one stage, missing another, with one new
+	// metric and one changed counter.
+	b.Manifest.Spans.Children[0].DurNS = 1200
+	b.Manifest.Spans.Children[0].Children = nil // phase.cluster absent in B
+	b.Manifest.Metrics = []obs.Metric{
+		{Name: "cluster.choosek_sweeps", Kind: "counter", Value: 3},
+		{Name: "sampling.simprof_runs", Kind: "counter", Value: 1},
+	}
+	a.Bench = []BenchResult{
+		{Name: "BenchmarkForm-8", Iters: 100, NsPerOp: 1000},
+		{Name: "BenchmarkForm-8", Iters: 100, NsPerOp: 1200},
+		{Name: "BenchmarkForm-8", Iters: 100, NsPerOp: 1100},
+	}
+	b.Bench = []BenchResult{{Name: "BenchmarkForm-8", Iters: 100, NsPerOp: 2200}}
+
+	d := Compute(a, b)
+
+	spans := map[string]SpanDelta{}
+	for _, sd := range d.Spans {
+		spans[sd.Path] = sd
+	}
+	form := spans["simprof compare/phase.form"]
+	if form.DeltaNS != 600 || math.Abs(form.Ratio-2.0) > 1e-9 {
+		t.Errorf("phase.form delta: %+v", form)
+	}
+	cl := spans["simprof compare/phase.form/phase.cluster"]
+	if cl.ADurNS != 400 || cl.BDurNS != -1 {
+		t.Errorf("stage absent in B not flagged: %+v", cl)
+	}
+
+	metrics := map[string]MetricDelta{}
+	for _, md := range d.Metrics {
+		metrics[md.Name] = md
+	}
+	if md := metrics["cluster.choosek_sweeps"]; md.Delta != 2 {
+		t.Errorf("counter delta: %+v", md)
+	}
+	if md := metrics["parallel.chunks"]; md.OnlyIn != "a" {
+		t.Errorf("metric only in A not flagged: %+v", md)
+	}
+	if md := metrics["sampling.simprof_runs"]; md.OnlyIn != "b" {
+		t.Errorf("metric only in B not flagged: %+v", md)
+	}
+
+	if d.Sampling == nil {
+		t.Fatal("no sampling delta")
+	}
+	if math.Abs(d.Sampling.SERatio-1.5) > 1e-9 {
+		t.Errorf("SE ratio = %v, want 1.5", d.Sampling.SERatio)
+	}
+	if math.Abs(d.Sampling.CIWidthB-6*0.03) > 1e-9 {
+		t.Errorf("CI width B = %v", d.Sampling.CIWidthB)
+	}
+
+	if len(d.Bench) != 1 {
+		t.Fatalf("bench deltas: %+v", d.Bench)
+	}
+	bd := d.Bench[0]
+	if bd.ANs != 1100 || bd.BNs != 2200 || math.Abs(bd.Ratio-2.0) > 1e-9 || bd.ASamples != 3 {
+		t.Errorf("bench delta median-of-3: %+v", bd)
+	}
+}
+
+func benchSamples(name string, ns ...float64) []BenchResult {
+	var out []BenchResult
+	for _, v := range ns {
+		out = append(out, BenchResult{Name: name, Iters: 100, NsPerOp: v})
+	}
+	return out
+}
+
+func TestGate(t *testing.T) {
+	base := append(benchSamples("BenchmarkForm-8", 1000, 1020, 980),
+		append(benchSamples("BenchmarkChooseK-8", 5000, 5100, 4900),
+			benchSamples("BenchmarkGone-8", 10)...)...)
+
+	t.Run("identical-baseline-passes", func(t *testing.T) {
+		rep := Gate(base, base, DefaultGateOptions())
+		if rep.Failed {
+			t.Fatalf("gate failed on its own baseline: %+v", rep.Rows)
+		}
+		for _, row := range rep.Rows {
+			if row.Status != GateOK {
+				t.Errorf("row %s status %s", row.Name, row.Status)
+			}
+		}
+	})
+
+	t.Run("synthetic-slowdown-fails", func(t *testing.T) {
+		cur := append(benchSamples("BenchmarkForm-8", 2000, 2040), // 2× slower
+			benchSamples("BenchmarkChooseK-8", 5050)...)
+		rep := Gate(base, cur, DefaultGateOptions())
+		if !rep.Failed {
+			t.Fatal("gate passed a 2× slowdown")
+		}
+		var form, choose, gone GateRow
+		for _, row := range rep.Rows {
+			switch row.Name {
+			case "BenchmarkForm":
+				form = row
+			case "BenchmarkChooseK":
+				choose = row
+			case "BenchmarkGone":
+				gone = row
+			}
+		}
+		if form.Status != GateRegressed || math.Abs(form.Ratio-2.02) > 0.01 {
+			t.Errorf("Form row: %+v", form)
+		}
+		if choose.Status != GateOK {
+			t.Errorf("ChooseK within noise flagged: %+v", choose)
+		}
+		if gone.Status != GateMissing {
+			t.Errorf("missing benchmark: %+v", gone)
+		}
+	})
+
+	t.Run("noisy-baseline-gets-headroom", func(t *testing.T) {
+		// Baseline wobbles ±40%: MAD/median = 400/1000; MADK=4 allows
+		// +160%, so a +50% "regression" stays within noise.
+		noisy := benchSamples("BenchmarkJitter-8", 600, 1000, 1400)
+		cur := benchSamples("BenchmarkJitter-8", 1500)
+		rep := Gate(noisy, cur, DefaultGateOptions())
+		if rep.Failed {
+			t.Fatalf("gate failed inside the noise band: %+v", rep.Rows)
+		}
+		if rep.Rows[0].Threshold <= 0.25 {
+			t.Errorf("MAD did not widen the threshold: %+v", rep.Rows[0])
+		}
+	})
+
+	t.Run("per-bench-override", func(t *testing.T) {
+		cur := benchSamples("BenchmarkForm-8", 1300) // +30%
+		opts := DefaultGateOptions()
+		rep := Gate(base, cur, opts)
+		if !rep.Failed {
+			t.Fatal("+30% passed the default 25% threshold")
+		}
+		opts.PerBench = map[string]float64{"BenchmarkForm": 0.5}
+		rep = Gate(base, cur, opts)
+		for _, row := range rep.Rows {
+			if row.Name == "BenchmarkForm" && row.Status != GateOK {
+				t.Fatalf("override ignored: %+v", row)
+			}
+		}
+	})
+
+	t.Run("new-benchmark-reported-not-failed", func(t *testing.T) {
+		cur := append(benchSamples("BenchmarkForm-8", 1000), benchSamples("BenchmarkFresh-8", 7)...)
+		rep := Gate(base, cur, DefaultGateOptions())
+		var fresh GateRow
+		for _, row := range rep.Rows {
+			if row.Name == "BenchmarkFresh" {
+				fresh = row
+			}
+		}
+		if fresh.Status != GateNew {
+			t.Errorf("new benchmark: %+v", fresh)
+		}
+	})
+}
+
+func TestParsePerBench(t *testing.T) {
+	m, err := ParsePerBench("BenchmarkForm=0.5, BenchmarkX=1.25")
+	if err != nil || m["BenchmarkForm"] != 0.5 || m["BenchmarkX"] != 1.25 {
+		t.Fatalf("parse: %v %v", m, err)
+	}
+	if m, err := ParsePerBench(""); err != nil || m != nil {
+		t.Fatalf("empty spec: %v %v", m, err)
+	}
+	for _, bad := range []string{"NoEquals", "X=", "X=abc", "X=-1", "=0.5"} {
+		if _, err := ParsePerBench(bad); err == nil {
+			t.Errorf("%q parsed without error", bad)
+		}
+	}
+}
+
+func TestGateSE(t *testing.T) {
+	base := testManifest("simprof compare", 7, 0.020)
+	cur := testManifest("simprof compare", 7, 0.030) // +50% SE
+
+	row := GateSE(base, cur, 0.2)
+	if row == nil || !row.Regressed {
+		t.Fatalf("50%% SE inflation passed a 20%% gate: %+v", row)
+	}
+	if math.Abs(row.Inflation-0.5) > 1e-9 {
+		t.Errorf("inflation = %v, want 0.5", row.Inflation)
+	}
+	if row := GateSE(base, cur, 0.6); row == nil || row.Regressed {
+		t.Errorf("within-budget inflation failed: %+v", row)
+	}
+	if row := GateSE(base, base, 0.2); row == nil || row.Regressed {
+		t.Errorf("identical manifests failed the SE gate: %+v", row)
+	}
+	// Vacuous passes: no sampling sections or zero baseline SE.
+	if row := GateSE(nil, cur, 0.2); row != nil {
+		t.Errorf("nil baseline produced a row: %+v", row)
+	}
+	noSE := testManifest("simprof compare", 7, 0)
+	if row := GateSE(noSE, cur, 0.2); row != nil {
+		t.Errorf("zero baseline SE produced a row: %+v", row)
+	}
+}
+
+func TestMedianMAD(t *testing.T) {
+	if !math.IsNaN(Median(nil)) {
+		t.Error("median of empty is not NaN")
+	}
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Error("odd median")
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Error("even median")
+	}
+	if MAD([]float64{5}) != 0 {
+		t.Error("single-sample MAD should be 0")
+	}
+	if MAD([]float64{1, 1, 1, 9}) != 0 {
+		t.Error("MAD should be robust to one outlier")
+	}
+	if MAD([]float64{600, 1000, 1400}) != 400 {
+		t.Error("MAD of symmetric spread")
+	}
+}

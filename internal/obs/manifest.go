@@ -10,7 +10,11 @@ import (
 )
 
 // ManifestVersion is bumped whenever the manifest schema changes shape.
-const ManifestVersion = 1
+// Version history:
+//
+//	1  spans + metrics + typed pipeline sections
+//	2  adds span GIDs and concurrent timer samples (trace export)
+const ManifestVersion = 2
 
 // Manifest is the structured provenance record of one pipeline run:
 // what ran, with which seeds and knobs, what the pipeline decided
@@ -31,6 +35,11 @@ type Manifest struct {
 
 	Metrics []Metric `json:"metrics,omitempty"`
 	Spans   *Span    `json:"spans,omitempty"`
+	// TimerSamples are the concurrent intervals captured inside parallel
+	// loops (sorted by start); TimerSamplesDropped counts overflow past
+	// the per-run buffer bound.
+	TimerSamples        []TimerSample `json:"timer_samples,omitempty"`
+	TimerSamplesDropped int64         `json:"timer_samples_dropped,omitempty"`
 }
 
 // BuildInfo identifies the binary that produced a manifest.
@@ -135,12 +144,13 @@ func CurrentBuild() BuildInfo {
 	return b
 }
 
-// Finalize attaches the default registry's metric snapshot and the
-// current span tree to the manifest. Call once, after the root span's
-// End.
+// Finalize attaches the default registry's metric snapshot, the current
+// span tree and the run's concurrent timer samples to the manifest.
+// Call once, after the root span's End.
 func (m *Manifest) Finalize() {
 	m.Metrics = Default().Snapshot()
 	m.Spans = SpanTree()
+	m.TimerSamples, m.TimerSamplesDropped = TimerSamples()
 }
 
 // Encode writes the manifest as indented JSON. Field order is fixed by
@@ -168,16 +178,37 @@ func (m *Manifest) WriteFile(path string) error {
 	return f.Close()
 }
 
-// DecodeManifest reads a manifest and checks its version.
+// DecodeManifest reads a manifest and checks its version. Older
+// versions decode fine (the schema only grows fields); manifests from a
+// newer binary are rejected — use DecodeManifestLenient to render them
+// best-effort.
 func DecodeManifest(r io.Reader) (*Manifest, error) {
-	var m Manifest
-	if err := json.NewDecoder(r).Decode(&m); err != nil {
-		return nil, fmt.Errorf("obs: decode manifest: %w", err)
+	m, note, err := DecodeManifestLenient(r)
+	if err != nil {
+		return nil, err
 	}
-	if m.Version != ManifestVersion {
-		return nil, fmt.Errorf("obs: manifest version %d, this binary reads %d", m.Version, ManifestVersion)
+	if note != "" {
+		return nil, fmt.Errorf("obs: %s", note)
 	}
-	return &m, nil
+	return m, nil
+}
+
+// DecodeManifestLenient reads a manifest tolerating version skew: a
+// manifest written by a newer binary decodes with a non-empty note
+// describing the skew instead of an error, so renderers can degrade
+// gracefully. Malformed JSON and nonsensical versions still error.
+func DecodeManifestLenient(r io.Reader) (m *Manifest, note string, err error) {
+	m = &Manifest{}
+	if err := json.NewDecoder(r).Decode(m); err != nil {
+		return nil, "", fmt.Errorf("obs: decode manifest: %w", err)
+	}
+	if m.Version < 1 {
+		return nil, "", fmt.Errorf("obs: manifest version %d is not valid", m.Version)
+	}
+	if m.Version > ManifestVersion {
+		note = fmt.Sprintf("manifest version %d is newer than this binary reads (%d); unknown fields were dropped", m.Version, ManifestVersion)
+	}
+	return m, note, nil
 }
 
 // ReadManifestFile reads and decodes the manifest at path.
@@ -188,4 +219,15 @@ func ReadManifestFile(path string) (*Manifest, error) {
 	}
 	defer f.Close()
 	return DecodeManifest(f)
+}
+
+// ReadManifestFileLenient reads the manifest at path tolerating version
+// skew (see DecodeManifestLenient).
+func ReadManifestFileLenient(path string) (*Manifest, string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", fmt.Errorf("obs: read manifest: %w", err)
+	}
+	defer f.Close()
+	return DecodeManifestLenient(f)
 }

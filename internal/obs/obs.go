@@ -212,6 +212,68 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sumBits.Load())
 }
 
+// Quantile estimates the p-quantile (p in [0,1], clamped) from the
+// histogram's cumulative buckets by linear interpolation inside the
+// containing bucket, taking 0 as the lower edge of the first bucket.
+// A rank that lands in the overflow bucket returns the last finite
+// bound — the histogram cannot resolve beyond it. An empty or nil
+// histogram returns NaN.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	bs := make([]Bucket, len(h.counts))
+	cum := int64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := infLE
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		bs[i] = Bucket{LE: le, Count: cum}
+	}
+	return quantileFromBuckets(bs, p)
+}
+
+// quantileFromBuckets is the shared quantile estimator over a
+// cumulative bucket snapshot (live Histogram or serialized Metric).
+func quantileFromBuckets(bs []Bucket, p float64) float64 {
+	if len(bs) == 0 || bs[len(bs)-1].Count == 0 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(bs[len(bs)-1].Count)
+	var prevCum int64
+	lo := 0.0
+	for _, b := range bs {
+		if float64(b.Count) >= rank && b.Count > prevCum {
+			if b.LE >= infLE {
+				// Overflow bucket: the last finite bound is the best
+				// (and only) answer the fixed buckets can give.
+				return lo
+			}
+			in := float64(b.Count - prevCum)
+			return lo + (b.LE-lo)*((rank-float64(prevCum))/in)
+		}
+		prevCum = b.Count
+		if b.LE < infLE {
+			lo = b.LE
+		}
+	}
+	return lo
+}
+
+// Quantile estimates the p-quantile of a snapshotted histogram metric
+// from its cumulative buckets (NaN for non-histogram or empty metrics).
+func (m Metric) Quantile(p float64) float64 {
+	return quantileFromBuckets(m.Buckets, p)
+}
+
 // Metric is one snapshotted metric value, JSON-ready.
 type Metric struct {
 	Name string `json:"name"`
@@ -238,9 +300,12 @@ type Bucket struct {
 // (encoding/json rejects IEEE infinities).
 const infLE = math.MaxFloat64
 
-// Snapshot returns every touched metric, sorted by name. Metrics that
-// were never incremented, set or observed are skipped so manifests only
-// carry the signals the run actually produced.
+// Snapshot returns every touched metric in a deterministic order:
+// sorted by name, ties (the same name registered as different kinds)
+// broken by kind. Manifest and history diffs rely on this ordering
+// being stable across runs and processes. Metrics that were never
+// incremented, set or observed are skipped so manifests only carry the
+// signals the run actually produced.
 func (r *Registry) Snapshot() []Metric {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -272,7 +337,12 @@ func (r *Registry) Snapshot() []Metric {
 		}
 		out = append(out, m)
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Name != out[b].Name {
+			return out[a].Name < out[b].Name
+		}
+		return out[a].Kind < out[b].Kind
+	})
 	return out
 }
 

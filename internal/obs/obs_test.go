@@ -188,6 +188,76 @@ func TestSpanTree(t *testing.T) {
 	})
 }
 
+// TestTimerSamplesAttribution checks that ObserveTimer captures
+// concurrent intervals with goroutine attribution while a run is
+// active, that the returned samples are sorted, and that spans carry
+// the opener's goroutine id.
+func TestTimerSamplesAttribution(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("ts.hist", "", 1)
+	withEnabled(t, func() {
+		root := StartRun("attrib")
+		if root.GID == 0 {
+			t.Error("root span has no goroutine id")
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 3; i++ {
+					h.ObserveTimer(StartTimer())
+				}
+			}()
+		}
+		wg.Wait()
+		root.End()
+
+		samples, dropped := TimerSamples()
+		if len(samples) != 12 {
+			t.Fatalf("%d samples, want 12", len(samples))
+		}
+		if dropped != 0 {
+			t.Fatalf("dropped=%d, want 0", dropped)
+		}
+		gids := map[int64]bool{}
+		for i, s := range samples {
+			if s.Name != "ts.hist" {
+				t.Errorf("sample %d name %q", i, s.Name)
+			}
+			if s.GID == 0 {
+				t.Errorf("sample %d has no goroutine id", i)
+			}
+			if s.DurNS < 0 || s.StartNS < 0 {
+				t.Errorf("sample %d has negative times: %+v", i, s)
+			}
+			if i > 0 && samples[i-1].StartNS > s.StartNS {
+				t.Errorf("samples not sorted at %d", i)
+			}
+			gids[s.GID] = true
+		}
+		if len(gids) < 2 {
+			t.Errorf("samples attribute to %d goroutines, want several", len(gids))
+		}
+		if root.GID != curGID() {
+			t.Errorf("root GID %d != current goroutine %d", root.GID, curGID())
+		}
+
+		// A new run resets the buffer.
+		StartRun("attrib2").End()
+		if samples, _ := TimerSamples(); len(samples) != 0 {
+			t.Errorf("new run inherited %d samples", len(samples))
+		}
+	})
+
+	// Outside a run (or disabled), ObserveTimer records no samples.
+	Disable()
+	h.ObserveTimer(StartTimer())
+	if samples, _ := TimerSamples(); len(samples) != 0 {
+		t.Error("disabled ObserveTimer recorded a sample")
+	}
+}
+
 func TestManifestRoundTrip(t *testing.T) {
 	m := NewManifest("simprof compare", []string{"-trace", "x.gob"})
 	m.Workload = &WorkloadInfo{Benchmark: "wc", Framework: "spark", Seed: 42, Units: 100, OracleCPI: 1.5}

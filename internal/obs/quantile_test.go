@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	t.Run("nil-and-empty", func(t *testing.T) {
+		var hnil *Histogram
+		if q := hnil.Quantile(0.5); !math.IsNaN(q) {
+			t.Errorf("nil histogram quantile = %v, want NaN", q)
+		}
+		r := NewRegistry()
+		h := r.Histogram("q.empty", "", 1, 10)
+		if q := h.Quantile(0.5); !math.IsNaN(q) {
+			t.Errorf("empty histogram quantile = %v, want NaN", q)
+		}
+	})
+
+	t.Run("interpolated", func(t *testing.T) {
+		r := NewRegistry()
+		h := r.Histogram("q.interp", "", 10, 20, 30)
+		withEnabled(t, func() {
+			// 10 observations in (0,10], 10 in (10,20].
+			for i := 0; i < 10; i++ {
+				h.Observe(5)
+				h.Observe(15)
+			}
+		})
+		// p=0.5 → rank 10 → upper edge of the first bucket.
+		if q := h.Quantile(0.5); math.Abs(q-10) > 1e-9 {
+			t.Errorf("p50 = %v, want 10", q)
+		}
+		// p=0.75 → rank 15 → halfway through the (10,20] bucket.
+		if q := h.Quantile(0.75); math.Abs(q-15) > 1e-9 {
+			t.Errorf("p75 = %v, want 15", q)
+		}
+		// p=0 → lower edge of the first non-empty bucket (0).
+		if q := h.Quantile(0); q != 0 {
+			t.Errorf("p0 = %v, want 0", q)
+		}
+		// Out-of-range p clamps rather than erroring.
+		if q := h.Quantile(1.5); math.Abs(q-20) > 1e-9 {
+			t.Errorf("clamped p = %v, want 20", q)
+		}
+	})
+
+	t.Run("single-bucket", func(t *testing.T) {
+		r := NewRegistry()
+		h := r.Histogram("q.single", "", 100)
+		withEnabled(t, func() {
+			for i := 0; i < 4; i++ {
+				h.Observe(50)
+			}
+		})
+		// All mass in [0,100]: quantiles interpolate linearly across it.
+		if q := h.Quantile(0.5); math.Abs(q-50) > 1e-9 {
+			t.Errorf("p50 = %v, want 50", q)
+		}
+		if q := h.Quantile(1); math.Abs(q-100) > 1e-9 {
+			t.Errorf("p100 = %v, want 100", q)
+		}
+	})
+
+	t.Run("overflow-bucket", func(t *testing.T) {
+		r := NewRegistry()
+		h := r.Histogram("q.over", "", 1, 2)
+		withEnabled(t, func() {
+			h.Observe(0.5)
+			h.Observe(99)
+			h.Observe(1000)
+		})
+		// Ranks landing in the +Inf bucket return the last finite bound.
+		if q := h.Quantile(0.9); q != 2 {
+			t.Errorf("overflow quantile = %v, want last bound 2", q)
+		}
+		// A histogram with no finite bounds degenerates to 0.
+		h2 := r.Histogram("q.nobounds", "")
+		withEnabled(t, func() { h2.Observe(7) })
+		if q := h2.Quantile(0.5); q != 0 {
+			t.Errorf("boundless histogram quantile = %v, want 0", q)
+		}
+	})
+
+	t.Run("metric-snapshot", func(t *testing.T) {
+		r := NewRegistry()
+		h := r.Histogram("q.metric", "", 10, 20)
+		withEnabled(t, func() {
+			for i := 0; i < 10; i++ {
+				h.Observe(5)
+			}
+		})
+		var hist Metric
+		for _, m := range r.Snapshot() {
+			if m.Name == "q.metric" {
+				hist = m
+			}
+		}
+		if q := hist.Quantile(0.5); math.Abs(q-5) > 1e-9 {
+			t.Errorf("metric p50 = %v, want 5", q)
+		}
+		// Non-histogram metrics (no buckets) have no quantiles.
+		if q := (Metric{Kind: "counter"}).Quantile(0.5); !math.IsNaN(q) {
+			t.Errorf("counter quantile = %v, want NaN", q)
+		}
+	})
+}
+
+// TestSnapshotDeterministicOrder pins the snapshot ordering contract:
+// sorted by name, ties across kinds broken by kind, identical on every
+// call. History and manifest diffs match metrics positionally within a
+// name, so this order must never depend on map iteration.
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	r := NewRegistry()
+	// Register in a scrambled order, including one name shared by all
+	// three kinds (the tie case map iteration would shuffle).
+	names := []string{"z.last", "a.first", "m.mid", "shared"}
+	withEnabled(t, func() {
+		for _, n := range names {
+			r.Counter(n+".c", "").Inc()
+		}
+		r.Counter("shared", "").Inc()
+		r.Gauge("shared", "").Set(1)
+		r.Histogram("shared", "", 1).Observe(0.5)
+	})
+	want := []string{
+		"a.first.c counter", "m.mid.c counter", "shared counter",
+		"shared gauge", "shared histogram", "shared.c counter",
+		"z.last.c counter",
+	}
+	for trial := 0; trial < 10; trial++ {
+		snap := r.Snapshot()
+		if len(snap) != len(want) {
+			t.Fatalf("snapshot has %d metrics, want %d", len(snap), len(want))
+		}
+		for i, m := range snap {
+			if got := m.Name + " " + m.Kind; got != want[i] {
+				t.Fatalf("trial %d: snapshot[%d] = %q, want %q", trial, i, got, want[i])
+			}
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"runtime"
+	"sort"
 	"sync"
 	"time"
 )
@@ -9,8 +11,8 @@ import (
 // root with StartRun, pipeline stages open children with StartSpan and
 // close them with End. Durations come from the monotonic clock; the
 // tree structure follows the driver's stage order, which is
-// deterministic because stages open and close sequentially (metrics,
-// not spans, are used inside parallel loops).
+// deterministic because stages open and close sequentially (timer
+// samples, not spans, carry the concurrent work inside parallel loops).
 type Span struct {
 	Name string `json:"name"`
 	// StartNS is the span's start offset from the root start, DurNS its
@@ -18,9 +20,29 @@ type Span struct {
 	StartNS  int64   `json:"start_ns"`
 	DurNS    int64   `json:"dur_ns"`
 	Children []*Span `json:"children,omitempty"`
+	// GID is the id of the goroutine that opened the span, so trace
+	// viewers can lane spans by executor (0 in pre-v2 manifests).
+	GID int64 `json:"gid,omitempty"`
 
 	parent *Span
 	start  time.Time
+}
+
+// curGID returns the running goroutine's id by parsing the
+// "goroutine N [...]" header of its stack dump. Only called on enabled
+// telemetry paths; the cost is a single-goroutine stack header write.
+func curGID() int64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	const prefix = len("goroutine ")
+	var id int64
+	for _, c := range buf[prefix:n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + int64(c-'0')
+	}
+	return id
 }
 
 // Duration returns the span's measured duration.
@@ -64,27 +86,34 @@ func (s *Span) Walk(fn func(sp *Span, depth int)) {
 }
 
 // spanState is the process-wide span collector: one tree per run, with
-// a "current" cursor that StartSpan attaches to and End pops.
+// a "current" cursor that StartSpan attaches to and End pops, plus the
+// run's concurrent timer samples.
 var spanState struct {
-	mu      sync.Mutex
-	root    *Span
-	current *Span
-	t0      time.Time
+	mu             sync.Mutex
+	root           *Span
+	current        *Span
+	t0             time.Time
+	samples        []TimerSample
+	samplesDropped int64
 }
 
-// StartRun resets the span tree and opens a new root span. It returns
-// nil (and collects nothing) while telemetry is disabled.
+// StartRun resets the span tree (and the timer-sample buffer) and opens
+// a new root span. It returns nil (and collects nothing) while
+// telemetry is disabled.
 func StartRun(name string) *Span {
 	if !enabled.Load() {
 		return nil
 	}
+	gid := curGID()
 	spanState.mu.Lock()
 	defer spanState.mu.Unlock()
 	now := time.Now()
-	root := &Span{Name: name, start: now}
+	root := &Span{Name: name, GID: gid, start: now}
 	spanState.root = root
 	spanState.current = root
 	spanState.t0 = now
+	spanState.samples = nil
+	spanState.samplesDropped = 0
 	return root
 }
 
@@ -95,6 +124,7 @@ func StartSpan(name string) *Span {
 	if !enabled.Load() {
 		return nil
 	}
+	gid := curGID()
 	spanState.mu.Lock()
 	defer spanState.mu.Unlock()
 	if spanState.current == nil {
@@ -104,6 +134,7 @@ func StartSpan(name string) *Span {
 	s := &Span{
 		Name:    name,
 		StartNS: now.Sub(spanState.t0).Nanoseconds(),
+		GID:     gid,
 		parent:  spanState.current,
 		start:   now,
 	}
@@ -148,11 +179,75 @@ func StartTimer() Timer {
 	return Timer{t: time.Now()}
 }
 
+// TimerSample is one concurrent timed interval captured by ObserveTimer
+// while a run was active: which histogram it fed, which goroutine ran
+// it, and when it ran relative to the run's root span. Samples are the
+// parallel-pool complement of the sequential span tree — trace export
+// lanes them by GID next to the driver's stages.
+type TimerSample struct {
+	Name    string `json:"name"`
+	GID     int64  `json:"gid"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+}
+
+// maxTimerSamples bounds the per-run sample buffer so a hot loop cannot
+// grow telemetry state without limit; overflow is counted, not stored.
+const maxTimerSamples = 8192
+
 // ObserveTimer records the elapsed seconds since t started. Zero timers
-// and nil histograms no-op.
+// and nil histograms no-op. While a run is active the interval is also
+// captured as a TimerSample for trace export.
 func (h *Histogram) ObserveTimer(t Timer) {
 	if h == nil || t.t.IsZero() {
 		return
 	}
-	h.Observe(time.Since(t.t).Seconds())
+	d := time.Since(t.t)
+	h.Observe(d.Seconds())
+	recordTimerSample(h.name, t.t, d)
+}
+
+// recordTimerSample appends one sample to the active run's buffer.
+// Concurrent callers interleave nondeterministically; TimerSamples
+// sorts before returning so serialized output is stable up to the
+// measured times themselves.
+func recordTimerSample(name string, start time.Time, d time.Duration) {
+	if !enabled.Load() {
+		return
+	}
+	gid := curGID()
+	spanState.mu.Lock()
+	defer spanState.mu.Unlock()
+	if spanState.root == nil {
+		return
+	}
+	if len(spanState.samples) >= maxTimerSamples {
+		spanState.samplesDropped++
+		return
+	}
+	spanState.samples = append(spanState.samples, TimerSample{
+		Name:    name,
+		GID:     gid,
+		StartNS: start.Sub(spanState.t0).Nanoseconds(),
+		DurNS:   d.Nanoseconds(),
+	})
+}
+
+// TimerSamples returns the active run's captured samples sorted by
+// (start, name, gid), plus the count dropped to the buffer bound.
+func TimerSamples() ([]TimerSample, int64) {
+	spanState.mu.Lock()
+	out := append([]TimerSample(nil), spanState.samples...)
+	dropped := spanState.samplesDropped
+	spanState.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].StartNS != out[b].StartNS {
+			return out[a].StartNS < out[b].StartNS
+		}
+		if out[a].Name != out[b].Name {
+			return out[a].Name < out[b].Name
+		}
+		return out[a].GID < out[b].GID
+	})
+	return out, dropped
 }

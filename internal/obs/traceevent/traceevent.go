@@ -1,0 +1,263 @@
+// Package traceevent serializes an obs run — the sequential span tree
+// plus the concurrent timer samples captured inside parallel loops —
+// to the Chrome trace-event JSON format, loadable in Perfetto
+// (ui.perfetto.dev) and chrome://tracing.
+//
+// The mapping: every span becomes a complete event ("ph":"X") on the
+// thread lane of the goroutine that opened it, so the driver's stages
+// stack into a flame chart; every timer sample becomes a complete
+// event on its worker goroutine's lane, so the parallel pool's k-sweep
+// and restart work shows up beside the stages it overlaps. Metadata
+// events name the process after the tool that produced the manifest
+// and label each goroutine lane.
+//
+// Output is deterministic for a given manifest: events sort by
+// (timestamp, name, lane) with metadata first, and encoding uses fixed
+// field order — a golden test pins the exact bytes.
+package traceevent
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"simprof/internal/obs"
+)
+
+// Event is one Chrome trace event. Only the fields this exporter emits
+// are modeled: complete events ("X") and metadata events ("M").
+// Timestamps and durations are in microseconds per the format spec;
+// fractional microseconds keep the span tree's nanosecond resolution.
+type Event struct {
+	Name string `json:"name"`
+	Ph   string `json:"ph"`
+	Cat  string `json:"cat,omitempty"`
+	TS   TSUS   `json:"ts"`
+	Dur  TSUS   `json:"dur,omitempty"`
+	PID  int64  `json:"pid"`
+	TID  int64  `json:"tid"`
+	Args *Args  `json:"args,omitempty"`
+}
+
+// Args carries the structured payload of an event. A fixed struct
+// (rather than a map) keeps encoding order deterministic.
+type Args struct {
+	Name   string `json:"name,omitempty"`    // metadata: process/thread name
+	SelfUS TSUS   `json:"self_us,omitempty"` // spans: duration minus children
+	GID    int64  `json:"gid,omitempty"`
+}
+
+// TSUS is a microsecond quantity serialized with fixed precision
+// (three decimals, i.e. nanosecond resolution) so encoded output is
+// byte-stable across platforms' float formatting.
+type TSUS float64
+
+// MarshalJSON renders the timestamp with exactly three decimals.
+func (t TSUS) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%.3f", float64(t))), nil
+}
+
+// UnmarshalJSON accepts any JSON number.
+func (t *TSUS) UnmarshalJSON(b []byte) error {
+	return json.Unmarshal(b, (*float64)(t))
+}
+
+// File is a trace-event file in the JSON object form ({"traceEvents":
+// [...]}), the variant Perfetto and chrome://tracing both accept.
+type File struct {
+	TraceEvents     []Event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+// Event phase and category names used by the exporter.
+const (
+	phComplete = "X"
+	phMetadata = "M"
+
+	catStage = "stage"
+	catTimer = "timer"
+
+	pid = 1 // single-process trace
+
+	// defaultTID lanes spans from pre-v2 manifests that carry no GID.
+	defaultTID = 1
+)
+
+func usNS(ns int64) TSUS { return TSUS(float64(ns) / 1e3) }
+
+// FromManifest converts a run manifest's span tree and timer samples
+// into a trace-event file. A manifest without spans yields a file with
+// only the lanes its timer samples need; a fully empty manifest yields
+// an empty (but valid) trace.
+func FromManifest(m *obs.Manifest) *File {
+	name := "simprof"
+	if m != nil && m.Tool != "" {
+		name = m.Tool
+	}
+	if m == nil {
+		return FromSpans(name, nil, nil)
+	}
+	return FromSpans(name, m.Spans, m.TimerSamples)
+}
+
+// FromSpans builds a trace-event file from a span tree and concurrent
+// timer samples. Either may be nil.
+func FromSpans(process string, root *obs.Span, samples []obs.TimerSample) *File {
+	f := &File{DisplayTimeUnit: "ms", TraceEvents: []Event{}}
+	lanes := map[int64]bool{}
+	lane := func(gid int64) int64 {
+		if gid == 0 {
+			gid = defaultTID
+		}
+		lanes[gid] = true
+		return gid
+	}
+
+	var events []Event
+	root.Walk(func(sp *obs.Span, depth int) {
+		events = append(events, Event{
+			Name: sp.Name,
+			Ph:   phComplete,
+			Cat:  catStage,
+			TS:   usNS(sp.StartNS),
+			Dur:  usNS(sp.DurNS),
+			PID:  pid,
+			TID:  lane(sp.GID),
+			Args: &Args{SelfUS: usNS(sp.SelfDuration().Nanoseconds()), GID: sp.GID},
+		})
+	})
+	for _, s := range samples {
+		events = append(events, Event{
+			Name: s.Name,
+			Ph:   phComplete,
+			Cat:  catTimer,
+			TS:   usNS(s.StartNS),
+			Dur:  usNS(s.DurNS),
+			PID:  pid,
+			TID:  lane(s.GID),
+			Args: &Args{GID: s.GID},
+		})
+	}
+	sort.SliceStable(events, func(a, b int) bool {
+		if events[a].TS != events[b].TS {
+			return events[a].TS < events[b].TS
+		}
+		if events[a].Name != events[b].Name {
+			return events[a].Name < events[b].Name
+		}
+		return events[a].TID < events[b].TID
+	})
+
+	// Metadata first: the process name, then one thread_name per lane.
+	f.TraceEvents = append(f.TraceEvents, Event{
+		Name: "process_name", Ph: phMetadata, PID: pid, TID: defaultTID,
+		Args: &Args{Name: process},
+	})
+	var tids []int64
+	for tid := range lanes {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(a, b int) bool { return tids[a] < tids[b] })
+	rootTID := int64(defaultTID)
+	if root != nil && root.GID != 0 {
+		rootTID = root.GID
+	}
+	for _, tid := range tids {
+		label := fmt.Sprintf("goroutine %d", tid)
+		if tid == rootTID {
+			label = fmt.Sprintf("driver (goroutine %d)", tid)
+		}
+		f.TraceEvents = append(f.TraceEvents, Event{
+			Name: "thread_name", Ph: phMetadata, PID: pid, TID: tid,
+			Args: &Args{Name: label},
+		})
+	}
+	f.TraceEvents = append(f.TraceEvents, events...)
+	return f
+}
+
+// Encode writes the file as indented JSON. Output is deterministic:
+// struct field order, the event sort and fixed-precision timestamps
+// pin the bytes for a given input.
+func (f *File) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(f); err != nil {
+		return fmt.Errorf("traceevent: encode: %w", err)
+	}
+	return nil
+}
+
+// Decode reads a trace-event file written by Encode (or any
+// {"traceEvents": [...]} object).
+func Decode(r io.Reader) (*File, error) {
+	var f File
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("traceevent: decode: %w", err)
+	}
+	return &f, nil
+}
+
+// Validate checks the structural invariants a viewer relies on: known
+// phases, named events, positive pid/tid, non-negative times, and
+// metadata events carrying a name argument.
+func (f *File) Validate() error {
+	if f == nil {
+		return fmt.Errorf("traceevent: nil file")
+	}
+	for i, e := range f.TraceEvents {
+		switch e.Ph {
+		case phComplete:
+			if e.Dur < 0 {
+				return fmt.Errorf("traceevent: event %d (%s): negative dur %v", i, e.Name, e.Dur)
+			}
+		case phMetadata:
+			if e.Args == nil || e.Args.Name == "" {
+				return fmt.Errorf("traceevent: metadata event %d (%s) has no name arg", i, e.Name)
+			}
+		default:
+			return fmt.Errorf("traceevent: event %d (%s): unsupported phase %q", i, e.Name, e.Ph)
+		}
+		if e.Name == "" {
+			return fmt.Errorf("traceevent: event %d has no name", i)
+		}
+		if e.PID <= 0 || e.TID <= 0 {
+			return fmt.Errorf("traceevent: event %d (%s): pid=%d tid=%d must be positive", i, e.Name, e.PID, e.TID)
+		}
+		if e.TS < 0 {
+			return fmt.Errorf("traceevent: event %d (%s): negative ts %v", i, e.Name, e.TS)
+		}
+	}
+	return nil
+}
+
+// WriteFile converts the manifest and writes the trace to path.
+func WriteFile(path string, m *obs.Manifest) error {
+	f := FromManifest(m)
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	out, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("traceevent: write %s: %w", path, err)
+	}
+	defer out.Close()
+	if err := f.Encode(out); err != nil {
+		return err
+	}
+	return out.Close()
+}
+
+// SpanDurUS sums the durations (µs) of all stage events — the check
+// that export preserved the manifest's span tree timings.
+func (f *File) SpanDurUS() float64 {
+	var sum float64
+	for _, e := range f.TraceEvents {
+		if e.Ph == phComplete && e.Cat == catStage {
+			sum += float64(e.Dur)
+		}
+	}
+	return sum
+}

@@ -9,10 +9,13 @@ set -eu
 
 OUT="${1:-BENCH_pipeline.json}"
 BENCHTIME="${BENCHTIME:-1x}"
+# BENCHCOUNT > 1 repeats every benchmark so the regression gate
+# (simprof history gate) can take medians and measure baseline noise.
+BENCHCOUNT="${BENCHCOUNT:-1}"
 
 go test -run '^$' \
 	-bench '^(BenchmarkChooseK|BenchmarkForm$|BenchmarkSimProfSelection$|BenchmarkTelemetry)' \
-	-benchtime "$BENCHTIME" -benchmem -json \
+	-benchtime "$BENCHTIME" -count "$BENCHCOUNT" -benchmem -json \
 	./internal/cluster ./internal/phase ./internal/sampling ./internal/obs \
 	>"$OUT"
 

@@ -11,10 +11,19 @@
 #                                            sink contract is broken)
 #   fuzz-smoke    trace decoders            (no byte stream may panic
 #                                            the decode path)
+#   trace-golden  trace-event export        (byte-stable golden + schema
+#                                            tests for the Perfetto export)
+#   bench-gate    perf-regression gate      (fresh bench run vs the
+#                                            committed BENCH_pipeline.json
+#                                            baseline, noise-aware medians)
 #
 # tier1-* is the fast must-stay-green core; the later stages are the
 # slower hardening smoke. Run individual stages with ./scripts/check.sh
-# <stage> [stage...].
+# <stage> [stage...]. bench-gate is opt-in (not in the default stage
+# list): benchmark wall times only compare meaningfully on the machine
+# that produced the baseline. Refresh the baseline with
+#   BENCHTIME=0.5s BENCHCOUNT=5 ./scripts/bench.sh
+# and tune the gate with GATE_BENCHTIME / GATE_BENCHCOUNT.
 set -u
 
 fail() {
@@ -61,6 +70,26 @@ run_bench_smoke() {
 	' || fail bench-smoke
 }
 
+run_trace_golden() {
+	# The Chrome trace-event exporter is pinned byte-for-byte by a golden
+	# file plus schema/sum-match invariants; regenerate the golden with
+	# `go test ./internal/obs/traceevent -run TestTraceEventGolden -update`.
+	go test -run 'TestTraceEvent' ./internal/obs/traceevent || fail trace-golden
+}
+
+run_bench_gate() {
+	baseline="${BASELINE:-BENCH_pipeline.json}"
+	if [ ! -f "$baseline" ]; then
+		echo "bench-gate: no baseline $baseline (run 'make bench' and commit it)" >&2
+		fail bench-gate
+	fi
+	cur=$(mktemp -t bench_gate.XXXXXX.json) || fail bench-gate
+	trap 'rm -f "$cur"' EXIT
+	BENCHTIME="${GATE_BENCHTIME:-0.2s}" BENCHCOUNT="${GATE_BENCHCOUNT:-3}" \
+		./scripts/bench.sh "$cur" >/dev/null || fail bench-gate
+	go run ./cmd/simprof history gate -baseline "$baseline" -bench "$cur" || fail bench-gate
+}
+
 run_fuzz_smoke() {
 	# A small time budget per decoder target. Any crasher the engine
 	# finds is persisted under internal/trace/testdata/fuzz and will fail
@@ -70,7 +99,7 @@ run_fuzz_smoke() {
 	done
 }
 
-stages="${*:-tier1-build tier1-test vet gofmt race bench-smoke fuzz-smoke}"
+stages="${*:-tier1-build tier1-test vet gofmt race bench-smoke fuzz-smoke trace-golden}"
 for stage in $stages; do
 	echo "==> $stage"
 	case "$stage" in
@@ -81,6 +110,8 @@ for stage in $stages; do
 	race) run_race ;;
 	bench-smoke) run_bench_smoke ;;
 	fuzz-smoke) run_fuzz_smoke ;;
+	trace-golden) run_trace_golden ;;
+	bench-gate) run_bench_gate ;;
 	*)
 		echo "unknown stage $stage" >&2
 		exit 2
