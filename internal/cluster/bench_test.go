@@ -3,6 +3,7 @@ package cluster
 import (
 	"testing"
 
+	"simprof/internal/matrix"
 	"simprof/internal/parallel"
 	"simprof/internal/stats"
 )
@@ -38,6 +39,29 @@ func BenchmarkKMeans_1000x100(b *testing.B) {
 		if _, err := KMeans(pts, 6, Options{Seed: uint64(i)}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkKMeansDense pits the retained naive Lloyd kernel against the
+// production bound-pruned one on the same flat matrix, shared norms and
+// engine — the speedup ratio is the pruning machinery's net win at the
+// phase-formation problem shape.
+func BenchmarkKMeansDense(b *testing.B) {
+	pts := matrix.FromRows(benchPoints(1000, 100, 6, 1))
+	pn2, pnr := pointNorms(pts)
+	eng := parallel.New(1)
+	for _, bc := range []struct {
+		name  string
+		naive bool
+	}{{"Naive", true}, {"Pruned", false}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := Options{Seed: uint64(i), naive: bc.naive}
+				if _, _, err := kMeansDenseWith(eng, pts, pn2, pnr, 6, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

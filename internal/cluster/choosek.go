@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 
+	"simprof/internal/matrix"
 	"simprof/internal/obs"
 	"simprof/internal/parallel"
 )
@@ -65,14 +66,31 @@ func (o ChooseKOptions) withDefaults() ChooseKOptions {
 // it is chosen when the best silhouette over k ≥ 2 is below MinScore,
 // i.e. when the units do not separate (e.g. grep on Spark, which runs a
 // single filter stage).
+func ChooseK(points [][]float64, opts ChooseKOptions) (KSelection, error) {
+	if len(points) == 0 {
+		return KSelection{}, fmt.Errorf("cluster: ChooseK with no points")
+	}
+	d := len(points[0])
+	for i, p := range points {
+		if len(p) != d {
+			return KSelection{}, fmt.Errorf("cluster: point %d has dim %d, want %d", i, len(p), d)
+		}
+	}
+	return ChooseKDense(matrix.FromRows(points), opts)
+}
+
+// ChooseKDense is ChooseK on a flat matrix — the entry phase formation
+// uses once its projected vectors already live in a Dense. Point norms
+// are computed once and shared by every k of the sweep, every restart's
+// seeding and assignment passes, and every silhouette scoring pass.
 //
 // Every k of the sweep is an independent task (its k-means seed is
 // pre-derived from the base seed, its result lands in its own slot), so
 // the sweep fans out across the worker pool while remaining
 // deterministic.
-func ChooseK(points [][]float64, opts ChooseKOptions) (KSelection, error) {
+func ChooseKDense(pts *matrix.Dense, opts ChooseKOptions) (KSelection, error) {
 	o := opts.withDefaults()
-	n := len(points)
+	n := pts.Rows()
 	if n == 0 {
 		return KSelection{}, fmt.Errorf("cluster: ChooseK with no points")
 	}
@@ -90,8 +108,14 @@ func ChooseK(points [][]float64, opts ChooseKOptions) (KSelection, error) {
 		maxK = n
 	}
 	eng := parallel.New(o.Workers)
+	pn2, pnr := pointNorms(pts)
+	var rows [][]float64
+	if o.KMeans.naive {
+		rows = pts.RowViews()
+	}
 	sel := KSelection{Scores: make([]float64, maxK)}
 	results := make([]Result, maxK+1)
+	kstats := make([]distStats, maxK+1)
 	// k = 1 scores 0 by definition (silhouette undefined).
 	sel.Scores[0] = 0
 	obsSweeps.Inc()
@@ -100,12 +124,17 @@ func ChooseK(points [][]float64, opts ChooseKOptions) (KSelection, error) {
 		t := obs.StartTimer()
 		kmOpts := o.KMeans
 		kmOpts.Seed = o.KMeans.Seed + uint64(k)*101
-		res, err := kMeansWith(eng, points, k, kmOpts)
+		res, st, err := kMeansDenseWith(eng, pts, pn2, pnr, k, kmOpts)
 		if err != nil {
 			return err
 		}
 		results[k] = res
-		sel.Scores[k-1] = SimplifiedSilhouetteWith(eng, points, res.Centers, res.Assign)
+		kstats[k] = st
+		if o.KMeans.naive {
+			sel.Scores[k-1] = SimplifiedSilhouetteWith(eng, rows, res.Centers, res.Assign)
+		} else {
+			sel.Scores[k-1] = simplifiedSilhouetteDense(eng, pts, pn2, pnr, res.Centers, res.Assign)
+		}
 		obsSweepK.Inc()
 		obsSweepSeconds.ObserveTimer(t)
 		return nil
@@ -113,6 +142,12 @@ func ChooseK(points [][]float64, opts ChooseKOptions) (KSelection, error) {
 	if err != nil {
 		return KSelection{}, err
 	}
+	var st distStats
+	for _, s := range kstats {
+		st.computed += s.computed
+		st.equivalent += s.equivalent
+	}
+	st.record()
 	best := 0.0
 	for _, s := range sel.Scores {
 		if s > best {
@@ -122,10 +157,11 @@ func ChooseK(points [][]float64, opts ChooseKOptions) (KSelection, error) {
 	sel.BestScore = best
 	if best < o.MinScore {
 		// No cluster structure: one phase covering everything.
-		one, err := kMeansWith(eng, points, 1, o.KMeans)
+		one, st1, err := kMeansDenseWith(eng, pts, pn2, pnr, 1, o.KMeans)
 		if err != nil {
 			return KSelection{}, err
 		}
+		st1.record()
 		sel.K, sel.Best, sel.ChosenScore = 1, one, 0
 		return sel, nil
 	}

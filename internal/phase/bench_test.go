@@ -1,6 +1,9 @@
 package phase
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 // BenchmarkForm measures full phase formation (vectorization, feature
 // selection, k sweep) on a synthetic 600-unit trace.
@@ -11,6 +14,34 @@ func BenchmarkForm(b *testing.B) {
 		if _, err := Form(tr, Options{Seed: uint64(i)}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkFormPhases is phase formation across worker counts — the
+// parallel-scaling view of BenchmarkForm (whose single-number result
+// stays the perf-gate baseline).
+func BenchmarkFormPhases(b *testing.B) {
+	tr := synthTrace(300, 1)
+	for _, w := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Form(tr, Options{Seed: uint64(i), Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVectorizeSparse measures CSR vectorization of the full
+// method space — the path Form runs, which never materializes the
+// n×d dense matrix.
+func BenchmarkVectorizeSparse(b *testing.B) {
+	tr := synthTrace(300, 2)
+	fs := fullSpace(tr)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs.VectorizeSparse(tr)
 	}
 }
 

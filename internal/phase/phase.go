@@ -10,8 +10,10 @@ package phase
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"simprof/internal/cluster"
+	"simprof/internal/matrix"
 	"simprof/internal/model"
 	"simprof/internal/obs"
 	"simprof/internal/parallel"
@@ -29,6 +31,10 @@ var (
 		"sampling units entering phase formation")
 	obsFormDegraded = obs.NewCounter("phase.degraded_units",
 		"degraded units classified onto formed centers instead of trained on")
+	obsVecNNZ = obs.NewCounter("phase.vectorize_nnz",
+		"nonzero cells stored by sparse vectorization")
+	obsVecCells = obs.NewCounter("phase.vectorize_cells",
+		"full-space cells a dense vectorization would have materialized")
 )
 
 // Options controls phase formation. Zero values select the paper's
@@ -118,6 +124,56 @@ func (fs *FeatureSpace) vectorizeWith(eng *parallel.Engine, tr *trace.Trace) [][
 	return out
 }
 
+// VectorizeSparse converts every unit of the trace into this feature
+// space as a CSR matrix: row u holds the same counts Vectorize's row u
+// would, but stores only the methods the unit actually touched — a
+// handful of stack frames out of the whole interned table. Cell values
+// are integer counts accumulated in the same snapshot order as
+// Vectorize, so the stored numbers are bit-identical to the dense
+// vectorization's nonzero cells.
+func (fs *FeatureSpace) VectorizeSparse(tr *trace.Trace) *matrix.Sparse {
+	dimOf := make(map[string]int, len(fs.Methods))
+	for j, fqn := range fs.Methods {
+		dimOf[fqn] = j
+	}
+	idToDim := make([]int, len(tr.Methods))
+	for i, m := range tr.Methods {
+		if j, ok := dimOf[m.FQN()]; ok {
+			idToDim[i] = j
+		} else {
+			idToDim[i] = -1
+		}
+	}
+	d := len(fs.Methods)
+	b := matrix.NewSparseBuilder(d, len(tr.Units), 8*len(tr.Units))
+	counts := make([]float64, d) // scratch: zero ⇔ untouched this unit
+	touched := make([]int32, 0, 64)
+	vals := make([]float64, 0, 64)
+	for u := range tr.Units {
+		touched = touched[:0]
+		for _, snap := range tr.Units[u].Snapshots {
+			for _, id := range snap {
+				if int(id) < len(idToDim) {
+					if j := idToDim[id]; j >= 0 {
+						if counts[j] == 0 {
+							touched = append(touched, int32(j))
+						}
+						counts[j]++
+					}
+				}
+			}
+		}
+		sort.Slice(touched, func(a, b int) bool { return touched[a] < touched[b] })
+		vals = vals[:0]
+		for _, j := range touched {
+			vals = append(vals, counts[j])
+			counts[j] = 0
+		}
+		b.AppendRow(touched, vals)
+	}
+	return b.Build()
+}
+
 // fullSpace builds the all-methods feature space of a trace.
 func fullSpace(tr *trace.Trace) *FeatureSpace {
 	fs := &FeatureSpace{
@@ -151,6 +207,24 @@ type Phases struct {
 	Silhouette float64   // silhouette at the chosen k
 	KScores    []float64 // silhouette per swept k (index 0 ↔ k=1)
 	FScores    []float64 // regression score of each selected dimension
+
+	// unitsByPhase is the per-phase unit index list, built once at Form
+	// time so the per-phase accessors cost O(phase size) instead of
+	// rescanning all N assignments on every call (formerly O(N·K) when
+	// iterated over phases). Only the phase membership is cached —
+	// measured status stays dynamic, because unit quality can legally
+	// change after formation (tests degrade traces post-Form). A
+	// zero-value Phases (hand-assembled in tests) leaves it nil and the
+	// accessors fall back to the full scan.
+	unitsByPhase [][]int
+}
+
+// buildIndex populates the per-phase unit lists from Assign in one pass.
+func (p *Phases) buildIndex() {
+	p.unitsByPhase = make([][]int, p.K)
+	for i, a := range p.Assign {
+		p.unitsByPhase[a] = append(p.unitsByPhase[a], i)
+	}
 }
 
 // Form runs the full phase-formation pipeline on a trace. Degraded
@@ -183,20 +257,25 @@ func Form(tr *trace.Trace, opts Options) (*Phases, error) {
 		return nil, fmt.Errorf("phase: no fully observed sampling units (all %d degraded)", len(tr.Units))
 	}
 
+	// The full method space is vectorized sparse: a unit's snapshots
+	// touch a handful of methods out of the whole interned table, so the
+	// CSR form stores orders of magnitude fewer cells than the n×d dense
+	// matrix the pipeline used to materialize here.
 	vecSpan := obs.StartSpan("phase.vectorize")
 	full := fullSpace(tr)
-	vectors := full.vectorizeWith(eng, tr)
+	sp := full.VectorizeSparse(tr)
+	obsVecNNZ.Add(int64(sp.NNZ()))
+	obsVecCells.Add(int64(sp.Rows()) * int64(sp.Cols()))
 	vecSpan.End()
 	// Univariate linear-regression feature selection against IPC, on
-	// fully observed units only (a dropped counter is not IPC 0).
+	// fully observed units only (a dropped counter is not IPC 0). The
+	// sparse scorer walks stored nonzeros, never the full method space.
 	selSpan := obs.StartSpan("phase.feature_select")
-	cleanVecs := make([][]float64, len(clean))
 	cleanIPC := make([]float64, len(clean))
 	for k, i := range clean {
-		cleanVecs[k] = vectors[i]
 		cleanIPC[k] = tr.Units[i].Counters.IPC()
 	}
-	scores := stats.FRegressionWith(eng, cleanVecs, cleanIPC)
+	scores := stats.FRegressionSparseWith(eng, sp, clean, cleanIPC)
 	top := stats.TopK(scores, o.TopK)
 	space := &FeatureSpace{
 		Methods: make([]string, len(top)),
@@ -208,23 +287,13 @@ func Form(tr *trace.Trace, opts Options) (*Phases, error) {
 		space.Kinds[j] = full.Kinds[dim]
 		fscores[j] = scores[dim]
 	}
-	selected := make([][]float64, len(vectors))
-	eng.ForEachChunk(len(vectors), unitChunk, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			sv := make([]float64, len(top))
-			for j, dim := range top {
-				sv[j] = vectors[i][dim]
-			}
-			selected[i] = sv
-		}
-	})
-	cleanSelected := make([][]float64, len(clean))
-	for k, i := range clean {
-		cleanSelected[k] = selected[i]
-	}
+	// Projection onto the selected dimensions goes straight from CSR to
+	// a flat Dense the clustering kernels run on.
+	selected := sp.GatherColumnsDense(top)
+	cleanSelected := selected.GatherRows(clean)
 	selSpan.End()
 	clusterSpan := obs.StartSpan("phase.cluster")
-	sel, err := cluster.ChooseK(cleanSelected, cluster.ChooseKOptions{
+	sel, err := cluster.ChooseKDense(cleanSelected, cluster.ChooseKOptions{
 		MaxK:      o.MaxPhases,
 		Threshold: o.SilhouetteThreshold,
 		KMeans:    cluster.Options{Seed: o.Seed},
@@ -239,18 +308,23 @@ func Form(tr *trace.Trace, opts Options) (*Phases, error) {
 		assign[i] = sel.Best.Assign[k]
 	}
 	// Classify degraded units onto the formed centers so they keep a
-	// phase (and so phase weights reflect the whole execution).
+	// phase (and so phase weights reflect the whole execution). The
+	// NearestSet shares one norm cache across every degraded unit and
+	// matches NearestCenter bit-for-bit.
 	obsFormDegraded.Add(int64(len(tr.Units) - len(clean)))
-	for i := range tr.Units {
-		if degraded[i] {
-			c, _ := cluster.NearestCenter(selected[i], sel.Best.Centers)
-			assign[i] = c
+	if len(clean) < len(tr.Units) {
+		ns := cluster.NewNearestSet(sel.Best.Centers)
+		for i := range tr.Units {
+			if degraded[i] {
+				c, _ := ns.Nearest(selected.Row(i))
+				assign[i] = c
+			}
 		}
 	}
-	return &Phases{
+	p := &Phases{
 		Trace:      tr,
 		Space:      space,
-		Vectors:    selected,
+		Vectors:    selected.RowViews(),
 		K:          sel.K,
 		Assign:     assign,
 		Centers:    sel.Best.Centers,
@@ -258,11 +332,16 @@ func Form(tr *trace.Trace, opts Options) (*Phases, error) {
 		Silhouette: sel.ChosenScore,
 		KScores:    sel.Scores,
 		FScores:    fscores,
-	}, nil
+	}
+	p.buildIndex()
+	return p, nil
 }
 
 // PhaseUnits returns the unit indices of phase h.
 func (p *Phases) PhaseUnits(h int) []int {
+	if p.unitsByPhase != nil && h >= 0 && h < len(p.unitsByPhase) {
+		return append([]int(nil), p.unitsByPhase[h]...)
+	}
 	var out []int
 	for i, a := range p.Assign {
 		if a == h {
@@ -275,6 +354,12 @@ func (p *Phases) PhaseUnits(h int) []int {
 // Sizes returns the unit count per phase.
 func (p *Phases) Sizes() []int {
 	out := make([]int, p.K)
+	if p.unitsByPhase != nil {
+		for h := range out {
+			out[h] = len(p.unitsByPhase[h])
+		}
+		return out
+	}
 	for _, a := range p.Assign {
 		out[a]++
 	}
@@ -297,6 +382,15 @@ func (p *Phases) Weights() []float64 {
 // would crater the phase mean and inflate σ, which feeds Neyman
 // allocation (Eq. 1) and the stratified SE (Eq. 4–5).
 func (p *Phases) PhaseCPIs(h int) []float64 {
+	if p.unitsByPhase != nil && h >= 0 && h < len(p.unitsByPhase) {
+		var out []float64
+		for _, i := range p.unitsByPhase[h] {
+			if p.UnitMeasured(i) {
+				out = append(out, p.Trace.Units[i].CPI())
+			}
+		}
+		return out
+	}
 	var out []float64
 	for i, a := range p.Assign {
 		if a == h && p.UnitMeasured(i) {
@@ -318,6 +412,15 @@ func (p *Phases) UnitMeasured(i int) bool {
 // MeasuredPhaseUnits returns the unit indices of phase h that carry a
 // usable CPI — the frame stratified sampling may draw from.
 func (p *Phases) MeasuredPhaseUnits(h int) []int {
+	if p.unitsByPhase != nil && h >= 0 && h < len(p.unitsByPhase) {
+		var out []int
+		for _, i := range p.unitsByPhase[h] {
+			if p.UnitMeasured(i) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
 	var out []int
 	for i, a := range p.Assign {
 		if a == h && p.UnitMeasured(i) {
@@ -330,6 +433,16 @@ func (p *Phases) MeasuredPhaseUnits(h int) []int {
 // MeasuredSizes returns the usable unit count per phase.
 func (p *Phases) MeasuredSizes() []int {
 	out := make([]int, p.K)
+	if p.unitsByPhase != nil {
+		for h := range out {
+			for _, i := range p.unitsByPhase[h] {
+				if p.UnitMeasured(i) {
+					out[h]++
+				}
+			}
+		}
+		return out
+	}
 	for i, a := range p.Assign {
 		if p.UnitMeasured(i) {
 			out[a]++

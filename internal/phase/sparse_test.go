@@ -1,0 +1,93 @@
+package phase
+
+import (
+	"reflect"
+	"testing"
+
+	"simprof/internal/matrix"
+	"simprof/internal/parallel"
+	"simprof/internal/trace"
+)
+
+// TestVectorizeSparseMatchesDense pins the CSR vectorization against the
+// dense one cell for cell: same counts, everything else exactly zero.
+func TestVectorizeSparseMatchesDense(t *testing.T) {
+	tr := synthTrace(40, 3)
+	fs := fullSpace(tr)
+	dense := fs.vectorizeWith(parallel.New(1), tr)
+	sp := fs.VectorizeSparse(tr)
+	if sp.Rows() != len(dense) || sp.Cols() != fs.Dim() {
+		t.Fatalf("dims %dx%d, want %dx%d", sp.Rows(), sp.Cols(), len(dense), fs.Dim())
+	}
+	back := matrix.DenseFromSparse(sp)
+	for i, row := range dense {
+		if !reflect.DeepEqual(back.Row(i), row) {
+			t.Fatalf("unit %d: sparse %v dense %v", i, back.Row(i), row)
+		}
+	}
+	if sp.NNZ() >= sp.Rows()*sp.Cols() {
+		t.Fatalf("vectorization is not sparse: nnz=%d of %d cells",
+			sp.NNZ(), sp.Rows()*sp.Cols())
+	}
+}
+
+// TestVectorizeSparseSubsetSpace exercises a feature space that omits
+// some of the trace's methods (the sensitivity path vectorizes reference
+// traces in the training space).
+func TestVectorizeSparseSubsetSpace(t *testing.T) {
+	tr := synthTrace(10, 5)
+	full := fullSpace(tr)
+	sub := &FeatureSpace{
+		Methods: full.Methods[:1],
+		Kinds:   full.Kinds[:1],
+	}
+	dense := sub.vectorizeWith(parallel.New(1), tr)
+	back := matrix.DenseFromSparse(sub.VectorizeSparse(tr))
+	for i, row := range dense {
+		if !reflect.DeepEqual(back.Row(i), row) {
+			t.Fatalf("unit %d: %v vs %v", i, back.Row(i), row)
+		}
+	}
+}
+
+// TestPhaseIndexAccessors pins the cached per-phase index lists against
+// the legacy full-assignment scans, both on a formed Phases (cache
+// present) and on a hand-assembled one (cache absent), including after
+// a post-formation quality change.
+func TestPhaseIndexAccessors(t *testing.T) {
+	tr := synthTrace(30, 9)
+	p, err := Form(tr, Options{Seed: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Degrade a few units after formation: measured status must follow.
+	for i := 0; i < len(tr.Units); i += 7 {
+		tr.Units[i].Quality |= trace.CountersMissing
+	}
+	bare := &Phases{Trace: p.Trace, K: p.K, Assign: p.Assign, Degraded: p.Degraded}
+	for h := -1; h <= p.K; h++ {
+		if got, want := p.PhaseUnits(h), bare.PhaseUnits(h); !reflect.DeepEqual(got, want) {
+			t.Fatalf("PhaseUnits(%d): %v vs %v", h, got, want)
+		}
+		if got, want := p.MeasuredPhaseUnits(h), bare.MeasuredPhaseUnits(h); !reflect.DeepEqual(got, want) {
+			t.Fatalf("MeasuredPhaseUnits(%d): %v vs %v", h, got, want)
+		}
+		if got, want := p.PhaseCPIs(h), bare.PhaseCPIs(h); !reflect.DeepEqual(got, want) {
+			t.Fatalf("PhaseCPIs(%d): %v vs %v", h, got, want)
+		}
+	}
+	if got, want := p.Sizes(), bare.Sizes(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Sizes: %v vs %v", got, want)
+	}
+	if got, want := p.MeasuredSizes(), bare.MeasuredSizes(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("MeasuredSizes: %v vs %v", got, want)
+	}
+	// The cached lists must be insulated from caller mutation.
+	u := p.PhaseUnits(0)
+	if len(u) > 0 {
+		u[0] = -999
+		if p.PhaseUnits(0)[0] == -999 {
+			t.Fatal("PhaseUnits exposed the internal cache")
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"simprof/internal/cluster"
+	"simprof/internal/parallel"
 	"simprof/internal/phase"
 	"simprof/internal/stats"
 	"simprof/internal/trace"
@@ -24,14 +25,21 @@ const DefaultThreshold = 0.10
 // Classify assigns every unit of a reference trace to the nearest
 // training phase center, vectorizing the reference units in the
 // training feature space (methods are matched by fully qualified name,
-// so the reference run may intern methods in a different order).
+// so the reference run may intern methods in a different order). The
+// center norms are cached once and shared by every query, and units
+// classify in fixed chunks on the worker pool — each unit writes only
+// its own slot, so the assignment matches a serial NearestCenter scan
+// bit-for-bit at every worker count.
 func Classify(ph *phase.Phases, ref *trace.Trace) []int {
 	vectors := ph.Space.Vectorize(ref)
+	set := cluster.NewNearestSet(ph.Centers)
 	out := make([]int, len(vectors))
-	for i, v := range vectors {
-		c, _ := cluster.NearestCenter(v, ph.Centers)
-		out[i] = c
-	}
+	parallel.Default().ForEachChunk(len(vectors), 256, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c, _ := set.Nearest(vectors[i])
+			out[i] = c
+		}
+	})
 	return out
 }
 

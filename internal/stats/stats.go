@@ -11,6 +11,7 @@ import (
 	"math"
 	"sort"
 
+	"simprof/internal/matrix"
 	"simprof/internal/parallel"
 )
 
@@ -202,6 +203,86 @@ func FRegressionWith(eng *parallel.Engine, features [][]float64, target []float6
 				col[i] = features[i][j]
 			}
 			scores[j] = FScore(Pearson(col, target), n)
+		}
+	})
+	return scores
+}
+
+// FRegressionSparseWith scores each feature column of a CSR matrix
+// against the target without ever materializing the dense feature
+// space. X holds one row per observation over the full feature space;
+// rows selects the observations to score (e.g. the fully observed
+// sampling units) and target is aligned with rows. The per-column sums
+// visit only stored nonzeros — O(nnz) instead of O(n·d) — and each
+// column's zero entries contribute their closed form: a zero deviates
+// from the column mean by exactly −mx, so the n−nnz zero terms add
+// (n−nnz)·mx² to Σ(x−mx)² and −mx·Σ_{zeros}(y−my) to Σ(x−mx)(y−my).
+// The column sum Σx (and so the mean) is bit-identical to the dense
+// scan's: skipped zeros add exactly nothing to a non-negative
+// accumulator. The centered second-order sums accumulate in a different
+// order than the dense row scan, so scores agree with FRegressionWith
+// to float rounding, not bit-for-bit; columns with identical content
+// still get identical scores, keeping TopK ties deterministic.
+func FRegressionSparseWith(eng *parallel.Engine, X *matrix.Sparse, rows []int, target []float64) []float64 {
+	n := len(rows)
+	if n != len(target) {
+		panic("stats: FRegression rows/target mismatch")
+	}
+	d := X.Cols()
+	scores := make([]float64, d)
+	if n < 3 {
+		return scores // FScore is 0 below 3 observations
+	}
+	my := Mean(target)
+	var syy, sydev float64
+	ydev := make([]float64, n)
+	for i, y := range target {
+		dy := y - my
+		ydev[i] = dy
+		syy += dy * dy
+		sydev += dy
+	}
+	// Pass 1: column sums and nonzero counts, rows in the given order
+	// (matching the dense column scan's row order over its nonzeros).
+	sx := make([]float64, d)
+	nnz := make([]int32, d)
+	for _, r := range rows {
+		cs, vs := X.Row(r)
+		for k, c := range cs {
+			sx[c] += vs[k]
+			nnz[c]++
+		}
+	}
+	mx := make([]float64, d)
+	for j := range mx {
+		mx[j] = sx[j] / float64(n)
+	}
+	// Pass 2: centered second-order sums over the nonzeros.
+	sxx := make([]float64, d)
+	sxy := make([]float64, d)
+	synz := make([]float64, d) // Σ ydev over rows where the column is nonzero
+	for i, r := range rows {
+		cs, vs := X.Row(r)
+		dy := ydev[i]
+		for k, c := range cs {
+			dx := vs[k] - mx[c]
+			sxx[c] += dx * dx
+			sxy[c] += dx * dy
+			synz[c] += dy
+		}
+	}
+	// Fold the zero entries' closed form and score; columns are
+	// independent, so this fans out like FRegressionWith.
+	eng.ForEachChunk(d, featureChunk, func(_, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			zeros := float64(n - int(nnz[j]))
+			vxx := sxx[j] + zeros*mx[j]*mx[j]
+			vxy := sxy[j] - mx[j]*(sydev-synz[j])
+			if vxx == 0 || syy == 0 {
+				scores[j] = 0 // constant column or constant target
+				continue
+			}
+			scores[j] = FScore(vxy/math.Sqrt(vxx*syy), n)
 		}
 	})
 	return scores

@@ -1,8 +1,10 @@
 #!/bin/sh
 # Benchmark snapshot for the performance-tracked kernels: the k sweep
-# (ChooseK), phase formation end-to-end (Form), SimProf's stratified
-# selection, and the telemetry fast paths (disabled must stay at
-# 0 allocs/op, enabled is the instrumented cost). Results stream to
+# (ChooseK), phase formation end-to-end (Form, plus the FormPhases
+# worker sweep), the naive-vs-pruned Lloyd kernel pair (KMeansDense),
+# sparse vectorization, SimProf's stratified selection, and the
+# telemetry fast paths (disabled must stay at 0 allocs/op, enabled is
+# the instrumented cost). Results stream to
 # BENCH_pipeline.json in `go test -json` (test2json) format so CI can
 # diff runs; the classic benchmark lines echo to stdout for humans.
 set -eu
@@ -14,7 +16,7 @@ BENCHTIME="${BENCHTIME:-1x}"
 BENCHCOUNT="${BENCHCOUNT:-1}"
 
 go test -run '^$' \
-	-bench '^(BenchmarkChooseK|BenchmarkForm$|BenchmarkSimProfSelection$|BenchmarkTelemetry)' \
+	-bench '^(BenchmarkChooseK|BenchmarkForm$|BenchmarkFormPhases|BenchmarkKMeansDense|BenchmarkVectorizeSparse$|BenchmarkSimProfSelection$|BenchmarkTelemetry)' \
 	-benchtime "$BENCHTIME" -count "$BENCHCOUNT" -benchmem -json \
 	./internal/cluster ./internal/phase ./internal/sampling ./internal/obs \
 	>"$OUT"
