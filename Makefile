@@ -38,6 +38,7 @@ bench-gate:
 fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzDecodeGob$$' -fuzztime=10s ./internal/trace
 	$(GO) test -run='^$$' -fuzz='^FuzzDecodeJSON$$' -fuzztime=10s ./internal/trace
+	$(GO) test -run='^$$' -fuzz='^FuzzDecodeBin$$' -fuzztime=10s ./internal/tracebin
 
 # The fast must-stay-green core of the CI gate.
 tier1: ; ./scripts/check.sh tier1-build tier1-test

@@ -6,6 +6,7 @@
 //	datagen kv    -records 1000000 -out records.tsv
 //	datagen graph -name google -scale 16 -out edges.txt
 //	datagen tableII -scale 14 -dir inputs/
+//	datagen trace -units 10000 -format bin -out run.bin
 package main
 
 import (
@@ -18,6 +19,8 @@ import (
 	"strings"
 
 	"simprof/internal/synth"
+	"simprof/internal/trace"
+	_ "simprof/internal/tracebin" // registers the "bin" trace format
 )
 
 func main() {
@@ -35,6 +38,8 @@ func main() {
 		err = cmdGraph(os.Args[2:])
 	case "tableII":
 		err = cmdTableII(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -49,7 +54,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: datagen <text|kv|graph|tableII> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: datagen <text|kv|graph|tableII|trace> [flags]`)
 }
 
 // parseSize understands "64MB", "1GB", "4096".
@@ -194,6 +199,42 @@ func cmdTableII(args []string) error {
 			f.Close()
 		}
 	}
+	return nil
+}
+
+// cmdTrace materializes a synthetic phase-structured profiling trace in
+// any registered trace format — the fixture generator for format
+// conversions, decoder tests and large-scale ingest benchmarks.
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	units := fs.Int("units", 10_000, "sampling units")
+	methods := fs.Int("methods", 256, "interned method table size")
+	phases := fs.Int("phases", 4, "planted phases")
+	depth := fs.Int("depth", 8, "frames per snapshot")
+	snaps := fs.Int("snapshots", 10, "snapshots per unit")
+	seed := fs.Uint64("seed", 1, "random seed")
+	format := fs.String("format", "bin", fmt.Sprintf("output format %v", trace.FormatNames()))
+	out := fs.String("out", "", "output file (default stdout)")
+	fs.Parse(args)
+	spec := synth.DefaultTrace(*units, *seed)
+	spec.Methods = *methods
+	spec.Phases = *phases
+	spec.Depth = *depth
+	spec.Snapshots = *snaps
+	tr, err := spec.Generate()
+	if err != nil {
+		return err
+	}
+	w, closer, err := output(*out)
+	if err != nil {
+		return err
+	}
+	defer closer()
+	if err := tr.Encode(w, *format); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d units, %d methods, %d planted phases (%s)\n",
+		len(tr.Units), len(tr.Methods), *phases, *format)
 	return nil
 }
 

@@ -41,6 +41,7 @@ import (
 	"simprof/internal/stats"
 	"simprof/internal/synth"
 	"simprof/internal/trace"
+	_ "simprof/internal/tracebin" // registers the "bin" trace format
 	"simprof/internal/workloads"
 )
 
@@ -179,7 +180,8 @@ func workloadFlags(fs *flag.FlagSet) (*string, *string, *uint64, *workloads.Opti
 func cmdProfile(args []string) error {
 	fs := newFlagSet("profile")
 	bench, fw, seed, opts := workloadFlags(fs)
-	out := fs.String("out", "", "output trace file (gob; .json for JSON)")
+	out := fs.String("out", "", "output trace file")
+	format := fs.String("format", "", "trace format: "+strings.Join(trace.FormatNames(), " ")+" (default: by extension)")
 	faultSpec := fs.String("faults", "", `inject profiler faults before writing, e.g. "rate=0.05" or "drop=0.1,crash=0.02,snap=0.05" (keys: drop mux muxcov snap crash dup reorder rate)`)
 	faultSeed := fs.Uint64("faultseed", 0, "seed for the fault injector (default: derived from -seed)")
 	tel := telemetryFlagsWithTrace(fs)
@@ -188,6 +190,10 @@ func cmdProfile(args []string) error {
 	}
 	if *out == "" {
 		return usageErr(fs, "-out is required")
+	}
+	outFormat, err := formatForOut(fs, *out, *format)
+	if err != nil {
+		return err
 	}
 	if err := validateWorkload(fs, *bench, *fw); err != nil {
 		return err
@@ -238,32 +244,51 @@ func cmdProfile(args []string) error {
 		return err
 	}
 	defer f.Close()
-	if strings.HasSuffix(*out, ".json") {
-		err = tr.EncodeJSON(f)
-	} else {
-		err = tr.EncodeGob(f)
-	}
-	if err != nil {
+	if err := tr.Encode(f, outFormat); err != nil {
 		return err
 	}
-	fmt.Printf("%s: %d sampling units (%dM instructions each), oracle CPI %.3f → %s\n",
-		tr.Name(), len(tr.Units), tr.UnitInstr/1_000_000, tr.OracleCPI(), *out)
+	fmt.Printf("%s: %d sampling units (%dM instructions each), oracle CPI %.3f → %s (%s)\n",
+		tr.Name(), len(tr.Units), tr.UnitInstr/1_000_000, tr.OracleCPI(), *out, outFormat)
 	if tel.manifest != nil {
 		tel.manifest.Workload = workloadInfo(tr, *seed, 0)
 	}
 	return tel.finish()
 }
 
+// loadTrace reads a trace file in any known format: the format is
+// detected from the bytes themselves (magic prefix for binary codecs,
+// then JSON, then gob), so a .bin file renamed to .gob still loads.
 func loadTrace(path string) (*trace.Trace, error) {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	if strings.HasSuffix(path, ".json") {
-		return trace.DecodeJSON(f)
+	tr, err := trace.DecodeBytes(data)
+	if err != nil {
+		return nil, fmt.Errorf("load trace %s: %w", path, err)
 	}
-	return trace.DecodeGob(f)
+	return tr, nil
+}
+
+// formatForOut picks the trace output format: an explicit -format wins,
+// otherwise the extension decides (.json → json, .bin → bin, else gob).
+func formatForOut(fs *flag.FlagSet, out, format string) (string, error) {
+	if format == "" {
+		switch {
+		case strings.HasSuffix(out, ".json"):
+			return "json", nil
+		case strings.HasSuffix(out, ".bin"):
+			return "bin", nil
+		default:
+			return "gob", nil
+		}
+	}
+	for _, name := range trace.FormatNames() {
+		if name == format {
+			return format, nil
+		}
+	}
+	return "", usageErr(fs, "unknown -format %q (have: %s)", format, strings.Join(trace.FormatNames(), " "))
 }
 
 // workersFlag registers the shared -workers knob: how many goroutines

@@ -28,6 +28,7 @@ func TestFlagValidation(t *testing.T) {
 		{"profile/bad-framework", cmdProfile, []string{"-framework", "flink", "-out", os.DevNull}, `unknown -framework "flink"`},
 		{"profile/bad-faults", cmdProfile, []string{"-out", os.DevNull, "-faults", "bogus=="}, "usage: simprof profile"},
 		{"profile/unknown-flag", cmdProfile, []string{"-wat"}, "usage: simprof profile"},
+		{"profile/bad-format", cmdProfile, []string{"-out", os.DevNull, "-format", "xml"}, `unknown -format "xml"`},
 		{"phases/no-trace", cmdPhases, []string{}, "usage: simprof phases"},
 		{"sample/no-trace", cmdSample, []string{"-n", "5"}, "usage: simprof sample"},
 		{"sample/zero-n", cmdSample, []string{"-trace", "x.gob", "-n", "0"}, "-n must be positive"},
@@ -92,6 +93,79 @@ func smallTrace(t *testing.T) string {
 		t.Fatal(err)
 	}
 	return path
+}
+
+// TestProfileFormats checks the -format flag and the extension defaults
+// on 'simprof profile', and that every written file loads back through
+// loadTrace's magic-byte detection regardless of its extension.
+func TestProfileFormats(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name      string
+		out       string
+		format    string
+		wantMagic string
+	}{
+		{"ext-bin", "wc.bin", "", "SPTB"},
+		{"ext-json", "wc.json", "", "{"},
+		{"ext-gob", "wc.gob", "", ""},
+		{"explicit-bin-odd-ext", "wc2.gob", "bin", "SPTB"},
+		{"explicit-json-odd-ext", "wc2.trace", "json", "{"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out := filepath.Join(dir, tc.out)
+			args := []string{"-bench", "wc", "-framework", "spark", "-seed", "7",
+				"-textbytes", "50331648", "-out", out}
+			if tc.format != "" {
+				args = append(args, "-format", tc.format)
+			}
+			if err := cmdProfile(args); err != nil {
+				t.Fatalf("profile: %v", err)
+			}
+			data, err := os.ReadFile(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.wantMagic != "" && !strings.HasPrefix(string(data), tc.wantMagic) {
+				t.Fatalf("file starts with % x, want prefix %q", data[:8], tc.wantMagic)
+			}
+			tr, err := loadTrace(out)
+			if err != nil {
+				t.Fatalf("loadTrace: %v", err)
+			}
+			if len(tr.Units) == 0 {
+				t.Fatal("loaded trace has no units")
+			}
+		})
+	}
+}
+
+// TestLoadTraceErrors checks truncated and foreign files fail with
+// errors that name the file and the problem, not a panic or a bare EOF.
+func TestLoadTraceErrors(t *testing.T) {
+	dir := t.TempDir()
+	trunc := filepath.Join(dir, "trunc.bin")
+	if err := os.WriteFile(trunc, []byte("SPTB\x01\x00\x00"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	foreign := filepath.Join(dir, "foreign.trace")
+	if err := os.WriteFile(foreign, []byte("\x7fELF not a trace at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ path, want string }{
+		{trunc, "truncated"},
+		{foreign, "unrecognized trace format"},
+		{filepath.Join(dir, "missing.bin"), "no such file"},
+	} {
+		_, err := loadTrace(tc.path)
+		if err == nil {
+			t.Fatalf("%s: expected error containing %q, got nil", tc.path, tc.want)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not contain %q", tc.path, err, tc.want)
+		}
+	}
 }
 
 // TestCompareTelemetryInspectRoundTrip runs 'simprof compare -telemetry'

@@ -262,6 +262,7 @@ func (r Report) observe() {
 // snapshot lists; stacks themselves are immutable and stay shared).
 func cloneTrace(tr *trace.Trace) *trace.Trace {
 	out := *tr
+	out.SetFreq(nil) // the copied frequency handle would go stale with the mutations
 	out.Methods = append([]model.Method(nil), tr.Methods...)
 	out.Units = append([]trace.Unit(nil), tr.Units...)
 	for i := range out.Units {

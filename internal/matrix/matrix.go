@@ -180,6 +180,83 @@ func (b *SparseBuilder) Build() *Sparse {
 	}
 }
 
+// NewSparseCSR adopts pre-built CSR arrays without copying them — the
+// zero-copy entry used by the tracebin decoder, whose column sections
+// already hold exactly this layout. The arrays are validated (monotone
+// row pointers covering all of col/val, strictly ascending in-range
+// columns per row) so that adopted data upholds the same invariants
+// SparseBuilder enforces; the caller keeps ownership of the slices and
+// must not mutate them afterwards.
+func NewSparseCSR(rows, cols int, rowPtr []int, col []int32, val []float64) (*Sparse, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("matrix: NewSparseCSR(%d, %d)", rows, cols)
+	}
+	if len(rowPtr) != rows+1 {
+		return nil, fmt.Errorf("matrix: NewSparseCSR row pointers: %d entries, want %d", len(rowPtr), rows+1)
+	}
+	if len(col) != len(val) {
+		return nil, fmt.Errorf("matrix: NewSparseCSR col/val length mismatch (%d != %d)", len(col), len(val))
+	}
+	if rowPtr[0] != 0 || rowPtr[rows] != len(col) {
+		return nil, fmt.Errorf("matrix: NewSparseCSR row pointers span [%d, %d], want [0, %d]",
+			rowPtr[0], rowPtr[rows], len(col))
+	}
+	for i := 0; i < rows; i++ {
+		lo, hi := rowPtr[i], rowPtr[i+1]
+		if lo > hi || hi > len(col) {
+			return nil, fmt.Errorf("matrix: NewSparseCSR row %d pointers not monotone (%d > %d)", i, lo, hi)
+		}
+		prev := int32(-1)
+		for _, c := range col[lo:hi] {
+			if c <= prev || int(c) >= cols {
+				return nil, fmt.Errorf("matrix: NewSparseCSR row %d column %d out of order or range (cols=%d)", i, c, cols)
+			}
+			prev = c
+		}
+	}
+	return &Sparse{rows: rows, cols: cols, RowPtr: rowPtr, Col: col, Val: val}, nil
+}
+
+// ColMap inverts a projected column list: the result maps every
+// full-space column to its projected dimension, or -1 when the column is
+// not selected. It panics on an out-of-range column, matching
+// GatherColumnsDense.
+func (s *Sparse) ColMap(cols []int) []int32 {
+	colMap := make([]int32, s.cols)
+	for i := range colMap {
+		colMap[i] = -1
+	}
+	for j, c := range cols {
+		if c < 0 || c >= s.cols {
+			panic(fmt.Sprintf("matrix: ColMap column %d out of range (cols=%d)", c, s.cols))
+		}
+		colMap[c] = int32(j)
+	}
+	return colMap
+}
+
+// GatherColumnsInto projects rows [lo, hi) onto the dimensions selected
+// by colMap (built with ColMap), writing into the matching rows of out.
+// Each call touches only its own row range of out, so disjoint ranges
+// may run concurrently — the parallel projection in phase formation
+// drives this over a fixed chunk grid and the result is bit-for-bit the
+// serial GatherColumnsDense (each cell is written by exactly one copy,
+// no reductions are involved).
+func (s *Sparse) GatherColumnsInto(out *Dense, colMap []int32, lo, hi int) {
+	if out.rows != s.rows {
+		panic(fmt.Sprintf("matrix: GatherColumnsInto rows %d != %d", out.rows, s.rows))
+	}
+	for i := lo; i < hi; i++ {
+		cs, vs := s.Row(i)
+		row := out.Row(i)
+		for k, c := range cs {
+			if j := colMap[c]; j >= 0 {
+				row[j] = vs[k]
+			}
+		}
+	}
+}
+
 // GatherColumnsDense projects the matrix onto the given columns: the
 // result is a dense Rows()×len(cols) matrix with out[i][j] =
 // s[i][cols[j]]. Columns absent from a row read as 0. This is the
@@ -190,26 +267,7 @@ func (s *Sparse) GatherColumnsDense(cols []int) *Dense {
 	if len(cols) == 0 {
 		return out
 	}
-	// colMap: full-space column → projected dimension (or -1).
-	colMap := make([]int32, s.cols)
-	for i := range colMap {
-		colMap[i] = -1
-	}
-	for j, c := range cols {
-		if c < 0 || c >= s.cols {
-			panic(fmt.Sprintf("matrix: GatherColumnsDense column %d out of range (cols=%d)", c, s.cols))
-		}
-		colMap[c] = int32(j)
-	}
-	for i := 0; i < s.rows; i++ {
-		cs, vs := s.Row(i)
-		row := out.Row(i)
-		for k, c := range cs {
-			if j := colMap[c]; j >= 0 {
-				row[j] = vs[k]
-			}
-		}
-	}
+	s.GatherColumnsInto(out, s.ColMap(cols), 0, s.rows)
 	return out
 }
 

@@ -35,6 +35,8 @@ var (
 		"nonzero cells stored by sparse vectorization")
 	obsVecCells = obs.NewCounter("phase.vectorize_cells",
 		"full-space cells a dense vectorization would have materialized")
+	obsFreqAdopted = obs.NewCounter("phase.freq_adopted",
+		"formations that adopted a decoder-attached frequency matrix instead of vectorizing")
 )
 
 // Options controls phase formation. Zero values select the paper's
@@ -44,6 +46,12 @@ type Options struct {
 	MaxPhases           int     // k sweep upper bound (paper: 20)
 	SilhouetteThreshold float64 // fraction of best silhouette accepted (default 0.93)
 	Seed                uint64
+	// Restarts and MaxIter bound the k-means work per swept k. Zero
+	// selects the clustering defaults (4 restarts, 100 iterations),
+	// which reproduce the paper's runs; interactive callers profiling
+	// very large traces can trade refinement for latency here.
+	Restarts int
+	MaxIter  int
 	// Workers bounds the concurrency of the whole formation pipeline
 	// (vectorization, feature scoring, the k sweep and its restarts).
 	// 0 selects GOMAXPROCS; 1 runs serially. The formed phases are
@@ -174,6 +182,35 @@ func (fs *FeatureSpace) VectorizeSparse(tr *trace.Trace) *matrix.Sparse {
 	return b.Build()
 }
 
+// fullFreqMatrix returns the trace's full-method-space frequency CSR,
+// adopting the matrix a columnar decoder attached (tracebin stores it as
+// three file sections, so "vectorizing" is free) whenever it provably
+// equals what VectorizeSparse(fullSpace) would build: the dimensions
+// must match the trace, and the method FQNs must be unique — the
+// FQN-keyed vectorizer collapses duplicate FQNs onto one dimension,
+// while the decoder's matrix is keyed by method id, so a table with
+// duplicates must take the slow path to stay bit-identical.
+func fullFreqMatrix(full *FeatureSpace, tr *trace.Trace) *matrix.Sparse {
+	if sp := tr.Freq(); sp != nil &&
+		sp.Rows() == len(tr.Units) && sp.Cols() == len(tr.Methods) &&
+		uniqueStrings(full.Methods) {
+		obsFreqAdopted.Inc()
+		return sp
+	}
+	return full.VectorizeSparse(tr)
+}
+
+func uniqueStrings(ss []string) bool {
+	seen := make(map[string]struct{}, len(ss))
+	for _, s := range ss {
+		if _, dup := seen[s]; dup {
+			return false
+		}
+		seen[s] = struct{}{}
+	}
+	return true
+}
+
 // fullSpace builds the all-methods feature space of a trace.
 func fullSpace(tr *trace.Trace) *FeatureSpace {
 	fs := &FeatureSpace{
@@ -219,9 +256,18 @@ type Phases struct {
 	unitsByPhase [][]int
 }
 
-// buildIndex populates the per-phase unit lists from Assign in one pass.
+// buildIndex populates the per-phase unit lists from Assign: one
+// counting pass sizes every list exactly, so no list is append-grown
+// through log₂(N) reallocations on large traces.
 func (p *Phases) buildIndex() {
+	sizes := make([]int, p.K)
+	for _, a := range p.Assign {
+		sizes[a]++
+	}
 	p.unitsByPhase = make([][]int, p.K)
+	for h, s := range sizes {
+		p.unitsByPhase[h] = make([]int, 0, s)
+	}
 	for i, a := range p.Assign {
 		p.unitsByPhase[a] = append(p.unitsByPhase[a], i)
 	}
@@ -263,7 +309,7 @@ func Form(tr *trace.Trace, opts Options) (*Phases, error) {
 	// matrix the pipeline used to materialize here.
 	vecSpan := obs.StartSpan("phase.vectorize")
 	full := fullSpace(tr)
-	sp := full.VectorizeSparse(tr)
+	sp := fullFreqMatrix(full, tr)
 	obsVecNNZ.Add(int64(sp.NNZ()))
 	obsVecCells.Add(int64(sp.Rows()) * int64(sp.Cols()))
 	vecSpan.End()
@@ -288,15 +334,29 @@ func Form(tr *trace.Trace, opts Options) (*Phases, error) {
 		fscores[j] = scores[dim]
 	}
 	// Projection onto the selected dimensions goes straight from CSR to
-	// a flat Dense the clustering kernels run on.
-	selected := sp.GatherColumnsDense(top)
-	cleanSelected := selected.GatherRows(clean)
+	// a flat Dense the clustering kernels run on. Chunks of rows project
+	// independently (each cell is written by exactly one chunk, no
+	// reductions), so the result is bit-for-bit GatherColumnsDense at
+	// every worker count.
+	selected := matrix.NewDense(sp.Rows(), len(top))
+	if len(top) > 0 {
+		colMap := sp.ColMap(top)
+		eng.ForEachChunk(sp.Rows(), unitChunk, func(_, lo, hi int) {
+			sp.GatherColumnsInto(selected, colMap, lo, hi)
+		})
+	}
+	// On a pristine trace every row trains, so the projection itself is
+	// the training matrix — skip the 12MB-at-100k-units identity copy.
+	cleanSelected := selected
+	if len(clean) < len(tr.Units) {
+		cleanSelected = selected.GatherRows(clean)
+	}
 	selSpan.End()
 	clusterSpan := obs.StartSpan("phase.cluster")
 	sel, err := cluster.ChooseKDense(cleanSelected, cluster.ChooseKOptions{
 		MaxK:      o.MaxPhases,
 		Threshold: o.SilhouetteThreshold,
-		KMeans:    cluster.Options{Seed: o.Seed},
+		KMeans:    cluster.Options{Seed: o.Seed, Restarts: o.Restarts, MaxIter: o.MaxIter},
 		Workers:   o.Workers,
 	})
 	clusterSpan.End()
@@ -383,7 +443,7 @@ func (p *Phases) Weights() []float64 {
 // allocation (Eq. 1) and the stratified SE (Eq. 4–5).
 func (p *Phases) PhaseCPIs(h int) []float64 {
 	if p.unitsByPhase != nil && h >= 0 && h < len(p.unitsByPhase) {
-		var out []float64
+		out := make([]float64, 0, len(p.unitsByPhase[h]))
 		for _, i := range p.unitsByPhase[h] {
 			if p.UnitMeasured(i) {
 				out = append(out, p.Trace.Units[i].CPI())
@@ -413,7 +473,7 @@ func (p *Phases) UnitMeasured(i int) bool {
 // usable CPI — the frame stratified sampling may draw from.
 func (p *Phases) MeasuredPhaseUnits(h int) []int {
 	if p.unitsByPhase != nil && h >= 0 && h < len(p.unitsByPhase) {
-		var out []int
+		out := make([]int, 0, len(p.unitsByPhase[h]))
 		for _, i := range p.unitsByPhase[h] {
 			if p.UnitMeasured(i) {
 				out = append(out, i)

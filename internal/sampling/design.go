@@ -26,17 +26,39 @@ func EstimateOnTrace(ph *phase.Phases, sp Stratified, target *trace.Trace) (Samp
 			"sampling: target trace has %d units, profiling trace has %d — not the same workload build",
 			len(target.Units), len(ph.Trace.Units))
 	}
-	byID := make(map[int]int, len(ph.Trace.Units))
+	// Unit ids are dense on every validated trace, making the id→index
+	// map the identity; the map is only built for hand-assembled traces
+	// that renumbered units.
+	dense := true
 	for i, u := range ph.Trace.Units {
-		byID[u.ID] = i
+		if u.ID != i {
+			dense = false
+			break
+		}
+	}
+	var byID map[int]int
+	if !dense {
+		byID = make(map[int]int, len(ph.Trace.Units))
+		for i, u := range ph.Trace.Units {
+			byID[u.ID] = i
+		}
 	}
 	// Per-phase means of the selected points, evaluated on the target.
 	sums := make([]float64, ph.K)
 	counts := make([]int, ph.K)
 	for _, id := range sp.UnitIDs {
-		i, ok := byID[id]
-		if !ok {
-			return Sample{}, fmt.Errorf("sampling: point %d not in profiling trace", id)
+		var i int
+		if dense {
+			if id < 0 || id >= len(ph.Trace.Units) {
+				return Sample{}, fmt.Errorf("sampling: point %d not in profiling trace", id)
+			}
+			i = id
+		} else {
+			var ok bool
+			i, ok = byID[id]
+			if !ok {
+				return Sample{}, fmt.Errorf("sampling: point %d not in profiling trace", id)
+			}
 		}
 		h := ph.Assign[i]
 		sums[h] += target.Units[i].CPI()

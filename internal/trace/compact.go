@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"simprof/internal/matrix"
+	"simprof/internal/model"
+	"simprof/internal/obs"
+)
+
+// Compaction telemetry: how many traces were repacked and how many
+// heap objects the arenas collapsed.
+var (
+	obsCompacts = obs.NewCounter("trace.compacts",
+		"traces repacked into shared slice arenas after decode")
+	obsCompactFrames = obs.NewCounter("trace.compact_frames",
+		"snapshot frames moved into the shared frame arena")
+)
+
+// Compact repacks the trace's per-unit slice data — snapshot frames,
+// snapshot lists and stage lists — into three shared arenas. A
+// gob-decoded million-unit trace otherwise holds one small heap object
+// per snapshot per unit (pointer-heavy, GC-hostile, cache-hostile); after
+// Compact the same data lives in three contiguous allocations and every
+// unit's slices are views into them. Contents are bit-identical (nil
+// slices stay nil, so a re-encode is byte-for-byte the original), only
+// the backing memory changes. The decode paths call this automatically;
+// it is exported for hand-built traces headed into the hot pipeline.
+//
+// The arena views are disjoint, so in-place writes confined to one
+// unit's own slices remain safe; code that grows a slice reallocates as
+// usual and simply leaves the arena.
+func (t *Trace) Compact() {
+	var nStacks, nFrames, nStages int
+	for i := range t.Units {
+		u := &t.Units[i]
+		nStacks += len(u.Snapshots)
+		for _, snap := range u.Snapshots {
+			nFrames += len(snap)
+		}
+		nStages += len(u.Stages)
+	}
+	// Exact capacities: the appends below must never reallocate, or the
+	// views handed out earlier would be left pointing at abandoned
+	// backing arrays (still correct, but no longer an arena).
+	stacks := make([]model.Stack, 0, nStacks)
+	frames := make([]model.MethodID, 0, nFrames)
+	stages := make([]int, 0, nStages)
+	for i := range t.Units {
+		u := &t.Units[i]
+		if len(u.Snapshots) > 0 {
+			s0 := len(stacks)
+			for _, snap := range u.Snapshots {
+				if len(snap) == 0 {
+					stacks = append(stacks, snap) // preserve nil vs empty
+					continue
+				}
+				f0 := len(frames)
+				frames = append(frames, snap...)
+				stacks = append(stacks, frames[f0:len(frames):len(frames)])
+			}
+			u.Snapshots = stacks[s0:len(stacks):len(stacks)]
+		}
+		if len(u.Stages) > 0 {
+			g0 := len(stages)
+			stages = append(stages, u.Stages...)
+			u.Stages = stages[g0:len(stages):len(stages)]
+		}
+	}
+	obsCompacts.Inc()
+	obsCompactFrames.Add(int64(nFrames))
+}
+
+// freq is the per-unit method-frequency matrix attached by a columnar
+// decoder: row u holds, for every method id the unit's snapshots touch,
+// the count of stack frames referring to it — exactly the cells the
+// full-space sparse vectorization of phase formation would compute. It
+// is unexported so the gob/JSON codecs never serialize it; it rides
+// along in memory only.
+
+// SetFreq attaches a pre-computed method-frequency matrix (rows =
+// units, cols = methods). Decoders that materialize or adopt the matrix
+// call this so phase formation can skip vectorization.
+func (t *Trace) SetFreq(f *matrix.Sparse) { t.freq = f }
+
+// Freq returns the attached method-frequency matrix, or nil when the
+// trace was not decoded from a columnar format. Callers must treat it
+// as read-only and verify its dimensions against the trace before
+// adopting it.
+func (t *Trace) Freq() *matrix.Sparse { return t.freq }

@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Format is a registered trace serialization. The gob and JSON codecs
+// are built in; binary codecs (internal/tracebin) register themselves at
+// init time, image.RegisterFormat-style, which keeps this package free
+// of a dependency on their implementation. Magic is the byte prefix that
+// identifies the format on disk; Decode receives the whole input so
+// zero-copy decoders can alias it.
+type Format struct {
+	Name   string
+	Magic  string
+	Decode func(data []byte) (*Trace, error)
+	Encode func(t *Trace, w io.Writer) error
+}
+
+var (
+	formatMu sync.RWMutex
+	formats  []Format
+)
+
+// RegisterFormat adds a binary trace format to the sniffing table used
+// by DecodeBytes and to the name table used by Encode. Registering an
+// empty name or magic, or a duplicate of either, panics: it is a
+// programming error wired at init time.
+func RegisterFormat(f Format) {
+	if f.Name == "" || f.Magic == "" || f.Decode == nil || f.Encode == nil {
+		panic("trace: RegisterFormat with missing name, magic or codec")
+	}
+	formatMu.Lock()
+	defer formatMu.Unlock()
+	for _, g := range formats {
+		if g.Name == f.Name || g.Magic == f.Magic {
+			panic(fmt.Sprintf("trace: format %q (magic %q) already registered", f.Name, f.Magic))
+		}
+	}
+	formats = append(formats, f)
+}
+
+// FormatNames lists the encodable formats: the built-in gob and json
+// plus everything registered, sorted.
+func FormatNames() []string {
+	formatMu.RLock()
+	defer formatMu.RUnlock()
+	names := []string{"gob", "json"}
+	for _, f := range formats {
+		names = append(names, f.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// lookupFormat returns the registered format with the given name.
+func lookupFormat(name string) (Format, bool) {
+	formatMu.RLock()
+	defer formatMu.RUnlock()
+	for _, f := range formats {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Format{}, false
+}
+
+// sniffFormat returns the registered format whose magic prefixes data.
+func sniffFormat(data []byte) (Format, bool) {
+	formatMu.RLock()
+	defer formatMu.RUnlock()
+	for _, f := range formats {
+		if bytes.HasPrefix(data, []byte(f.Magic)) {
+			return f, true
+		}
+	}
+	return Format{}, false
+}
+
+// Encode writes the trace in the named format ("gob", "json", or any
+// registered binary format such as "bin").
+func (t *Trace) Encode(w io.Writer, format string) error {
+	switch format {
+	case "gob":
+		return t.EncodeGob(w)
+	case "json":
+		return t.EncodeJSON(w)
+	}
+	if f, ok := lookupFormat(format); ok {
+		return f.Encode(t, w)
+	}
+	return fmt.Errorf("trace: unknown format %q (have: %v)", format, FormatNames())
+}
+
+// DecodeBytes decodes a trace of any known format, detecting the format
+// from the bytes themselves: a registered magic prefix selects that
+// binary codec (which may alias data — the caller must not mutate the
+// buffer while the trace lives), a leading '{' (after whitespace)
+// selects JSON, and anything else is tried as gob. Like the per-format
+// decoders it never panics on malformed input and never returns a trace
+// that fails Validate.
+func DecodeBytes(data []byte) (*Trace, error) {
+	if f, ok := sniffFormat(data); ok {
+		return f.Decode(data)
+	}
+	if looksLikeJSON(data) {
+		return DecodeJSON(bytes.NewReader(data))
+	}
+	t, err := DecodeGob(bytes.NewReader(data))
+	if err != nil {
+		// No known magic, not JSON, not gob: most likely a foreign file.
+		return nil, fmt.Errorf("unrecognized trace format (tried %v): %w", FormatNames(), err)
+	}
+	return t, nil
+}
+
+// Decode reads a whole stream and decodes it with DecodeBytes. Binary
+// formats need the full input in memory anyway (their decoders slice
+// it), so buffering the reader here costs nothing extra.
+func Decode(r io.Reader) (*Trace, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	return DecodeBytes(data)
+}
+
+// looksLikeJSON reports whether the first non-whitespace byte opens a
+// JSON object — the only shape EncodeJSON emits.
+func looksLikeJSON(data []byte) bool {
+	for _, b := range data {
+		switch b {
+		case ' ', '\t', '\r', '\n':
+			continue
+		case '{':
+			return true
+		default:
+			return false
+		}
+	}
+	return false
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 
+	"simprof/internal/matrix"
 	"simprof/internal/model"
 	"simprof/internal/obs"
 )
@@ -88,6 +89,11 @@ type Trace struct {
 
 	Methods []model.Method // interned table, id-ordered
 	Units   []Unit
+
+	// freq is the per-unit method-frequency matrix a columnar decoder
+	// attached (see SetFreq/Freq in compact.go). Unexported: it is an
+	// in-memory acceleration handle, never serialized.
+	freq *matrix.Sparse
 }
 
 // Name returns "benchmark_fw" in the paper's abbreviation style
@@ -168,6 +174,10 @@ func DecodeGob(r io.Reader) (*Trace, error) {
 		obsDecodeErrors.Inc()
 		return nil, fmt.Errorf("trace: decode gob: %w", err)
 	}
+	// Gob hands back one heap object per snapshot per unit; repack them
+	// into contiguous arenas so the downstream hot loops walk linear
+	// memory (contents are bit-identical, see Compact).
+	t.Compact()
 	obsDecodes.Inc()
 	return &t, nil
 }
@@ -190,6 +200,7 @@ func DecodeJSON(r io.Reader) (*Trace, error) {
 		obsDecodeErrors.Inc()
 		return nil, fmt.Errorf("trace: decode json: %w", err)
 	}
+	t.Compact()
 	obsDecodes.Inc()
 	return &t, nil
 }

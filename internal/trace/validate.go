@@ -316,6 +316,9 @@ func (t *Trace) Repair() (RepairReport, error) {
 	if t == nil {
 		return rep, fmt.Errorf("trace: nil trace")
 	}
+	// Repair mutates units and snapshots, so any attached frequency
+	// matrix no longer matches the trace.
+	t.freq = nil
 	if t.UnitInstr == 0 {
 		return rep, fmt.Errorf("trace: UnitInstr must be positive")
 	}

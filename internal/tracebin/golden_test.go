@@ -1,0 +1,124 @@
+package tracebin
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"simprof/internal/synth"
+	"simprof/internal/trace"
+)
+
+// goldenTrace is the fixed input behind testdata/golden.bin. Everything
+// here is deterministic, so the encoder must reproduce the committed
+// bytes exactly; a diff means the format changed and needs a version
+// bump, not a fixture refresh.
+func goldenTrace(t testing.TB) *trace.Trace {
+	spec := synth.TraceSpec{
+		Benchmark: "golden",
+		Framework: "spark",
+		Input:     "fixture",
+		Units:     20,
+		Methods:   24,
+		Phases:    3,
+		Depth:     4,
+		Snapshots: 3,
+		UnitInstr: 1_000_000,
+		Seed:      42,
+	}
+	tr, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+const goldenPath = "testdata/golden.bin"
+
+// TestGoldenEncode pins the on-disk format: encoding the fixed trace
+// must reproduce the committed fixture byte for byte. Run with
+// UPDATE_GOLDEN=1 to regenerate after a deliberate format change
+// (which must also bump Version).
+func TestGoldenEncode(t *testing.T) {
+	got, err := Marshal(goldenTrace(t))
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read fixture (run UPDATE_GOLDEN=1 go test once to create it): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		i := 0
+		for i < len(got) && i < len(want) && got[i] == want[i] {
+			i++
+		}
+		t.Fatalf("encoding diverges from the committed fixture at byte %d (%d vs %d bytes total); "+
+			"a format change requires a Version bump and UPDATE_GOLDEN=1", i, len(got), len(want))
+	}
+}
+
+// TestGoldenDecode: the committed fixture decodes back to the exact
+// golden trace (gob-byte identity) with its frequency matrix attached.
+func TestGoldenDecode(t *testing.T) {
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read fixture: %v", err)
+	}
+	dec, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if dec.Freq() == nil {
+		t.Fatalf("fixture decode lost the frequency matrix")
+	}
+	want := gobBytes(t, goldenTrace(t))
+	if got := gobBytes(t, dec); !bytes.Equal(got, want) {
+		t.Fatalf("fixture decodes to a different trace")
+	}
+}
+
+// TestHostileHeaderLayout decodes a hand-mangled worst-case header: the
+// section table rewritten in reverse order with all reserved fields set
+// to 0xFFFFFFFF. The format spec orders neither the table nor the
+// sections, so a conforming decoder must accept this layout and produce
+// the identical trace.
+func TestHostileHeaderLayout(t *testing.T) {
+	tr := goldenTrace(t)
+	data, err := Marshal(tr)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	mangled := append([]byte(nil), data...)
+	le := binary.LittleEndian
+	nsec := int(le.Uint32(mangled[12:]))
+	entries := make([][]byte, nsec)
+	for i := 0; i < nsec; i++ {
+		e := make([]byte, entrySize)
+		copy(e, mangled[headerSize+i*entrySize:])
+		le.PutUint32(e[4:], 0xFFFFFFFF) // reserved: must be ignored
+		entries[i] = e
+	}
+	for i := 0; i < nsec; i++ {
+		copy(mangled[headerSize+i*entrySize:], entries[nsec-1-i])
+	}
+	le.PutUint32(mangled[8:], crc32.Checksum(mangled[headerSize:], crcTable))
+	dec, err := Decode(mangled)
+	if err != nil {
+		t.Fatalf("decode of reversed-table header: %v", err)
+	}
+	if !bytes.Equal(gobBytes(t, dec), gobBytes(t, tr)) {
+		t.Fatalf("reversed-table decode differs from original")
+	}
+}

@@ -1,0 +1,325 @@
+package tracebin
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"simprof/internal/faults"
+	"simprof/internal/matrix"
+	"simprof/internal/model"
+	"simprof/internal/phase"
+	"simprof/internal/synth"
+	"simprof/internal/trace"
+)
+
+// testTrace generates a small phase-structured trace.
+func testTrace(t *testing.T, units int, seed uint64) *trace.Trace {
+	t.Helper()
+	spec := synth.DefaultTrace(units, seed)
+	spec.Methods = 64
+	spec.Snapshots = 5
+	if units < spec.Phases {
+		spec.Phases = units
+	}
+	tr, err := spec.Generate()
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return tr
+}
+
+// gobBytes re-encodes a trace as gob — the canonical byte-identity
+// witness. Comparing gob bytes instead of reflect.DeepEqual sidesteps
+// the nil-vs-empty-slice distinction gob itself cannot represent.
+func gobBytes(t *testing.T, tr *trace.Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.EncodeGob(&buf); err != nil {
+		t.Fatalf("encode gob: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// degradedTrace runs the fault injector and Repair over a synthetic
+// trace, yielding a valid trace with quality-flagged units.
+func degradedTrace(t *testing.T, units int, seed uint64) *trace.Trace {
+	t.Helper()
+	tr := testTrace(t, units, seed)
+	out, _, err := faults.Apply(tr, faults.Uniform(0.2, seed))
+	if err != nil {
+		t.Fatalf("faults: %v", err)
+	}
+	if _, err := out.Repair(); err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	return out
+}
+
+// TestRoundTripGobBinGob is the core format contract: gob → bin → gob
+// reproduces the original gob bytes exactly, for pristine and degraded
+// traces, through both the zero-copy and the copying decode paths.
+func TestRoundTripGobBinGob(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tr   *trace.Trace
+	}{
+		{"pristine", testTrace(t, 200, 7)},
+		{"degraded", degradedTrace(t, 200, 11)},
+	} {
+		for _, copyPath := range []bool{false, true} {
+			name := tc.name + "/zerocopy"
+			if copyPath {
+				name = tc.name + "/copied"
+			}
+			t.Run(name, func(t *testing.T) {
+				want := gobBytes(t, tc.tr)
+				// Through gob first, so the bin encoder sees exactly what a
+				// legacy pipeline would hand it.
+				viaGob, err := trace.DecodeBytes(want)
+				if err != nil {
+					t.Fatalf("decode gob: %v", err)
+				}
+				bin, err := Marshal(viaGob)
+				if err != nil {
+					t.Fatalf("marshal: %v", err)
+				}
+				defer func(old bool) { forceCopy = old }(forceCopy)
+				forceCopy = copyPath
+				back, err := Decode(bin)
+				if err != nil {
+					t.Fatalf("decode bin: %v", err)
+				}
+				if got := gobBytes(t, back); !bytes.Equal(got, want) {
+					t.Fatalf("gob→bin→gob changed the trace (%d vs %d bytes)", len(got), len(want))
+				}
+				if back.Freq() == nil {
+					t.Fatalf("bin decode did not attach a frequency matrix")
+				}
+			})
+		}
+	}
+}
+
+// TestDecodeBytesSniffsBin checks the registry wiring: DecodeBytes
+// routes magic-prefixed buffers to this package.
+func TestDecodeBytesSniffsBin(t *testing.T) {
+	tr := testTrace(t, 50, 3)
+	bin, err := Marshal(tr)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got, err := trace.DecodeBytes(bin)
+	if err != nil {
+		t.Fatalf("DecodeBytes: %v", err)
+	}
+	if got.Freq() == nil {
+		t.Fatalf("sniffed decode lost the frequency matrix")
+	}
+	if !bytes.Equal(gobBytes(t, got), gobBytes(t, tr)) {
+		t.Fatalf("sniffed decode differs from original")
+	}
+}
+
+// TestFreqMatchesVectorizeSparse: the encoded frequency matrix must be
+// cell-for-cell the full-space sparse vectorization, so phase formation
+// can adopt it without changing a single bit of its output.
+func TestFreqMatchesVectorizeSparse(t *testing.T) {
+	for _, units := range []int{1, 37, 200} {
+		tr := testTrace(t, units, uint64(units))
+		bin, err := Marshal(tr)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		dec, err := Decode(bin)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		got := dec.Freq()
+		fs := &phase.FeatureSpace{
+			Methods: make([]string, len(tr.Methods)),
+			Kinds:   make([]model.Kind, len(tr.Methods)),
+		}
+		for i, m := range tr.Methods {
+			fs.Methods[i] = m.FQN()
+			fs.Kinds[i] = m.Kind
+		}
+		want := fs.VectorizeSparse(tr)
+		if got.Rows() != want.Rows() || got.Cols() != want.Cols() || got.NNZ() != want.NNZ() {
+			t.Fatalf("units=%d: freq shape %dx%d/%d, want %dx%d/%d", units,
+				got.Rows(), got.Cols(), got.NNZ(), want.Rows(), want.Cols(), want.NNZ())
+		}
+		if !sparseEqual(got, want) {
+			t.Fatalf("units=%d: freq cells differ from VectorizeSparse", units)
+		}
+	}
+}
+
+func sparseEqual(a, b *matrix.Sparse) bool {
+	if a.Rows() != b.Rows() || a.Cols() != b.Cols() || a.NNZ() != b.NNZ() {
+		return false
+	}
+	for i := 0; i < a.Rows(); i++ {
+		ac, av := a.Row(i)
+		bc, bv := b.Row(i)
+		if len(ac) != len(bc) {
+			return false
+		}
+		for k := range ac {
+			if ac[k] != bc[k] || math.Float64bits(av[k]) != math.Float64bits(bv[k]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestFormBitIdentical is the adoption + parallel-projection contract:
+// phase formation over a bin-decoded trace (frequency matrix adopted,
+// projection parallel) is bit-for-bit the formation over the same trace
+// decoded from gob (legacy vectorization), at every worker count —
+// including a degraded trace where some units are fenced out.
+func TestFormBitIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tr   *trace.Trace
+	}{
+		{"pristine", testTrace(t, 240, 21)},
+		{"degraded", degradedTrace(t, 240, 22)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			gobTr, err := trace.DecodeBytes(gobBytes(t, tc.tr))
+			if err != nil {
+				t.Fatalf("decode gob: %v", err)
+			}
+			bin, err := Marshal(gobTr)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			binTr, err := Decode(bin)
+			if err != nil {
+				t.Fatalf("decode bin: %v", err)
+			}
+			if binTr.Freq() == nil {
+				t.Fatalf("no frequency matrix to adopt")
+			}
+			opts := phase.Options{TopK: 20, MaxPhases: 6, Seed: 5, Workers: 1}
+			ref, err := phase.Form(gobTr, opts)
+			if err != nil {
+				t.Fatalf("form(gob): %v", err)
+			}
+			for _, workers := range []int{1, 2, 8} {
+				o := opts
+				o.Workers = workers
+				got, err := phase.Form(binTr, o)
+				if err != nil {
+					t.Fatalf("form(bin, workers=%d): %v", workers, err)
+				}
+				comparePhases(t, workers, ref, got)
+			}
+		})
+	}
+}
+
+func comparePhases(t *testing.T, workers int, a, b *phase.Phases) {
+	t.Helper()
+	if a.K != b.K {
+		t.Fatalf("workers=%d: K %d != %d", workers, b.K, a.K)
+	}
+	if math.Float64bits(a.Silhouette) != math.Float64bits(b.Silhouette) {
+		t.Fatalf("workers=%d: silhouette %v != %v", workers, b.Silhouette, a.Silhouette)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatalf("workers=%d: assign[%d] %d != %d", workers, i, b.Assign[i], a.Assign[i])
+		}
+	}
+	for h := range a.Centers {
+		for j := range a.Centers[h] {
+			if math.Float64bits(a.Centers[h][j]) != math.Float64bits(b.Centers[h][j]) {
+				t.Fatalf("workers=%d: center[%d][%d] %v != %v", workers, h, j, b.Centers[h][j], a.Centers[h][j])
+			}
+		}
+	}
+	for i := range a.Vectors {
+		for j := range a.Vectors[i] {
+			if math.Float64bits(a.Vectors[i][j]) != math.Float64bits(b.Vectors[i][j]) {
+				t.Fatalf("workers=%d: vector[%d][%d] %v != %v", workers, i, j, b.Vectors[i][j], a.Vectors[i][j])
+			}
+		}
+	}
+}
+
+// TestDecodeErrors: foreign, truncated and corrupted inputs come back
+// as wrapped sentinel errors, never as panics or invalid traces.
+func TestDecodeErrors(t *testing.T) {
+	tr := testTrace(t, 40, 9)
+	good, err := Marshal(tr)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	t.Run("foreign", func(t *testing.T) {
+		if _, err := Decode([]byte("GOBSTREAM....")); !errors.Is(err, ErrFormat) {
+			t.Fatalf("foreign bytes: got %v, want ErrFormat", err)
+		}
+		if _, err := Decode(nil); !errors.Is(err, ErrFormat) {
+			t.Fatalf("empty input: got %v, want ErrFormat", err)
+		}
+	})
+	t.Run("truncated-header", func(t *testing.T) {
+		if _, err := Decode(good[:10]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("10-byte file: got %v, want ErrTruncated", err)
+		}
+	})
+	t.Run("truncated-body", func(t *testing.T) {
+		_, err := Decode(good[:len(good)/2])
+		if !errors.Is(err, ErrChecksum) && !errors.Is(err, ErrTruncated) {
+			t.Fatalf("half file: got %v, want ErrChecksum/ErrTruncated", err)
+		}
+	})
+	t.Run("corrupted", func(t *testing.T) {
+		bad := faults.CorruptBytes(good, 4, 1)
+		if _, err := Decode(bad); err == nil {
+			// A flip inside the header may leave the body CRC intact only
+			// if it missed every checked field; decode must still reject.
+			t.Fatalf("corrupted file decoded cleanly")
+		}
+	})
+	t.Run("bad-version", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[4] = 99
+		if _, err := Decode(bad); err == nil {
+			t.Fatalf("version 99 accepted")
+		}
+	})
+}
+
+// TestDecodeValidates: every decoded trace passes trace.Validate — the
+// same trust-boundary guarantee the gob and JSON decoders give.
+func TestDecodeValidates(t *testing.T) {
+	for _, units := range []int{1, 64, 333} {
+		tr := degradedTrace(t, units, uint64(units)*3)
+		bin, err := Marshal(tr)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		dec, err := Decode(bin)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if err := dec.Validate(); err != nil {
+			t.Fatalf("units=%d: decoded trace fails Validate: %v", units, err)
+		}
+	}
+}
+
+// TestMarshalRejectsInvalid: the encoder refuses traces that fail
+// Validate instead of writing files no decoder would accept.
+func TestMarshalRejectsInvalid(t *testing.T) {
+	tr := testTrace(t, 10, 1)
+	tr.Units[3].ID = 99
+	if _, err := Marshal(tr); err == nil {
+		t.Fatalf("marshal accepted a non-dense unit id")
+	}
+}

@@ -2,9 +2,12 @@
 # Benchmark snapshot for the performance-tracked kernels: the k sweep
 # (ChooseK), phase formation end-to-end (Form, plus the FormPhases
 # worker sweep), the naive-vs-pruned Lloyd kernel pair (KMeansDense),
-# sparse vectorization, SimProf's stratified selection, and the
-# telemetry fast paths (disabled must stay at 0 allocs/op, enabled is
-# the instrumented cost). Results stream to
+# sparse vectorization, SimProf's stratified selection, the telemetry
+# fast paths (disabled must stay at 0 allocs/op, enabled is the
+# instrumented cost), and the columnar trace format (DecodeBin vs the
+# legacy DecodeGob on the same 100k-unit trace, plus EndToEnd100k —
+# the decode → Form → allocate → estimate pipeline whose <100ms budget
+# the gate enforces). Results stream to
 # BENCH_pipeline.json in `go test -json` (test2json) format so CI can
 # diff runs; the classic benchmark lines echo to stdout for humans.
 set -eu
@@ -16,9 +19,9 @@ BENCHTIME="${BENCHTIME:-1x}"
 BENCHCOUNT="${BENCHCOUNT:-1}"
 
 go test -run '^$' \
-	-bench '^(BenchmarkChooseK|BenchmarkForm$|BenchmarkFormPhases|BenchmarkKMeansDense|BenchmarkVectorizeSparse$|BenchmarkSimProfSelection$|BenchmarkTelemetry)' \
+	-bench '^(BenchmarkChooseK|BenchmarkForm$|BenchmarkFormPhases|BenchmarkKMeansDense|BenchmarkVectorizeSparse$|BenchmarkSimProfSelection$|BenchmarkTelemetry|BenchmarkDecodeBin$|BenchmarkDecodeGob$|BenchmarkEndToEnd100k$)' \
 	-benchtime "$BENCHTIME" -count "$BENCHCOUNT" -benchmem -json \
-	./internal/cluster ./internal/phase ./internal/sampling ./internal/obs \
+	./internal/cluster ./internal/phase ./internal/sampling ./internal/obs ./internal/tracebin \
 	>"$OUT"
 
 echo "wrote $OUT"
