@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-gate race vet fuzz check tier1
+.PHONY: build test bench bench-gate race vet fuzz chaos check tier1
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,12 @@ bench:
 # BENCHTIME=0.5s BENCHCOUNT=5 make bench and commit the result.
 bench-gate:
 	./scripts/check.sh bench-gate
+
+# Chaos harness: the simprofd fault suite plus the resilience, crash
+# recovery and cancellation tests it rests on, all under -race. This is
+# the "does the service survive hostile conditions" gate.
+chaos:
+	./scripts/check.sh chaos-smoke
 
 # Short-budget fuzzing of the trace decode path (the trust boundary of
 # the failure model in DESIGN.md §9). Raise -fuzztime for a deep run.

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+
+	"simprof/internal/resilience"
+)
+
+// usageError marks a flag-parse or flag-validation failure. It is its
+// own type (not a resilience class) because POSIX tools reserve exit
+// code 2 for usage mistakes, and the resilience taxonomy starts at 3.
+type usageError struct{ msg string }
+
+func (e *usageError) Error() string { return e.msg }
+
+// exitCodeFor maps the top-level command error to the uniform exit
+// code contract:
+//
+//	0 success / help
+//	1 internal failure
+//	2 usage (bad flags)
+//	3 bad input          4 timeout
+//	5 overload           6 unavailable
+//	7 canceled
+//
+// Codes 3-7 come straight from the resilience taxonomy, so the CLI and
+// simprofd classify identically — a script sees the same class whether
+// it shells out or curls.
+func exitCodeFor(err error) int {
+	var ue *usageError
+	switch {
+	case err == nil, errors.Is(err, errHelp):
+		return 0
+	case errors.As(err, &ue):
+		return 2
+	}
+	return resilience.Classify(err).ExitCode()
+}
+
+// usageErr produces the uniform flag-validation error: every bad flag
+// value on every subcommand fails with "usage: simprof <cmd>: reason"
+// and exit code 2.
+func usageErr(fs *flag.FlagSet, format string, args ...any) error {
+	return &usageError{msg: fmt.Sprintf("usage: simprof %s: %s (run 'simprof %s -h' for flags)",
+		fs.Name(), fmt.Sprintf(format, args...), fs.Name())}
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"simprof/internal/resilience"
+)
+
+// TestExitCodeFor: the full exit-code contract, including errors
+// buried under %w wrapping — a script must be able to branch on $?
+// no matter how deep the failure happened.
+func TestExitCodeFor(t *testing.T) {
+	fs := newFlagSet("phases")
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, 0},
+		{"help", errHelp, 0},
+		{"help wrapped", fmt.Errorf("parse: %w", errHelp), 0},
+		{"usage", usageErr(fs, "-trace is required"), 2},
+		{"usage wrapped", fmt.Errorf("phases: %w", usageErr(fs, "bad")), 2},
+		{"bad input", resilience.BadInput(errors.New("not a trace")), 3},
+		{"bad input wrapped", fmt.Errorf("load: %w", resilience.BadInput(errors.New("x"))), 3},
+		{"timeout", fmt.Errorf("profile: %w", context.DeadlineExceeded), 4},
+		{"overload", fmt.Errorf("submit: %w", resilience.ErrOverload), 5},
+		{"breaker open", resilience.ErrBreakerOpen, 6},
+		{"draining", fmt.Errorf("refused: %w", resilience.ErrDraining), 6},
+		{"canceled", fmt.Errorf("run: %w", context.Canceled), 7},
+		{"internal", errors.New("boom"), 1},
+		{"internal wrapped", fmt.Errorf("outer: %w", os.ErrPermission), 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := exitCodeFor(c.err); got != c.want {
+				t.Fatalf("exitCodeFor(%v) = %d, want %d", c.err, got, c.want)
+			}
+		})
+	}
+}
+
+// TestUsageErrMessage: moving usageErr behind the typed error must not
+// change the message contract the subcommand tests rely on.
+func TestUsageErrMessage(t *testing.T) {
+	err := usageErr(newFlagSet("sample"), "-n must be positive, got %d", -1)
+	want := "usage: simprof sample: -n must be positive, got -1 (run 'simprof sample -h' for flags)"
+	if err.Error() != want {
+		t.Fatalf("message %q, want %q", err.Error(), want)
+	}
+	var ue *usageError
+	if !errors.As(err, &ue) {
+		t.Fatal("usageErr no longer yields a *usageError")
+	}
+}
+
+// TestLoadTraceBadInputClass: a file that is not a trace classifies as
+// bad input (exit 3), and a missing file stays internal (exit 1) — the
+// decode wrapper must not swallow I/O errors into the wrong class.
+func TestLoadTraceBadInputClass(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk.gob")
+	if err := os.WriteFile(path, []byte("this is not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := loadTrace(path)
+	if err == nil {
+		t.Fatal("garbage file decoded")
+	}
+	if got := exitCodeFor(err); got != 3 {
+		t.Fatalf("garbage trace exit code %d, want 3 (bad input); err: %v", got, err)
+	}
+	if !strings.Contains(err.Error(), "load trace") {
+		t.Fatalf("error lost its context: %v", err)
+	}
+
+	_, err = loadTrace(filepath.Join(t.TempDir(), "absent.gob"))
+	if err == nil {
+		t.Fatal("missing file loaded")
+	}
+	if got := exitCodeFor(err); got != 1 {
+		t.Fatalf("missing trace exit code %d, want 1 (internal); err: %v", got, err)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"simprof/internal/faults"
 	"simprof/internal/phase"
 	"simprof/internal/report"
+	"simprof/internal/resilience"
 	"simprof/internal/sampling"
 	"simprof/internal/stats"
 	"simprof/internal/synth"
@@ -81,8 +82,8 @@ func main() {
 		// -h on a subcommand: usage was already printed.
 	default:
 		fmt.Fprintf(os.Stderr, "simprof: %v\n", err)
-		os.Exit(1)
 	}
+	os.Exit(exitCodeFor(err))
 }
 
 func usage() {
@@ -127,13 +128,6 @@ func parseFlags(fs *flag.FlagSet, args []string) error {
 		return errHelp
 	}
 	return usageErr(fs, "%v", err)
-}
-
-// usageErr produces the uniform flag-validation error: every bad flag
-// value on every subcommand fails with "usage: simprof <cmd>: reason".
-func usageErr(fs *flag.FlagSet, format string, args ...any) error {
-	return fmt.Errorf("usage: simprof %s: %s (run 'simprof %s -h' for flags)",
-		fs.Name(), fmt.Sprintf(format, args...), fs.Name())
 }
 
 // validateWorkload rejects unknown -bench / -framework values up front
@@ -265,7 +259,9 @@ func loadTrace(path string) (*trace.Trace, error) {
 	}
 	tr, err := trace.DecodeBytes(data)
 	if err != nil {
-		return nil, fmt.Errorf("load trace %s: %w", path, err)
+		// The caller handed us a file that is not a trace: that is bad
+		// input (exit 3), not an internal failure.
+		return nil, resilience.BadInput(fmt.Errorf("load trace %s: %w", path, err))
 	}
 	return tr, nil
 }

@@ -1,0 +1,114 @@
+// Command simprofd serves SimProf's profiling pipeline over HTTP with
+// resilience built in: per-request deadlines, bounded-queue admission
+// with backpressure, a circuit breaker around the pipeline, retried
+// crash-safe history persistence, and graceful SIGTERM drain.
+//
+// Endpoints:
+//
+//	POST /v1/profile?n=20&seed=1   upload a trace (any format simprof
+//	                               reads), get phases + the stratified
+//	                               CPI estimate; persisted to history
+//	GET  /v1/history               list persisted runs
+//	GET  /v1/history/{seq}         one full record (manifest included)
+//	GET  /v1/metrics               obs metric snapshot
+//	GET  /healthz                  liveness
+//	GET  /readyz                   readiness (503 while draining or
+//	                               breaker-open)
+//
+// Errors come back as {"error": ..., "class": ...} with the class
+// mapped to the status code: 400 bad_input, 429 overload (plus
+// Retry-After), 503 unavailable, 504 timeout.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"simprof/internal/obs"
+	"simprof/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7041", "listen address")
+	historyPath := flag.String("history", "simprofd-history.jsonl", "history store path ('' disables persistence)")
+	workers := flag.Int("workers", 0, "pipeline worker bound per request (0 = GOMAXPROCS)")
+	concurrency := flag.Int("concurrency", 2, "profile requests executing at once")
+	queue := flag.Int("queue", 8, "profile requests allowed to wait beyond that")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline")
+	drainBudget := flag.Duration("drain", 20*time.Second, "graceful-shutdown budget for in-flight requests")
+	flag.Parse()
+	if err := run(*addr, *historyPath, *workers, *concurrency, *queue, *timeout, *drainBudget); err != nil {
+		fmt.Fprintln(os.Stderr, "simprofd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, historyPath string, workers, concurrency, queue int, timeout, drainBudget time.Duration) error {
+	// The service always records its telemetry — counters are how
+	// operators see rejections, retries and breaker flips.
+	obs.Enable()
+
+	srv, err := server.New(server.Config{
+		HistoryPath: historyPath,
+		Workers:     workers,
+		Concurrency: concurrency,
+		Queue:       queue,
+		Timeout:     timeout,
+	})
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("simprofd listening on http://%s (history: %s)", addr, historyOrOff(historyPath))
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errCh <- err
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		log.Printf("simprofd: %v — draining (budget %v)", s, drainBudget)
+	}
+
+	// Drain: stop admitting profile work (503 + Retry-After), let
+	// in-flight requests finish within the budget, then close the
+	// listener. History appends are fsynced per record, so there is
+	// nothing further to flush.
+	srv.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), drainBudget)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("simprofd: drain budget expired with requests in flight: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	log.Printf("simprofd: drained cleanly")
+	return nil
+}
+
+func historyOrOff(path string) string {
+	if path == "" {
+		return "disabled"
+	}
+	return path
+}

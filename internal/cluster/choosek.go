@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 
 	"simprof/internal/matrix"
@@ -42,6 +43,10 @@ type ChooseKOptions struct {
 	// 0 selects GOMAXPROCS; 1 reproduces the serial baseline. The
 	// selection is bit-for-bit identical for every setting.
 	Workers int
+	// Ctx, when non-nil, lets a caller abandon the sweep: once it ends,
+	// in-flight chunks finish, no new work starts, and ChooseK returns
+	// the context error. A nil Ctx never cancels.
+	Ctx context.Context
 }
 
 func (o ChooseKOptions) withDefaults() ChooseKOptions {
@@ -107,7 +112,7 @@ func ChooseKDense(pts *matrix.Dense, opts ChooseKOptions) (KSelection, error) {
 	if maxK > n {
 		maxK = n
 	}
-	eng := parallel.New(o.Workers)
+	eng := parallel.New(o.Workers).WithContext(o.Ctx)
 	pn2, pnr := pointNorms(pts)
 	var rows [][]float64
 	if o.KMeans.naive {
@@ -159,6 +164,10 @@ func ChooseKDense(pts *matrix.Dense, opts ChooseKOptions) (KSelection, error) {
 		// No cluster structure: one phase covering everything.
 		one, st1, err := kMeansDenseWith(eng, pts, pn2, pnr, 1, o.KMeans)
 		if err != nil {
+			return KSelection{}, err
+		}
+		if err := eng.Err(); err != nil {
+			// Canceled mid-run: the result may cover a partial grid.
 			return KSelection{}, err
 		}
 		st1.record()

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"simprof/internal/cpu"
@@ -98,6 +99,13 @@ func ProfileWorkload(bench, framework string, in synth.InputStats, wopts workloa
 
 // FormPhases runs phase formation on a trace.
 func FormPhases(tr *trace.Trace, cfg Config) (*phase.Phases, error) {
+	return FormPhasesCtx(context.Background(), tr, cfg)
+}
+
+// FormPhasesCtx is FormPhases under a context: once ctx ends the
+// formation kernels stop claiming work and the context error is
+// returned (see phase.FormCtx).
+func FormPhasesCtx(ctx context.Context, tr *trace.Trace, cfg Config) (*phase.Phases, error) {
 	opts := cfg.Phase
 	if opts.Seed == 0 {
 		opts.Seed = stats.SplitSeed(cfg.Seed, 0xc1)
@@ -105,12 +113,18 @@ func FormPhases(tr *trace.Trace, cfg Config) (*phase.Phases, error) {
 	if opts.Workers == 0 {
 		opts.Workers = cfg.Workers
 	}
-	return phase.Form(tr, opts)
+	return phase.FormCtx(ctx, tr, opts)
 }
 
 // SelectPoints draws SimProf's stratified sample of n simulation points.
 func SelectPoints(ph *phase.Phases, n int, cfg Config) (sampling.Stratified, error) {
 	return sampling.SimProf(ph, n, stats.SplitSeed(cfg.Seed, 0x5e1))
+}
+
+// SelectPointsCtx is SelectPoints under a context (see
+// sampling.SimProfCtx).
+func SelectPointsCtx(ctx context.Context, ph *phase.Phases, n int, cfg Config) (sampling.Stratified, error) {
+	return sampling.SimProfCtx(ctx, ph, n, stats.SplitSeed(cfg.Seed, 0x5e1))
 }
 
 // InputSensitivity profiles each reference input with the same workload

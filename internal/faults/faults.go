@@ -79,6 +79,24 @@ type Config struct {
 	// out of order; displaced units are permuted among themselves.
 	Reorder float64
 
+	// The I/O channels perturb byte streams rather than traces; they are
+	// consumed by NewIO's Reader/Writer wrappers and ignored by Apply
+	// (which operates on an already-decoded trace).
+
+	// TornWrite is the per-Write probability that only a prefix of the
+	// buffer reaches the destination before the write fails (power cut,
+	// full disk, killed writer) — the wrapped writer persists the prefix
+	// and returns ErrTornWrite.
+	TornWrite float64
+	// PartialRead is the per-Read probability that the source dies
+	// mid-read: the wrapped reader delivers a prefix of what it got and
+	// returns ErrPartialRead.
+	PartialRead float64
+	// IOLatencyMS injects that many milliseconds of delay (±50%,
+	// seeded) into every wrapped Read and Write — slow disks, stalled
+	// NFS, throttled clients. 0 injects none.
+	IOLatencyMS float64
+
 	// Seed drives every channel (via SplitSeed, one stream per channel).
 	Seed uint64
 }
@@ -92,6 +110,9 @@ const (
 	seedDup
 	seedReorder
 	seedCorrupt
+	seedTorn
+	seedPartial
+	seedIOLat
 )
 
 // Validate checks that all rates are probabilities.
@@ -103,18 +124,27 @@ func (c Config) Validate() error {
 		{"drop", c.CounterDrop}, {"mux", c.Multiplex}, {"muxcov", c.MultiplexCoV},
 		{"snap", c.SnapshotLoss}, {"crash", c.Crash},
 		{"dup", c.Duplicate}, {"reorder", c.Reorder},
+		{"torn", c.TornWrite}, {"pread", c.PartialRead}, {"iolatms", c.IOLatencyMS},
 	} {
-		if r.v < 0 || (r.v > 1 && r.name != "muxcov") {
+		unbounded := r.name == "muxcov" || r.name == "iolatms"
+		if r.v < 0 || (r.v > 1 && !unbounded) {
 			return fmt.Errorf("faults: %s=%v out of [0,1]", r.name, r.v)
 		}
 	}
 	return nil
 }
 
-// Enabled reports whether any channel has a non-zero rate.
+// Enabled reports whether any trace channel has a non-zero rate. The
+// I/O channels do not count — they act on byte streams via NewIO, not
+// on the trace Apply perturbs.
 func (c Config) Enabled() bool {
 	return c.CounterDrop > 0 || c.Multiplex > 0 || c.SnapshotLoss > 0 ||
 		c.Crash > 0 || c.Duplicate > 0 || c.Reorder > 0
+}
+
+// IOEnabled reports whether any I/O channel is active.
+func (c Config) IOEnabled() bool {
+	return c.TornWrite > 0 || c.PartialRead > 0 || c.IOLatencyMS > 0
 }
 
 // Uniform returns a schedule that stresses every channel at a single
@@ -149,6 +179,9 @@ func (c Config) String() string {
 	add("crash", c.Crash)
 	add("dup", c.Duplicate)
 	add("reorder", c.Reorder)
+	add("torn", c.TornWrite)
+	add("pread", c.PartialRead)
+	add("iolatms", c.IOLatencyMS)
 	if len(parts) == 0 {
 		return "none"
 	}
@@ -157,8 +190,9 @@ func (c Config) String() string {
 
 // ParseSpec parses a comma-separated fault schedule, e.g.
 // "drop=0.05,mux=0.1,snap=0.1,crash=0.02,dup=0.01,reorder=0.02".
-// Keys: drop, mux, muxcov, snap, crash, dup, reorder, and rate=R as
-// shorthand for the Uniform schedule at rate R.
+// Keys: drop, mux, muxcov, snap, crash, dup, reorder, the I/O channels
+// torn, pread, iolatms, and rate=R as shorthand for the Uniform
+// schedule at rate R (trace channels only).
 func ParseSpec(spec string) (Config, error) {
 	var c Config
 	if strings.TrimSpace(spec) == "" {
@@ -194,6 +228,12 @@ func ParseSpec(spec string) (Config, error) {
 			c.Duplicate = f
 		case "reorder":
 			c.Reorder = f
+		case "torn":
+			c.TornWrite = f
+		case "pread":
+			c.PartialRead = f
+		case "iolatms":
+			c.IOLatencyMS = f
 		default:
 			return c, fmt.Errorf("faults: unknown fault channel %q", k)
 		}

@@ -1,0 +1,121 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"math/rand/v2"
+	"time"
+
+	"simprof/internal/obs"
+	"simprof/internal/stats"
+)
+
+var (
+	obsTornWrites = obs.NewCounter("faults.torn_writes",
+		"writes cut short by the injected torn-write channel")
+	obsPartialReads = obs.NewCounter("faults.partial_reads",
+		"reads cut short by the injected partial-read channel")
+	obsIODelays = obs.NewCounter("faults.io_delays",
+		"I/O operations delayed by the injected latency channel")
+)
+
+// Typed I/O fault errors. Wrappers return them (possibly wrapped with
+// position detail), so consumers can errors.Is-classify an injected
+// failure exactly like a real one.
+var (
+	// ErrTornWrite is returned by a faulty writer that persisted only a
+	// prefix of the buffer — the on-disk state is the torn tail a crash
+	// leaves behind.
+	ErrTornWrite = errors.New("faults: torn write")
+	// ErrPartialRead is returned by a faulty reader whose source died
+	// mid-read after delivering a prefix.
+	ErrPartialRead = errors.New("faults: partial read")
+)
+
+// IO injects the Config's I/O channels (TornWrite, PartialRead,
+// IOLatencyMS) into byte streams. Each channel draws from its own
+// SplitSeed-derived stream, mirroring the trace channels' determinism
+// contract: the same seed yields the same fault schedule — the k-th
+// write tears at the same point — independent of the other channels.
+//
+// An IO value is NOT safe for concurrent use (its RNG streams are
+// stateful); wrap each stream with its own IO, seeded per stream.
+type IO struct {
+	cfg     Config
+	tornRNG *rand.Rand
+	readRNG *rand.Rand
+	latRNG  *rand.Rand
+	// Sleep is the injectable delay (default time.Sleep) so tests can
+	// observe latency injection without waiting it out.
+	Sleep func(time.Duration)
+}
+
+// NewIO builds an injector for the config's I/O channels.
+func NewIO(cfg Config) *IO {
+	return &IO{
+		cfg:     cfg,
+		tornRNG: stats.NewRNG(stats.SplitSeed(cfg.Seed, seedTorn)),
+		readRNG: stats.NewRNG(stats.SplitSeed(cfg.Seed, seedPartial)),
+		latRNG:  stats.NewRNG(stats.SplitSeed(cfg.Seed, seedIOLat)),
+		Sleep:   time.Sleep,
+	}
+}
+
+// delay injects the latency channel on one operation.
+func (f *IO) delay() {
+	if f.cfg.IOLatencyMS <= 0 {
+		return
+	}
+	obsIODelays.Inc()
+	ms := f.cfg.IOLatencyMS * (0.5 + f.latRNG.Float64())
+	f.Sleep(time.Duration(ms * float64(time.Millisecond)))
+}
+
+// Writer wraps w with the write-side channels. A torn write persists a
+// strict prefix (possibly empty) of the buffer and returns ErrTornWrite
+// with the short count, exactly as a real short write surfaces.
+func (f *IO) Writer(w io.Writer) io.Writer { return &faultWriter{f: f, w: w} }
+
+type faultWriter struct {
+	f *IO
+	w io.Writer
+}
+
+func (fw *faultWriter) Write(p []byte) (int, error) {
+	fw.f.delay()
+	if fw.f.cfg.TornWrite > 0 && fw.f.tornRNG.Float64() < fw.f.cfg.TornWrite {
+		keep := 0
+		if len(p) > 1 {
+			keep = fw.f.tornRNG.IntN(len(p))
+		}
+		n, err := fw.w.Write(p[:keep])
+		obsTornWrites.Inc()
+		if err != nil {
+			return n, err
+		}
+		return n, ErrTornWrite
+	}
+	return fw.w.Write(p)
+}
+
+// Reader wraps r with the read-side channels. A partial read delivers a
+// prefix of what the source returned and reports ErrPartialRead; a
+// retrying consumer that treats it as transient re-reads from the
+// source's new position, a strict one surfaces a typed failure.
+func (f *IO) Reader(r io.Reader) io.Reader { return &faultReader{f: f, r: r} }
+
+type faultReader struct {
+	f *IO
+	r io.Reader
+}
+
+func (fr *faultReader) Read(p []byte) (int, error) {
+	fr.f.delay()
+	n, err := fr.r.Read(p)
+	if err == nil && n > 0 && fr.f.cfg.PartialRead > 0 &&
+		fr.f.readRNG.Float64() < fr.f.cfg.PartialRead {
+		obsPartialReads.Inc()
+		return fr.f.readRNG.IntN(n), ErrPartialRead
+	}
+	return n, err
+}

@@ -1,0 +1,127 @@
+package history
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// seedStore appends n small records durably and returns the store path
+// plus the committed file bytes.
+func seedStore(t *testing.T, n int) (string, []byte) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "history.jsonl")
+	st := OpenDurable(path)
+	for i := 0; i < n; i++ {
+		if _, err := st.Append(&Record{Key: "k", Note: strings.Repeat("x", i%7), Time: "t"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, data
+}
+
+// TestRecoverTailEveryTruncation is the crash-recovery property test:
+// a store truncated at EVERY byte offset — every possible point a
+// kill-during-append could leave the file at — recovers to a clean
+// prefix of the committed records. After RecoverTail, Records reports
+// zero skipped lines and the surviving records are exactly records
+// 1..k in order for some k, with k covering all committed records
+// whenever the truncation point sits at a record boundary.
+func TestRecoverTailEveryTruncation(t *testing.T) {
+	_, data := seedStore(t, 6)
+	full := OpenDurable(filepath.Join(t.TempDir(), "ref.jsonl"))
+	if err := os.WriteFile(full.Path(), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	committed, _, err := full.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	for cut := 0; cut <= len(data); cut++ {
+		path := filepath.Join(dir, "cut.jsonl")
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st := OpenDurable(path)
+		dropped, err := st.RecoverTail()
+		if err != nil {
+			t.Fatalf("cut=%d: RecoverTail: %v", cut, err)
+		}
+		recs, skipped, err := st.Records()
+		if err != nil {
+			t.Fatalf("cut=%d: Records after recovery: %v", cut, err)
+		}
+		if skipped != 0 {
+			t.Fatalf("cut=%d: %d corrupt lines survived recovery", cut, skipped)
+		}
+		for i, r := range recs {
+			if r.Seq != committed[i].Seq || r.Note != committed[i].Note {
+				t.Fatalf("cut=%d: record %d = seq %d note %q, want seq %d note %q",
+					cut, i, r.Seq, r.Note, committed[i].Seq, committed[i].Note)
+			}
+		}
+		// A cut on a record boundary loses nothing.
+		if dropped == 0 && len(recs) != lineCount(data[:cut]) {
+			t.Fatalf("cut=%d: clean file but %d records for %d lines", cut, len(recs), lineCount(data[:cut]))
+		}
+		// Recovery is idempotent.
+		if d2, err := st.RecoverTail(); err != nil || d2 != 0 {
+			t.Fatalf("cut=%d: second RecoverTail = (%d, %v), want (0, nil)", cut, d2, err)
+		}
+	}
+}
+
+func lineCount(b []byte) int { return strings.Count(string(b), "\n") }
+
+// TestRecoverTailCorruptLastLine: a tail whose final line is complete
+// but scribbled (torn write flushed garbage) is dropped too.
+func TestRecoverTailCorruptLastLine(t *testing.T) {
+	path, data := seedStore(t, 3)
+	if err := os.WriteFile(path, append(data, []byte("{\"seq\": garbage}\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st := OpenDurable(path)
+	dropped, err := st.RecoverTail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped == 0 {
+		t.Fatal("corrupt final line not dropped")
+	}
+	recs, skipped, err := st.Records()
+	if err != nil || skipped != 0 || len(recs) != 3 {
+		t.Fatalf("after recovery: %d records, %d skipped, err=%v; want 3, 0, nil", len(recs), skipped, err)
+	}
+}
+
+// TestRecoverTailMissingStore: recovering a store that was never
+// written is a no-op, not an error.
+func TestRecoverTailMissingStore(t *testing.T) {
+	st := OpenDurable(filepath.Join(t.TempDir(), "absent.jsonl"))
+	if dropped, err := st.RecoverTail(); err != nil || dropped != 0 {
+		t.Fatalf("RecoverTail on missing store = (%d, %v)", dropped, err)
+	}
+}
+
+// TestDurableAppendThenRead: records appended durably read back with
+// sequential seqs; durable and plain handles interoperate on one file.
+func TestDurableAppendThenRead(t *testing.T) {
+	path, _ := seedStore(t, 2)
+	if _, err := Open(path).Append(&Record{Key: "k2"}); err != nil {
+		t.Fatal(err)
+	}
+	recs, skipped, err := OpenDurable(path).Records()
+	if err != nil || skipped != 0 {
+		t.Fatalf("Records: skipped=%d err=%v", skipped, err)
+	}
+	if len(recs) != 3 || recs[2].Seq != 3 {
+		t.Fatalf("got %d records, last seq %d; want 3 records ending at seq 3", len(recs), recs[len(recs)-1].Seq)
+	}
+}

@@ -84,10 +84,12 @@ func FromManifest(m *obs.Manifest) *Record {
 }
 
 // Store is a handle on a JSONL history file. The zero value is not
-// usable; construct with Open. Opening does not touch the filesystem —
-// a store that was never appended to reads as empty.
+// usable; construct with Open (or OpenDurable for fsync-on-commit
+// appends). Opening does not touch the filesystem — a store that was
+// never appended to reads as empty.
 type Store struct {
-	path string
+	path    string
+	durable bool // Append fsyncs before acknowledging
 }
 
 // Open returns a handle on the store at path.
@@ -185,6 +187,12 @@ func (s *Store) Append(r *Record) (*Record, error) {
 	defer f.Close()
 	if _, err := f.Write(append(line, '\n')); err != nil {
 		return nil, fmt.Errorf("history: append %s: %w", s.path, err)
+	}
+	if s.durable {
+		if err := f.Sync(); err != nil {
+			return nil, fmt.Errorf("history: sync %s: %w", s.path, err)
+		}
+		obsFsyncs.Inc()
 	}
 	return r, f.Close()
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 )
@@ -165,17 +166,33 @@ func (m *Manifest) Encode(w io.Writer) error {
 	return nil
 }
 
-// WriteFile writes the manifest to path.
+// WriteFile writes the manifest to path atomically: the JSON lands in
+// a same-directory temp file that is fsynced and renamed over path, so
+// a crash mid-write can never leave a half-written manifest where a
+// complete one (or nothing) was expected.
 func (m *Manifest) WriteFile(path string) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".manifest-*.tmp")
 	if err != nil {
 		return fmt.Errorf("obs: write manifest: %w", err)
 	}
-	defer f.Close()
+	tmp := f.Name()
+	defer os.Remove(tmp) // no-op after a successful rename
 	if err := m.Encode(f); err != nil {
+		f.Close()
 		return err
 	}
-	return f.Close()
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: sync manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("obs: write manifest: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("obs: write manifest: %w", err)
+	}
+	return nil
 }
 
 // DecodeManifest reads a manifest and checks its version. Older

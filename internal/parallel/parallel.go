@@ -27,6 +27,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -48,6 +49,10 @@ var (
 		"helper goroutines launched")
 	obsHelperDenied = obs.NewCounter("parallel.helper_denied",
 		"helper launches denied by an exhausted engine or token budget")
+	obsLoopsCanceled = obs.NewCounter("parallel.ctx_canceled_loops",
+		"loops halted early because the engine's context ended")
+	obsChunksAbandoned = obs.NewCounter("parallel.chunks_abandoned",
+		"grid chunks never run because the engine's context ended")
 )
 
 // tokens is the process-wide helper budget. Helpers (extra goroutines
@@ -69,6 +74,7 @@ func init() {
 type Engine struct {
 	workers int
 	helpers chan struct{} // per-engine helper budget (workers-1 slots)
+	ctx     context.Context
 }
 
 // New returns an engine that runs at most workers goroutines at once
@@ -103,6 +109,40 @@ func Default() *Engine {
 
 // Workers reports the engine's concurrency bound.
 func (e *Engine) Workers() int { return e.workers }
+
+// WithContext returns an engine that shares this engine's worker and
+// helper budgets but observes ctx: once ctx ends, loops issued on the
+// returned engine stop claiming new chunks and return early (chunks
+// already started run to completion — loop bodies are never killed
+// mid-write). A loop cut short leaves its output partially written, so
+// callers MUST check Err after each loop (ForEachIndexErr does it for
+// them) and discard the partial result on cancellation. Kernel results
+// therefore remain bit-for-bit deterministic: a loop either completes
+// every chunk or reports the context error.
+//
+// A nil ctx returns the receiver unchanged.
+func (e *Engine) WithContext(ctx context.Context) *Engine {
+	if ctx == nil {
+		return e
+	}
+	return &Engine{workers: e.workers, helpers: e.helpers, ctx: ctx}
+}
+
+// Err reports the engine context's error: non-nil once the context has
+// ended. Callers of ForEachChunk / MapReduce on a context-bound engine
+// check it after the loop to learn whether the grid completed.
+func (e *Engine) Err() error {
+	if e.ctx == nil {
+		return nil
+	}
+	return e.ctx.Err()
+}
+
+// canceled is the per-chunk cancellation probe: a nil check on a
+// context-free engine, a ctx.Err call otherwise.
+func (e *Engine) canceled() bool {
+	return e.ctx != nil && e.ctx.Err() != nil
+}
 
 // Chunks returns the number of chunks the grid [0,n) splits into at the
 // given chunk size. The grid is a pure function of n and chunkSize, so
@@ -170,6 +210,11 @@ func (e *Engine) ForEachChunk(n, chunkSize int, fn func(chunk, lo, hi int)) {
 	if chunks == 1 || e.workers <= 1 {
 		obsLoopsSerial.Inc()
 		for c := 0; c < chunks; c++ {
+			if e.canceled() {
+				obsLoopsCanceled.Inc()
+				obsChunksAbandoned.Add(int64(chunks - c))
+				return
+			}
 			run(c)
 		}
 		return
@@ -182,6 +227,10 @@ func (e *Engine) ForEachChunk(n, chunkSize int, fn func(chunk, lo, hi int)) {
 	)
 	worker := func() {
 		for !stop.Load() {
+			if e.canceled() {
+				stop.Store(true)
+				return
+			}
 			c := int(next.Add(1) - 1)
 			if c >= chunks {
 				return
@@ -217,6 +266,12 @@ func (e *Engine) ForEachChunk(n, chunkSize int, fn func(chunk, lo, hi int)) {
 	worker()
 	wg.Wait()
 	box.rethrow()
+	if e.canceled() {
+		if claimed := int(next.Load()); claimed < chunks {
+			obsLoopsCanceled.Inc()
+			obsChunksAbandoned.Add(int64(chunks - claimed))
+		}
+	}
 }
 
 // acquireHelper takes one slot from the engine budget and one from the
@@ -257,13 +312,19 @@ func (e *Engine) ForEachIndex(n int, fn func(i int)) {
 // ForEachIndexErr runs fn(i) for every i in [0,n) and returns the error
 // of the lowest failing index (deterministic regardless of scheduling),
 // or nil. All indices run even if an early one fails; a panicking index
-// propagates as a panic, never as a deadlock.
+// propagates as a panic, never as a deadlock. On a context-bound engine
+// whose context ends mid-loop, the context error is returned (also
+// deterministic: cancellation always wins over per-index errors, since
+// an abandoned loop has an incomplete error set).
 func (e *Engine) ForEachIndexErr(n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
 	errs := make([]error, n)
 	e.ForEachChunk(n, 1, func(_, lo, _ int) { errs[lo] = fn(lo) })
+	if err := e.Err(); err != nil {
+		return err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -277,7 +338,9 @@ func (e *Engine) ForEachIndexErr(n int, fn func(i int) error) error {
 // grid and the merge order are worker-independent, floating-point
 // reductions come out bit-for-bit identical for every worker count.
 // The zero value of T seeds the fold: acc = merge(acc, part_c) for
-// c = 0..chunks-1.
+// c = 0..chunks-1. On a context-bound engine the fold still runs over
+// whatever partials completed; callers must check e.Err() and discard
+// the value when it is non-nil.
 func MapReduce[T any](e *Engine, n, chunkSize int, mapFn func(chunk, lo, hi int) T, merge func(acc, part T) T) T {
 	var acc T
 	chunks := Chunks(n, chunkSize)

@@ -1,0 +1,45 @@
+package phase
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestFormCtxCanceled: a dead context aborts formation with the context
+// error instead of a partial result.
+func TestFormCtxCanceled(t *testing.T) {
+	tr := synthTrace(50, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ph, err := FormCtx(ctx, tr, Options{Seed: 3})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ph != nil {
+		t.Fatal("canceled formation returned a partial Phases")
+	}
+}
+
+// TestFormCtxMatchesForm: a live context changes nothing — the formed
+// phases are identical to the context-free path.
+func TestFormCtxMatchesForm(t *testing.T) {
+	tr := synthTrace(50, 1)
+	want, err := Form(synthTrace(50, 1), Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FormCtx(context.Background(), tr, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.K != want.K || got.Silhouette != want.Silhouette {
+		t.Fatalf("FormCtx (K=%d, sil=%v) differs from Form (K=%d, sil=%v)",
+			got.K, got.Silhouette, want.K, want.Silhouette)
+	}
+	for i := range want.Assign {
+		if got.Assign[i] != want.Assign[i] {
+			t.Fatalf("assignment %d differs: %d vs %d", i, got.Assign[i], want.Assign[i])
+		}
+	}
+}

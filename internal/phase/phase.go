@@ -8,6 +8,7 @@
 package phase
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -280,6 +281,17 @@ func (p *Phases) buildIndex() {
 // classified onto the nearest resulting center. On a pristine trace
 // this is bit-for-bit the historical pipeline.
 func Form(tr *trace.Trace, opts Options) (*Phases, error) {
+	return FormCtx(context.Background(), tr, opts)
+}
+
+// FormCtx is Form under a context: when ctx ends mid-formation the
+// pipeline stops claiming new work (vectorization chunks, sweep tasks,
+// restart passes), lets in-flight chunks finish, and returns the
+// context error — an abandoned request stops burning CPU instead of
+// running phase formation to completion for nobody. A successful
+// FormCtx is bit-for-bit Form: cancellation either aborts the run with
+// an error or changes nothing.
+func FormCtx(ctx context.Context, tr *trace.Trace, opts Options) (*Phases, error) {
 	o := opts.withDefaults()
 	if len(tr.Units) == 0 {
 		return nil, fmt.Errorf("phase: trace has no sampling units")
@@ -288,7 +300,7 @@ func Form(tr *trace.Trace, opts Options) (*Phases, error) {
 	defer formSpan.End()
 	obsFormRuns.Inc()
 	obsFormUnits.Add(int64(len(tr.Units)))
-	eng := parallel.New(o.Workers)
+	eng := parallel.New(o.Workers).WithContext(ctx)
 
 	degraded := make([]bool, len(tr.Units))
 	clean := make([]int, 0, len(tr.Units))
@@ -322,6 +334,9 @@ func Form(tr *trace.Trace, opts Options) (*Phases, error) {
 		cleanIPC[k] = tr.Units[i].Counters.IPC()
 	}
 	scores := stats.FRegressionSparseWith(eng, sp, clean, cleanIPC)
+	if err := eng.Err(); err != nil {
+		return nil, fmt.Errorf("phase: feature selection: %w", err)
+	}
 	top := stats.TopK(scores, o.TopK)
 	space := &FeatureSpace{
 		Methods: make([]string, len(top)),
@@ -344,6 +359,9 @@ func Form(tr *trace.Trace, opts Options) (*Phases, error) {
 		eng.ForEachChunk(sp.Rows(), unitChunk, func(_, lo, hi int) {
 			sp.GatherColumnsInto(selected, colMap, lo, hi)
 		})
+		if err := eng.Err(); err != nil {
+			return nil, fmt.Errorf("phase: projection: %w", err)
+		}
 	}
 	// On a pristine trace every row trains, so the projection itself is
 	// the training matrix — skip the 12MB-at-100k-units identity copy.
@@ -358,6 +376,7 @@ func Form(tr *trace.Trace, opts Options) (*Phases, error) {
 		Threshold: o.SilhouetteThreshold,
 		KMeans:    cluster.Options{Seed: o.Seed, Restarts: o.Restarts, MaxIter: o.MaxIter},
 		Workers:   o.Workers,
+		Ctx:       ctx,
 	})
 	clusterSpan.End()
 	if err != nil {

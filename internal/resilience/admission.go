@@ -1,0 +1,127 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"simprof/internal/obs"
+)
+
+var (
+	obsAdmitted = obs.NewCounter("resilience.admitted",
+		"requests admitted to a bounded queue (running immediately or queued)")
+	obsAdmitRejected = obs.NewCounter("resilience.admit_rejected",
+		"requests refused with backpressure because the queue was full")
+	obsAdmitAbandoned = obs.NewCounter("resilience.admit_abandoned",
+		"queued requests whose caller gave up (deadline/cancel) before a slot freed")
+	obsQueueDepth = obs.NewGauge("resilience.queue_depth",
+		"requests currently waiting for an execution slot")
+)
+
+// Admission is bounded-queue admission control: at most `workers`
+// callers hold execution slots at once, at most `queue` more wait for
+// one, and everything beyond that is refused immediately with
+// ErrOverload — backpressure instead of unbounded latency. Waiting
+// callers leave (without leaking their place) when their context ends.
+type Admission struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	workers int
+	queue   int
+	active  int
+	waiting int
+}
+
+// NewAdmission builds an admission controller with the given execution
+// and queue capacities. workers < 1 behaves as 1; queue < 0 as 0.
+func NewAdmission(workers, queue int) *Admission {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	a := &Admission{workers: workers, queue: queue}
+	a.cond = sync.NewCond(&a.mu)
+	return a
+}
+
+// Acquire claims an execution slot, waiting in the bounded queue when
+// all slots are busy. It returns a release function that MUST be
+// called exactly once, or a typed refusal: ErrOverload when the queue
+// is full, the context error when the caller's deadline/cancel fires
+// while queued. The wait is condition-variable based; a context that
+// ends wakes the waiter via an AfterFunc-style watcher goroutine that
+// always terminates when Acquire returns.
+func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
+	a.mu.Lock()
+	if a.active < a.workers {
+		a.active++
+		a.mu.Unlock()
+		obsAdmitted.Inc()
+		return a.releaseFn(), nil
+	}
+	if a.waiting >= a.queue {
+		a.mu.Unlock()
+		obsAdmitRejected.Inc()
+		return nil, fmt.Errorf("%w (%d running, %d queued)", ErrOverload, a.workers, a.queue)
+	}
+	a.waiting++
+	obsQueueDepth.Set(float64(a.waiting))
+	obsAdmitted.Inc()
+
+	// Wake this waiter when the context ends. The watcher exits as soon
+	// as stop is closed, so Acquire never leaks a goroutine past its
+	// own return.
+	stop := make(chan struct{})
+	done := ctx.Done()
+	if done != nil {
+		go func() {
+			select {
+			case <-done:
+				a.mu.Lock()
+				a.cond.Broadcast()
+				a.mu.Unlock()
+			case <-stop:
+			}
+		}()
+	}
+	defer close(stop)
+
+	for a.active >= a.workers {
+		if err := ctx.Err(); err != nil {
+			a.waiting--
+			obsQueueDepth.Set(float64(a.waiting))
+			a.mu.Unlock()
+			obsAdmitAbandoned.Inc()
+			return nil, err
+		}
+		a.cond.Wait()
+	}
+	a.waiting--
+	obsQueueDepth.Set(float64(a.waiting))
+	a.active++
+	a.mu.Unlock()
+	return a.releaseFn(), nil
+}
+
+// releaseFn builds the one-shot slot release.
+func (a *Admission) releaseFn() func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.mu.Lock()
+			a.active--
+			a.cond.Broadcast()
+			a.mu.Unlock()
+		})
+	}
+}
+
+// Depth reports (active, waiting) for health endpoints and tests.
+func (a *Admission) Depth() (active, waiting int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.active, a.waiting
+}

@@ -1,0 +1,202 @@
+package resilience
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"simprof/internal/obs"
+)
+
+var (
+	obsBreakerOpens = obs.NewCounter("resilience.breaker_opens",
+		"circuit breaker transitions into the open state")
+	obsBreakerRejects = obs.NewCounter("resilience.breaker_rejects",
+		"calls refused by an open circuit breaker")
+	obsBreakerCloses = obs.NewCounter("resilience.breaker_closes",
+		"circuit breaker recoveries back to closed")
+)
+
+// BreakerState is the classic three-state circuit.
+type BreakerState int
+
+const (
+	// BreakerClosed: calls flow; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: calls are refused until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: a limited number of probe calls test recovery.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerConfig tunes a Breaker. The zero value selects the defaults
+// noted per field.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that opens the
+	// circuit (default 5).
+	Threshold int
+	// Cooldown is how long the circuit stays open before allowing
+	// half-open probes (default 5s).
+	Cooldown time.Duration
+	// Probes is how many consecutive half-open successes close the
+	// circuit again (default 1). Any half-open failure re-opens it.
+	Probes int
+	// Now is the injectable clock (default time.Now) so tests step
+	// time instead of sleeping.
+	Now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.Probes <= 0 {
+		c.Probes = 1
+	}
+	return c
+}
+
+// Breaker is a circuit breaker around one dependency (simprofd wraps
+// the profile worker pool with one): repeated failures open the
+// circuit so a struggling dependency stops receiving load, a cooldown
+// later a bounded number of probes test recovery, and sustained
+// success closes it. Safe for concurrent use.
+//
+// The breaker does not decide what counts as a failure — callers feed
+// it verdicts via Record, typically counting ClassInternal and
+// ClassTimeout but not the caller-at-fault classes (a flood of
+// malformed uploads must not take the service down for everyone).
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int       // consecutive failures (closed) / probe failures (half-open)
+	probeOK  int       // consecutive half-open successes
+	inFlight int       // admitted half-open probes not yet recorded
+	openedAt time.Time // when the circuit last opened
+}
+
+// NewBreaker builds a breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// State returns the current state, advancing open → half-open when the
+// cooldown has elapsed.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advance()
+	return b.state
+}
+
+// advance moves open → half-open once the cooldown elapses. Callers
+// hold b.mu.
+func (b *Breaker) advance() {
+	if b.state == BreakerOpen && clock(b.cfg.Now).now().Sub(b.openedAt) >= b.cfg.Cooldown {
+		b.state = BreakerHalfOpen
+		b.probeOK = 0
+		b.inFlight = 0
+	}
+}
+
+// Allow asks whether a call may proceed. Open circuits refuse with
+// ErrBreakerOpen wrapped with the remaining cooldown; half-open
+// circuits admit at most Probes concurrent probe calls and refuse the
+// rest. Every admitted call must be matched by exactly one Record.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advance()
+	switch b.state {
+	case BreakerOpen:
+		obsBreakerRejects.Inc()
+		left := b.cfg.Cooldown - clock(b.cfg.Now).now().Sub(b.openedAt)
+		return fmt.Errorf("%w (retry in %v)", ErrBreakerOpen, left.Round(time.Millisecond))
+	case BreakerHalfOpen:
+		if b.inFlight >= b.cfg.Probes {
+			obsBreakerRejects.Inc()
+			return fmt.Errorf("%w (half-open, probes in flight)", ErrBreakerOpen)
+		}
+		b.inFlight++
+	}
+	return nil
+}
+
+// Record reports the outcome of an allowed call. failure=true counts
+// toward opening (or re-opening) the circuit; failure=false resets the
+// failure streak and, in half-open, counts toward closing.
+func (b *Breaker) Record(failure bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advance()
+	switch b.state {
+	case BreakerClosed:
+		if !failure {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.cfg.Threshold {
+			b.open()
+		}
+	case BreakerHalfOpen:
+		if b.inFlight > 0 {
+			b.inFlight--
+		}
+		if failure {
+			b.open()
+			return
+		}
+		b.probeOK++
+		if b.probeOK >= b.cfg.Probes {
+			b.state = BreakerClosed
+			b.failures = 0
+			obsBreakerCloses.Inc()
+		}
+	case BreakerOpen:
+		// A straggler finishing after the circuit re-opened: outcome is
+		// stale, ignore it.
+	}
+}
+
+// open transitions to the open state. Callers hold b.mu.
+func (b *Breaker) open() {
+	b.state = BreakerOpen
+	b.openedAt = clock(b.cfg.Now).now()
+	b.failures = 0
+	b.probeOK = 0
+	b.inFlight = 0
+	obsBreakerOpens.Inc()
+}
+
+// RetryAfter returns how long callers should wait before retrying: the
+// remaining cooldown when open, zero otherwise.
+func (b *Breaker) RetryAfter() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advance()
+	if b.state != BreakerOpen {
+		return 0
+	}
+	left := b.cfg.Cooldown - clock(b.cfg.Now).now().Sub(b.openedAt)
+	if left < 0 {
+		left = 0
+	}
+	return left
+}

@@ -1,0 +1,100 @@
+package resilience
+
+import (
+	"context"
+	"sync"
+
+	"simprof/internal/obs"
+)
+
+var (
+	obsDrainBegins = obs.NewCounter("resilience.drain_begins",
+		"graceful drains initiated")
+	obsDrainRejected = obs.NewCounter("resilience.drain_rejected",
+		"requests refused because the service was draining")
+)
+
+// Drain is the graceful-shutdown state machine: running → draining →
+// drained. While running, Enter admits work and counts it in flight;
+// Begin flips to draining, after which Enter refuses with ErrDraining
+// and Wait blocks until the last in-flight piece of work exits (or the
+// caller's drain budget expires). Safe for concurrent use.
+type Drain struct {
+	mu       sync.Mutex
+	draining bool
+	inflight int
+	idle     chan struct{} // closed when draining && inflight == 0
+}
+
+// NewDrain builds a drain controller in the running state.
+func NewDrain() *Drain {
+	return &Drain{idle: make(chan struct{})}
+}
+
+// Enter registers one unit of in-flight work. It returns a one-shot
+// exit function, or ErrDraining once Begin has been called.
+func (d *Drain) Enter() (exit func(), err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.draining {
+		obsDrainRejected.Inc()
+		return nil, ErrDraining
+	}
+	d.inflight++
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			d.mu.Lock()
+			d.inflight--
+			if d.draining && d.inflight == 0 {
+				close(d.idle)
+			}
+			d.mu.Unlock()
+		})
+	}, nil
+}
+
+// Begin flips the controller to draining: subsequent Enter calls fail
+// with ErrDraining, in-flight work keeps running. Idempotent.
+func (d *Drain) Begin() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.draining {
+		return
+	}
+	d.draining = true
+	obsDrainBegins.Inc()
+	if d.inflight == 0 {
+		close(d.idle)
+	}
+}
+
+// Draining reports whether Begin has been called.
+func (d *Drain) Draining() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.draining
+}
+
+// InFlight reports the currently registered work count.
+func (d *Drain) InFlight() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.inflight
+}
+
+// Wait blocks until every in-flight piece of work has exited after a
+// Begin, or until ctx ends (the drain budget). Returns nil on a clean
+// drain, the context error when the budget expired with work still
+// running.
+func (d *Drain) Wait(ctx context.Context) error {
+	d.mu.Lock()
+	idle := d.idle
+	d.mu.Unlock()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

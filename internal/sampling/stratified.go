@@ -1,6 +1,7 @@
 package sampling
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -171,8 +172,19 @@ type Stratified struct {
 // N_h²·s_pool² variance term so the reported CI widens instead of
 // pretending the missing phase was measured.
 func SimProf(ph *phase.Phases, n int, seed uint64) (Stratified, error) {
+	return SimProfCtx(context.Background(), ph, n, seed)
+}
+
+// SimProfCtx is SimProf under a context: cancellation is checked at
+// entry and between strata, so an abandoned request stops scanning and
+// drawing. A successful SimProfCtx is bit-for-bit SimProf — the context
+// either aborts the draw with its error or changes nothing.
+func SimProfCtx(ctx context.Context, ph *phase.Phases, n int, seed uint64) (Stratified, error) {
 	span := obs.StartSpan("sampling.simprof")
 	defer span.End()
+	if err := ctx.Err(); err != nil {
+		return Stratified{}, err
+	}
 	if ph.K == 0 || len(ph.Assign) == 0 {
 		return Stratified{}, fmt.Errorf("sampling: no phases")
 	}
@@ -208,6 +220,9 @@ func SimProf(ph *phase.Phases, n int, seed uint64) (Stratified, error) {
 	var variance float64
 	var pooled []float64 // all sampled CPIs, for imputation fallback
 	for h := 0; h < ph.K; h++ {
+		if err := ctx.Err(); err != nil {
+			return Stratified{}, err
+		}
 		if alloc[h] == 0 {
 			continue
 		}

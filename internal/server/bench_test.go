@@ -1,0 +1,65 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// BenchmarkSimprofdP99 drives the service with concurrent profile
+// uploads and reports the tail (p99) request latency. It reports the
+// tail as the benchmark's ns/op metric on purpose: the repo's bench
+// gate compares ns/op medians across runs, so regressing the service's
+// tail latency trips the same noise-aware gate as the kernels.
+func BenchmarkSimprofdP99(b *testing.B) {
+	srv, err := New(Config{
+		HistoryPath: filepath.Join(b.TempDir(), "history.jsonl"),
+		Concurrency: 4,
+		Queue:       1 << 16, // admission must never 429 the benchmark itself
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	data := encodedTrace(b, 200, 1)
+	url := ts.URL + "/v1/profile?n=20&seed=1"
+
+	var mu sync.Mutex
+	var lat []float64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		local := make([]float64, 0, 64)
+		for pb.Next() {
+			start := time.Now()
+			resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(data))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			local = append(local, float64(time.Since(start)))
+		}
+		mu.Lock()
+		lat = append(lat, local...)
+		mu.Unlock()
+	})
+	b.StopTimer()
+	if len(lat) == 0 {
+		return
+	}
+	sort.Float64s(lat)
+	p99 := lat[int(0.99*float64(len(lat)-1))]
+	b.ReportMetric(p99, "ns/op")
+}

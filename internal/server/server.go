@@ -1,0 +1,532 @@
+// Package server implements simprofd, SimProf's resilience-first
+// profiling service: trace upload → phase formation → stratified
+// sampling → crash-safe history append, behind HTTP. Every failure
+// mode maps to the typed error taxonomy of internal/resilience, and
+// every refusal is explicit:
+//
+//   - per-request deadlines propagate as context cancellation through
+//     the whole pipeline (decode, formation kernels, sampling), so an
+//     abandoned request stops burning CPU;
+//   - admission is a bounded queue — beyond it clients get 429 plus
+//     Retry-After, not unbounded latency;
+//   - transient history-store failures are retried with seeded
+//     exponential backoff;
+//   - a circuit breaker around the profile pipeline sheds load when
+//     the pipeline itself is failing (not when clients send garbage);
+//   - SIGTERM drains: new work is refused with 503 while in-flight
+//     requests finish inside the drain budget.
+//
+// The pipeline stays bit-for-bit deterministic: the service adds
+// refusals and retries around it, never alternative results.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"simprof/internal/history"
+	"simprof/internal/obs"
+	"simprof/internal/phase"
+	"simprof/internal/resilience"
+	"simprof/internal/sampling"
+	"simprof/internal/trace"
+)
+
+var (
+	obsRequests = obs.NewCounter("server.requests",
+		"HTTP requests received")
+	obsProfilesOK = obs.NewCounter("server.profiles_ok",
+		"profile requests completed and persisted")
+	obsProfilesErr = obs.NewCounter("server.profiles_err",
+		"profile requests that ended in any typed error")
+	obsBodyBytes = obs.NewCounter("server.body_bytes",
+		"trace upload bytes read")
+)
+
+// Config tunes a Server. The zero value selects the noted defaults.
+type Config struct {
+	// HistoryPath is the crash-safe JSONL store appended per profile.
+	// Empty disables persistence (profiles still run; Seq is 0).
+	HistoryPath string
+	// Workers bounds the profile pipeline's kernel concurrency per
+	// request (0 = GOMAXPROCS).
+	Workers int
+	// Concurrency is how many profile requests execute at once
+	// (default 2); Queue how many more may wait (0 defaults to 8,
+	// negative means no queue at all). Beyond that: 429.
+	Concurrency int
+	Queue       int
+	// Timeout is the per-request deadline (default 30s). The handler
+	// context carries it; pipeline work stops when it fires.
+	Timeout time.Duration
+	// Breaker wraps the profile pipeline (defaults per BreakerConfig).
+	Breaker resilience.BreakerConfig
+	// Retry is the store-append retry policy. Zero value means a
+	// sensible default (3 attempts, 10ms base, jittered).
+	Retry resilience.Retry
+	// MaxBodyBytes caps trace uploads (default 64 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Concurrency <= 0 {
+		c.Concurrency = 2
+	}
+	if c.Queue == 0 {
+		c.Queue = 8
+	} else if c.Queue < 0 {
+		c.Queue = 0
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.Retry.Attempts == 0 {
+		c.Retry = resilience.Retry{Attempts: 3, Base: 10 * time.Millisecond, Jitter: 0.5, Seed: 0x51dd}
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+// profileOutcome is what the profile pipeline hands back for one
+// upload.
+type profileOutcome struct {
+	Trace *trace.Trace
+	Ph    *phase.Phases
+	Sp    sampling.Stratified
+}
+
+// Server is the simprofd HTTP service. Construct with New; serve
+// Handler(); stop with BeginDrain + Drain.
+type Server struct {
+	cfg   Config
+	store *history.Store
+	brk   *resilience.Breaker
+	adm   *resilience.Admission
+	drain *resilience.Drain
+	mux   *http.ServeMux
+
+	storeMu sync.Mutex // serializes Append's read-max-seq/write cycle
+
+	// Test seams: the chaos harness swaps these to inject pipeline and
+	// store faults without touching the HTTP machinery. nil selects the
+	// real implementations.
+	profileFn func(ctx context.Context, data []byte, n int, seed uint64) (*profileOutcome, error)
+	appendFn  func(r *history.Record) (*history.Record, error)
+}
+
+// New builds a Server, recovering the history store's torn tail (if
+// any) before accepting writes.
+func New(cfg Config) (*Server, error) {
+	c := cfg.withDefaults()
+	s := &Server{
+		cfg:   c,
+		brk:   resilience.NewBreaker(c.Breaker),
+		adm:   resilience.NewAdmission(c.Concurrency, c.Queue),
+		drain: resilience.NewDrain(),
+	}
+	if c.HistoryPath != "" {
+		s.store = history.OpenDurable(c.HistoryPath)
+		if _, err := s.store.RecoverTail(); err != nil {
+			return nil, fmt.Errorf("server: history recovery: %w", err)
+		}
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/profile", s.handleProfile)
+	s.mux.HandleFunc("GET /v1/history", s.handleHistory)
+	s.mux.HandleFunc("GET /v1/history/{seq}", s.handleHistoryOne)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		obsRequests.Inc()
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// BeginDrain flips the server to draining: profile requests are
+// refused with 503 while in-flight ones keep running. Idempotent.
+func (s *Server) BeginDrain() { s.drain.Begin() }
+
+// Drain blocks until in-flight profile work finishes or ctx (the drain
+// budget) expires.
+func (s *Server) Drain(ctx context.Context) error { return s.drain.Wait(ctx) }
+
+// errorBody is the uniform JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+	Class string `json:"class"`
+}
+
+// writeError maps err through the resilience taxonomy onto status,
+// Retry-After and the JSON envelope.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	class := resilience.Classify(err)
+	if ra := s.retryAfter(err); ra > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(int(ra.Seconds()+1)))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(class.HTTPStatus())
+	json.NewEncoder(w).Encode(errorBody{Error: err.Error(), Class: class.String()})
+}
+
+// retryAfter picks the Retry-After hint for a refusal: the breaker's
+// remaining cooldown when it is the refuser, one second for queue
+// overload and draining (retry against a peer or after the drain).
+func (s *Server) retryAfter(err error) time.Duration {
+	switch {
+	case errors.Is(err, resilience.ErrBreakerOpen):
+		if ra := s.brk.RetryAfter(); ra > 0 {
+			return ra
+		}
+		return time.Second
+	case errors.Is(err, resilience.ErrOverload), errors.Is(err, resilience.ErrDraining):
+		return time.Second
+	}
+	return 0
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// ProfileResponse is the profile endpoint's success body.
+type ProfileResponse struct {
+	Seq        int     `json:"seq,omitempty"` // history record, 0 when persistence is off
+	Key        string  `json:"key,omitempty"`
+	Units      int     `json:"units"`
+	K          int     `json:"k"`
+	Silhouette float64 `json:"silhouette"`
+	N          int     `json:"n"`
+	EstCPI     float64 `json:"est_cpi"`
+	SE         float64 `json:"se"`
+	CILo       float64 `json:"ci_lo"`
+	CIHi       float64 `json:"ci_hi"`
+	Alloc      []int   `json:"alloc"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+}
+
+// handleProfile is the hot path: admission → breaker → deadline-bound
+// pipeline → retried, fsynced history append.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	exit, err := s.drain.Enter()
+	if err != nil {
+		obsProfilesErr.Inc()
+		s.writeError(w, err)
+		return
+	}
+	defer exit()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+
+	release, err := s.adm.Acquire(ctx)
+	if err != nil {
+		obsProfilesErr.Inc()
+		s.writeError(w, err)
+		return
+	}
+	defer release()
+
+	if err := s.brk.Allow(); err != nil {
+		obsProfilesErr.Inc()
+		s.writeError(w, err)
+		return
+	}
+
+	n, seed, err := sampleParams(r)
+	if err != nil {
+		s.brk.Record(false) // client error: not the pipeline's fault
+		obsProfilesErr.Inc()
+		s.writeError(w, err)
+		return
+	}
+
+	data, err := readBody(ctx, r, s.cfg.MaxBodyBytes)
+	if err != nil {
+		// A stalled or disconnected client is their failure, not the
+		// pipeline's; don't feed it to the breaker.
+		s.brk.Record(false)
+		obsProfilesErr.Inc()
+		s.writeError(w, err)
+		return
+	}
+	obsBodyBytes.Add(int64(len(data)))
+
+	out, err := s.runProfile(ctx, data, n, seed)
+	if err != nil {
+		class := resilience.Classify(err)
+		// The breaker guards the pipeline: internal faults and pipeline
+		// timeouts count, caller-at-fault classes must not (a flood of
+		// malformed uploads would otherwise take the service down for
+		// well-behaved clients too).
+		s.brk.Record(class == resilience.ClassInternal || class == resilience.ClassTimeout)
+		obsProfilesErr.Inc()
+		s.writeError(w, err)
+		return
+	}
+	s.brk.Record(false)
+
+	resp := ProfileResponse{
+		Units:      len(out.Trace.Units),
+		K:          out.Ph.K,
+		Silhouette: out.Ph.Silhouette,
+		N:          n,
+		EstCPI:     out.Sp.EstCPI,
+		SE:         out.Sp.SE,
+		CILo:       out.Sp.CI(0.997).Lo(),
+		CIHi:       out.Sp.CI(0.997).Hi(),
+		Alloc:      out.Sp.Alloc,
+	}
+	if rec, err := s.persist(ctx, out, n, seed); err != nil {
+		obsProfilesErr.Inc()
+		s.writeError(w, err)
+		return
+	} else if rec != nil {
+		resp.Seq, resp.Key = rec.Seq, rec.Key
+	}
+	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	obsProfilesOK.Inc()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// sampleParams parses the n/seed query knobs.
+func sampleParams(r *http.Request) (n int, seed uint64, err error) {
+	n, seed = 20, 1
+	if v := r.URL.Query().Get("n"); v != "" {
+		n, err = strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return 0, 0, resilience.BadInput(fmt.Errorf("query n=%q must be a positive integer", v))
+		}
+	}
+	if v := r.URL.Query().Get("seed"); v != "" {
+		seed, err = strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return 0, 0, resilience.BadInput(fmt.Errorf("query seed=%q must be an unsigned integer", v))
+		}
+	}
+	return n, seed, nil
+}
+
+// readBody reads the upload under the request context: a client that
+// stalls past the deadline (or disconnects) yields the context error,
+// not a hung handler. The reader goroutine never outlives the
+// request — the server closes the body when the handler returns, which
+// unblocks the pending Read.
+func readBody(ctx context.Context, r *http.Request, maxBytes int64) ([]byte, error) {
+	body := http.MaxBytesReader(nil, r.Body, maxBytes)
+	type result struct {
+		data []byte
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		data, err := io.ReadAll(body)
+		ch <- result{data, err}
+	}()
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(res.err, &tooBig) {
+				return nil, resilience.BadInput(fmt.Errorf("trace upload exceeds %d bytes", tooBig.Limit))
+			}
+			return nil, resilience.BadInput(fmt.Errorf("reading trace upload: %w", res.err))
+		}
+		if len(res.data) == 0 {
+			return nil, resilience.BadInput(errors.New("empty trace upload"))
+		}
+		return res.data, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("reading trace upload: %w", ctx.Err())
+	}
+}
+
+// runProfile executes the pipeline (or the injected test seam).
+func (s *Server) runProfile(ctx context.Context, data []byte, n int, seed uint64) (*profileOutcome, error) {
+	if s.profileFn != nil {
+		return s.profileFn(ctx, data, n, seed)
+	}
+	return s.profile(ctx, data, n, seed)
+}
+
+// profile is the real pipeline: decode → form phases → sample, all
+// under ctx.
+func (s *Server) profile(ctx context.Context, data []byte, n int, seed uint64) (*profileOutcome, error) {
+	tr, err := trace.DecodeBytesCtx(ctx, data)
+	if err != nil {
+		return nil, pipelineError("decode", err)
+	}
+	ph, err := phase.FormCtx(ctx, tr, phase.Options{Seed: seed, Workers: s.cfg.Workers})
+	if err != nil {
+		return nil, pipelineError("phase formation", err)
+	}
+	sp, err := sampling.SimProfCtx(ctx, ph, n, seed)
+	if err != nil {
+		return nil, pipelineError("sampling", err)
+	}
+	return &profileOutcome{Trace: tr, Ph: ph, Sp: sp}, nil
+}
+
+// pipelineError classifies a pipeline stage failure: context ends pass
+// through (timeout/cancel), everything else means the uploaded trace
+// cannot be profiled — the caller's fault, not the service's.
+func pipelineError(stage string, err error) error {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return fmt.Errorf("%s: %w", stage, err)
+	}
+	return resilience.BadInput(fmt.Errorf("%s: %w", stage, err))
+}
+
+// persist appends the profile outcome to the history store, retrying
+// transient failures with seeded backoff. Returns (nil, nil) when
+// persistence is disabled.
+func (s *Server) persist(ctx context.Context, out *profileOutcome, n int, seed uint64) (*history.Record, error) {
+	if s.store == nil && s.appendFn == nil {
+		return nil, nil
+	}
+	m := obs.NewManifest("simprofd profile", nil)
+	m.Workload = &obs.WorkloadInfo{
+		Benchmark: out.Trace.Benchmark,
+		Framework: out.Trace.Framework,
+		Input:     out.Trace.Input,
+		Seed:      seed,
+		Workers:   s.cfg.Workers,
+		Units:     len(out.Trace.Units),
+		UnitInstr: out.Trace.UnitInstr,
+	}
+	m.Phases = &obs.PhaseInfo{
+		K:                out.Ph.K,
+		Silhouette:       out.Ph.Silhouette,
+		DegradedFraction: out.Ph.DegradedFraction(),
+	}
+	ci := out.Sp.CI(0.997)
+	m.Sampling = &obs.SamplingInfo{
+		Method: out.Sp.Method, N: n, Confidence: 0.997,
+		EstCPI: out.Sp.EstCPI, SE: out.Sp.SE,
+		CILo: ci.Lo(), CIHi: ci.Hi(),
+		SEInflation: out.Sp.SEInflation,
+	}
+	rec := history.FromManifest(m)
+	rec.Note = fmt.Sprintf("profile %s_%s n=%d", out.Trace.Benchmark, out.Trace.Framework, n)
+
+	var saved *history.Record
+	err := s.cfg.Retry.Do(ctx, nil, func(context.Context) error {
+		var err error
+		saved, err = s.append(rec)
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("history append: %w", err)
+	}
+	return saved, nil
+}
+
+// append runs one store append under the serialization lock (Append's
+// max-seq read and write must not interleave across requests).
+func (s *Server) append(rec *history.Record) (*history.Record, error) {
+	s.storeMu.Lock()
+	defer s.storeMu.Unlock()
+	if s.appendFn != nil {
+		return s.appendFn(rec)
+	}
+	return s.store.Append(rec)
+}
+
+// handleHistory lists the store (seq, time, key, tool, note per line).
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeJSON(w, http.StatusOK, []any{})
+		return
+	}
+	recs, skipped, err := s.store.Records()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	type row struct {
+		Seq  int    `json:"seq"`
+		Time string `json:"time,omitempty"`
+		Key  string `json:"key"`
+		Tool string `json:"tool,omitempty"`
+		Note string `json:"note,omitempty"`
+	}
+	rows := make([]row, 0, len(recs))
+	for _, rec := range recs {
+		rows = append(rows, row{rec.Seq, rec.Time, rec.Key, rec.Tool, rec.Note})
+	}
+	if skipped > 0 {
+		w.Header().Set("X-Simprof-Skipped-Lines", strconv.Itoa(skipped))
+	}
+	writeJSON(w, http.StatusOK, rows)
+}
+
+// handleHistoryOne returns one full record (manifest included).
+func (s *Server) handleHistoryOne(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		s.writeError(w, resilience.BadInput(errors.New("history persistence is disabled")))
+		return
+	}
+	seq, err := strconv.Atoi(r.PathValue("seq"))
+	if err != nil {
+		s.writeError(w, resilience.BadInput(fmt.Errorf("bad seq %q", r.PathValue("seq"))))
+		return
+	}
+	rec, err := s.store.Get(seq)
+	if err != nil {
+		s.writeError(w, resilience.BadInput(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// handleMetrics dumps the obs registry snapshot.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, obs.Default().Snapshot())
+}
+
+// handleHealthz: liveness — the process is up.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz: readiness — refuses while draining or while the
+// pipeline breaker is open, so load balancers steer traffic away
+// before requests fail.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	active, waiting := s.adm.Depth()
+	body := map[string]any{
+		"breaker": s.brk.State().String(),
+		"active":  active,
+		"waiting": waiting,
+	}
+	switch {
+	case s.drain.Draining():
+		body["status"] = "draining"
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, body)
+	case s.brk.State() == resilience.BreakerOpen:
+		body["status"] = "breaker-open"
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.brk.RetryAfter().Seconds()+1)))
+		writeJSON(w, http.StatusServiceUnavailable, body)
+	default:
+		body["status"] = "ok"
+		writeJSON(w, http.StatusOK, body)
+	}
+}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -114,6 +115,26 @@ func DecodeBytes(data []byte) (*Trace, error) {
 	if err != nil {
 		// No known magic, not JSON, not gob: most likely a foreign file.
 		return nil, fmt.Errorf("unrecognized trace format (tried %v): %w", FormatNames(), err)
+	}
+	return t, nil
+}
+
+// DecodeBytesCtx is DecodeBytes under a context. The codecs themselves
+// are monolithic (a half-decoded trace is useless), so cancellation is
+// honored at the boundaries: a dead context skips the decode entirely,
+// and a context that dies during the decode discards the result. That
+// bounds the wasted work to one codec run instead of the downstream
+// pipeline.
+func DecodeBytesCtx(ctx context.Context, data []byte) (*Trace, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	t, err := DecodeBytes(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return t, nil
 }

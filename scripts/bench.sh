@@ -7,7 +7,9 @@
 # instrumented cost), and the columnar trace format (DecodeBin vs the
 # legacy DecodeGob on the same 100k-unit trace, plus EndToEnd100k —
 # the decode → Form → allocate → estimate pipeline whose <100ms budget
-# the gate enforces). Results stream to
+# the gate enforces), and the simprofd service under concurrent load
+# (SimprofdP99 reports the p99 request latency as its ns/op metric so
+# the tail rides the same gate). Results stream to
 # BENCH_pipeline.json in `go test -json` (test2json) format so CI can
 # diff runs; the classic benchmark lines echo to stdout for humans.
 set -eu
@@ -19,9 +21,9 @@ BENCHTIME="${BENCHTIME:-1x}"
 BENCHCOUNT="${BENCHCOUNT:-1}"
 
 go test -run '^$' \
-	-bench '^(BenchmarkChooseK|BenchmarkForm$|BenchmarkFormPhases|BenchmarkKMeansDense|BenchmarkVectorizeSparse$|BenchmarkSimProfSelection$|BenchmarkTelemetry|BenchmarkDecodeBin$|BenchmarkDecodeGob$|BenchmarkEndToEnd100k$)' \
+	-bench '^(BenchmarkChooseK|BenchmarkForm$|BenchmarkFormPhases|BenchmarkKMeansDense|BenchmarkVectorizeSparse$|BenchmarkSimProfSelection$|BenchmarkTelemetry|BenchmarkDecodeBin$|BenchmarkDecodeGob$|BenchmarkEndToEnd100k$|BenchmarkSimprofdP99$)' \
 	-benchtime "$BENCHTIME" -count "$BENCHCOUNT" -benchmem -json \
-	./internal/cluster ./internal/phase ./internal/sampling ./internal/obs ./internal/tracebin \
+	./internal/cluster ./internal/phase ./internal/sampling ./internal/obs ./internal/tracebin ./internal/server \
 	>"$OUT"
 
 echo "wrote $OUT"
