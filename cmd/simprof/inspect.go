@@ -154,6 +154,10 @@ func renderManifest(w io.Writer, m *obs.Manifest, note string, withMetrics bool)
 	if withMetrics && len(m.Metrics) > 0 {
 		fmt.Fprintln(w, "\nmetrics:")
 		for _, mt := range m.Metrics {
+			name := mt.Name
+			if lk := mt.LabelsKey(); lk != "" {
+				name += "{" + lk + "}"
+			}
 			switch mt.Kind {
 			case "histogram":
 				mean := 0.0
@@ -161,9 +165,9 @@ func renderManifest(w io.Writer, m *obs.Manifest, note string, withMetrics bool)
 					mean = mt.Sum / mt.Value
 				}
 				fmt.Fprintf(w, "  %-32s count=%.0f sum=%.4g mean=%.4g%s\n",
-					mt.Name, mt.Value, mt.Sum, mean, quantileSuffix(mt))
+					name, mt.Value, mt.Sum, mean, quantileSuffix(mt))
 			default:
-				fmt.Fprintf(w, "  %-32s %v\n", mt.Name, mt.Value)
+				fmt.Fprintf(w, "  %-32s %v\n", name, mt.Value)
 			}
 		}
 	}

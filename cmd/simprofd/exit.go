@@ -1,0 +1,47 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+
+	"simprof/internal/resilience"
+)
+
+// usageError marks a flag-parse or flag-validation failure. It is its
+// own type (not a resilience class) because POSIX tools reserve exit
+// code 2 for usage mistakes, and the resilience taxonomy starts at 3.
+type usageError struct{ msg string }
+
+func (e *usageError) Error() string { return e.msg }
+
+// errHelp marks a -h/-help parse: usage has been printed, exit clean.
+var errHelp = errors.New("help requested")
+
+// exitCodeFor maps the top-level command error to the same exit-code
+// contract as cmd/simprof:
+//
+//	0 success / help
+//	1 internal failure
+//	2 usage (bad flags)
+//	3 bad input          4 timeout
+//	5 overload           6 unavailable
+//	7 canceled
+func exitCodeFor(err error) int {
+	var ue *usageError
+	switch {
+	case err == nil, errors.Is(err, errHelp):
+		return 0
+	case errors.As(err, &ue):
+		return 2
+	}
+	return resilience.Classify(err).ExitCode()
+}
+
+// usageErr produces the uniform flag-validation error: every bad flag
+// value on every subcommand fails with "usage: simprofd <cmd>: reason"
+// and exit code 2.
+func usageErr(fs *flag.FlagSet, format string, args ...any) error {
+	return &usageError{msg: fmt.Sprintf("usage: simprofd %s: %s (run 'simprofd %s -h' for flags)",
+		fs.Name(), fmt.Sprintf(format, args...), fs.Name())}
+}

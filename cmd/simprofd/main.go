@@ -3,6 +3,12 @@
 // with backpressure, a circuit breaker around the pipeline, retried
 // crash-safe history persistence, and graceful SIGTERM drain.
 //
+// Subcommands:
+//
+//	simprofd [serve] [flags]   run the service (the default)
+//	simprofd status -addr ...  render a running instance's readiness
+//	                           and SLO burn rates as a table
+//
 // Endpoints:
 //
 //	POST /v1/profile?n=20&seed=1   upload a trace (any format simprof
@@ -10,24 +16,31 @@
 //	                               CPI estimate; persisted to history
 //	GET  /v1/history               list persisted runs
 //	GET  /v1/history/{seq}         one full record (manifest included)
-//	GET  /v1/metrics               obs metric snapshot
+//	GET  /v1/metrics               obs metric snapshot (JSON)
+//	GET  /metrics                  same snapshot, Prometheus text format
+//	GET  /v1/slo                   live SLO burn rates per route
 //	GET  /healthz                  liveness
 //	GET  /readyz                   readiness (503 while draining or
 //	                               breaker-open)
 //
-// Errors come back as {"error": ..., "class": ...} with the class
-// mapped to the status code: 400 bad_input, 429 overload (plus
-// Retry-After), 503 unavailable, 504 timeout.
+// Every response carries an X-Request-Id (caller-provided or
+// generated); with -access-log the service writes one structured JSON
+// line per request. Errors come back as {"error": ..., "class": ...}
+// with the class mapped to the status code: 400 bad_input, 429
+// overload (plus Retry-After), 503 unavailable, 504 timeout.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -36,45 +49,175 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "localhost:7041", "listen address")
-	historyPath := flag.String("history", "simprofd-history.jsonl", "history store path ('' disables persistence)")
-	workers := flag.Int("workers", 0, "pipeline worker bound per request (0 = GOMAXPROCS)")
-	concurrency := flag.Int("concurrency", 2, "profile requests executing at once")
-	queue := flag.Int("queue", 8, "profile requests allowed to wait beyond that")
-	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline")
-	drainBudget := flag.Duration("drain", 20*time.Second, "graceful-shutdown budget for in-flight requests")
-	flag.Parse()
-	if err := run(*addr, *historyPath, *workers, *concurrency, *queue, *timeout, *drainBudget); err != nil {
-		fmt.Fprintln(os.Stderr, "simprofd:", err)
-		os.Exit(1)
+	args := os.Args[1:]
+	cmd := "serve"
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		cmd, args = args[0], args[1:]
 	}
+	var err error
+	switch cmd {
+	case "serve":
+		err = cmdServe(args)
+	case "status":
+		err = cmdStatus(args)
+	case "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "simprofd: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil && !errors.Is(err, errHelp) {
+		fmt.Fprintf(os.Stderr, "simprofd: %v\n", err)
+	}
+	os.Exit(exitCodeFor(err))
 }
 
-func run(addr, historyPath string, workers, concurrency, queue int, timeout, drainBudget time.Duration) error {
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: simprofd [command] [flags]
+
+commands:
+  serve   run the profiling service (default when no command is given)
+  status  render a running instance's readiness and SLO burn rates
+
+run 'simprofd <command> -h' for the command's flags`)
+}
+
+// newFlagSet builds a subcommand FlagSet that reports parse errors
+// through the uniform usageErr path instead of exiting or printing on
+// its own.
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}
+
+// parseFlags parses args, turning flag errors into "usage: simprofd
+// <cmd>: ..." errors and -h into a printed usage plus errHelp.
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	err := fs.Parse(args)
+	if err == nil {
+		return nil
+	}
+	if err == flag.ErrHelp {
+		fmt.Fprintf(os.Stderr, "usage: simprofd %s [flags]\n\nflags:\n", fs.Name())
+		fs.SetOutput(os.Stderr)
+		fs.PrintDefaults()
+		return errHelp
+	}
+	return usageErr(fs, "%v", err)
+}
+
+// serveOpts is the validated serve configuration: cmdServe builds it
+// from flags, serve runs it. accessLogClose is non-nil when -access-log
+// opened a file the process must close on exit.
+type serveOpts struct {
+	addr        string
+	drainBudget time.Duration
+	cfg         server.Config
+
+	accessLogClose func() error
+}
+
+// buildServeOpts parses and validates the serve flags without starting
+// anything, so flag mistakes fail fast with exit code 2.
+func buildServeOpts(args []string) (*serveOpts, error) {
+	fs := newFlagSet("serve")
+	addr := fs.String("addr", "localhost:7041", "listen address")
+	historyPath := fs.String("history", "simprofd-history.jsonl", "history store path ('' disables persistence)")
+	workers := fs.Int("workers", 0, "pipeline worker bound per request (0 = GOMAXPROCS)")
+	concurrency := fs.Int("concurrency", 2, "profile requests executing at once")
+	queue := fs.Int("queue", 8, "profile requests allowed to wait beyond that")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request deadline")
+	drainBudget := fs.Duration("drain", 20*time.Second, "graceful-shutdown budget for in-flight requests")
+	sloConfig := fs.String("slo-config", "", "JSON SLO objectives file ('' selects the built-in defaults)")
+	accessLog := fs.String("access-log", "", "access-log destination: '' disables, '-' is stdout, else a file appended to")
+	runtimeInterval := fs.Duration("runtime-interval", 10*time.Second, "runtime-metrics sampling period (0 disables the collector)")
+	requestIDSeed := fs.Uint64("request-id-seed", 0x51d0, "seed for generated request IDs")
+	if err := parseFlags(fs, args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, usageErr(fs, "unexpected argument %q", fs.Arg(0))
+	}
+	if *timeout <= 0 {
+		return nil, usageErr(fs, "-timeout must be positive, got %v", *timeout)
+	}
+	if *drainBudget <= 0 {
+		return nil, usageErr(fs, "-drain must be positive, got %v", *drainBudget)
+	}
+	if *concurrency < 1 {
+		return nil, usageErr(fs, "-concurrency must be at least 1, got %d", *concurrency)
+	}
+	if *runtimeInterval < 0 {
+		return nil, usageErr(fs, "-runtime-interval must not be negative, got %v", *runtimeInterval)
+	}
+
+	o := &serveOpts{
+		addr:        *addr,
+		drainBudget: *drainBudget,
+		cfg: server.Config{
+			HistoryPath:     *historyPath,
+			Workers:         *workers,
+			Concurrency:     *concurrency,
+			Queue:           *queue,
+			Timeout:         *timeout,
+			RuntimeInterval: *runtimeInterval,
+			RequestIDSeed:   *requestIDSeed,
+		},
+	}
+	if *sloConfig != "" {
+		slo, err := server.LoadSLOConfig(*sloConfig)
+		if err != nil {
+			return nil, usageErr(fs, "-slo-config: %v", err)
+		}
+		o.cfg.SLO = slo
+	}
+	switch *accessLog {
+	case "":
+	case "-":
+		o.cfg.AccessLog = os.Stdout
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, usageErr(fs, "-access-log: %v", err)
+		}
+		o.cfg.AccessLog = f
+		o.accessLogClose = f.Close
+	}
+	return o, nil
+}
+
+func cmdServe(args []string) error {
+	o, err := buildServeOpts(args)
+	if err != nil {
+		return err
+	}
+	return serve(o)
+}
+
+func serve(o *serveOpts) error {
 	// The service always records its telemetry — counters are how
 	// operators see rejections, retries and breaker flips.
 	obs.Enable()
 
-	srv, err := server.New(server.Config{
-		HistoryPath: historyPath,
-		Workers:     workers,
-		Concurrency: concurrency,
-		Queue:       queue,
-		Timeout:     timeout,
-	})
+	srv, err := server.New(o.cfg)
 	if err != nil {
+		if o.accessLogClose != nil {
+			o.accessLogClose()
+		}
 		return err
 	}
 
 	httpSrv := &http.Server{
-		Addr:              addr,
+		Addr:              o.addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("simprofd listening on http://%s (history: %s)", addr, historyOrOff(historyPath))
+		log.Printf("simprofd listening on http://%s (history: %s)", o.addr, historyOrOff(o.cfg.HistoryPath))
 		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			errCh <- err
 		}
@@ -84,22 +227,32 @@ func run(addr, historyPath string, workers, concurrency, queue int, timeout, dra
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
 	select {
 	case err := <-errCh:
+		srv.Close()
+		if o.accessLogClose != nil {
+			o.accessLogClose()
+		}
 		return err
 	case s := <-sig:
-		log.Printf("simprofd: %v — draining (budget %v)", s, drainBudget)
+		log.Printf("simprofd: %v — draining (budget %v)", s, o.drainBudget)
 	}
 
 	// Drain: stop admitting profile work (503 + Retry-After), let
 	// in-flight requests finish within the budget, then close the
 	// listener. History appends are fsynced per record, so there is
-	// nothing further to flush.
+	// nothing further to flush; Close stops the runtime collector and
+	// flushes the access log's final shutdown line.
 	srv.BeginDrain()
-	ctx, cancel := context.WithTimeout(context.Background(), drainBudget)
+	ctx, cancel := context.WithTimeout(context.Background(), o.drainBudget)
 	defer cancel()
 	if err := srv.Drain(ctx); err != nil {
 		log.Printf("simprofd: drain budget expired with requests in flight: %v", err)
 	}
-	if err := httpSrv.Shutdown(ctx); err != nil {
+	err = httpSrv.Shutdown(ctx)
+	srv.Close()
+	if o.accessLogClose != nil {
+		o.accessLogClose()
+	}
+	if err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
 	log.Printf("simprofd: drained cleanly")

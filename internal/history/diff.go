@@ -164,7 +164,7 @@ func spanDeltas(am, bm *obs.Manifest) []SpanDelta {
 }
 
 func metricDeltas(am, bm *obs.Manifest) []MetricDelta {
-	type key struct{ name, kind string }
+	type key struct{ name, kind, labels string }
 	var amx, bmx []obs.Metric
 	if am != nil {
 		amx = am.Metrics
@@ -174,7 +174,7 @@ func metricDeltas(am, bm *obs.Manifest) []MetricDelta {
 	}
 	bIdx := map[key]obs.Metric{}
 	for _, m := range bmx {
-		bIdx[key{m.Name, m.Kind}] = m
+		bIdx[key{m.Name, m.Kind, m.LabelsKey()}] = m
 	}
 	aIdx := map[key]obs.Metric{}
 	var out []MetricDelta
@@ -185,9 +185,9 @@ func metricDeltas(am, bm *obs.Manifest) []MetricDelta {
 		return 0
 	}
 	for _, m := range amx {
-		k := key{m.Name, m.Kind}
+		k := key{m.Name, m.Kind, m.LabelsKey()}
 		aIdx[k] = m
-		md := MetricDelta{Name: m.Name, Kind: m.Kind, A: m.Value, AMean: mean(m)}
+		md := MetricDelta{Name: deltaName(m), Kind: m.Kind, A: m.Value, AMean: mean(m)}
 		if bmv, ok := bIdx[k]; ok {
 			md.B = bmv.Value
 			md.BMean = mean(bmv)
@@ -199,12 +199,22 @@ func metricDeltas(am, bm *obs.Manifest) []MetricDelta {
 	}
 	var bOnly []MetricDelta
 	for _, m := range bmx {
-		if _, ok := aIdx[key{m.Name, m.Kind}]; !ok {
-			bOnly = append(bOnly, MetricDelta{Name: m.Name, Kind: m.Kind, B: m.Value, BMean: mean(m), Delta: m.Value, OnlyIn: "b"})
+		if _, ok := aIdx[key{m.Name, m.Kind, m.LabelsKey()}]; !ok {
+			bOnly = append(bOnly, MetricDelta{Name: deltaName(m), Kind: m.Kind, B: m.Value, BMean: mean(m), Delta: m.Value, OnlyIn: "b"})
 		}
 	}
 	sort.Slice(bOnly, func(i, j int) bool { return bOnly[i].Name < bOnly[j].Name })
 	return append(out, bOnly...)
+}
+
+// deltaName renders a metric's diff identity: the bare name for scalar
+// metrics, name{k=v,...} for children of labeled families, so two
+// children of one family never collide in a diff.
+func deltaName(m obs.Metric) string {
+	if lk := m.LabelsKey(); lk != "" {
+		return m.Name + "{" + lk + "}"
+	}
+	return m.Name
 }
 
 func samplingDelta(am, bm *obs.Manifest) *SamplingDelta {

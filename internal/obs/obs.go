@@ -46,18 +46,24 @@ func Enabled() bool { return enabled.Load() }
 // register their metrics against Default at init time; tests may build
 // private registries.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	mu          sync.Mutex
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	hists       map[string]*Histogram
+	counterVecs map[string]*CounterVec
+	gaugeVecs   map[string]*GaugeVec
+	histVecs    map[string]*HistogramVec
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: map[string]*Counter{},
-		gauges:   map[string]*Gauge{},
-		hists:    map[string]*Histogram{},
+		counters:    map[string]*Counter{},
+		gauges:      map[string]*Gauge{},
+		hists:       map[string]*Histogram{},
+		counterVecs: map[string]*CounterVec{},
+		gaugeVecs:   map[string]*GaugeVec{},
+		histVecs:    map[string]*HistogramVec{},
 	}
 }
 
@@ -286,6 +292,9 @@ type Metric struct {
 	// cumulative up to Buckets[i].LE.
 	Sum     float64  `json:"sum,omitempty"`
 	Buckets []Bucket `json:"buckets,omitempty"`
+	// Labels identifies the child of a labeled family (empty for scalar
+	// metrics), in the family's registered label-name order.
+	Labels []LabelPair `json:"labels,omitempty"`
 }
 
 // Bucket is one cumulative histogram bucket: Count observations were
@@ -300,12 +309,29 @@ type Bucket struct {
 // (encoding/json rejects IEEE infinities).
 const infLE = math.MaxFloat64
 
+// histMetric builds the snapshot metric for one histogram.
+func histMetric(name, help string, h *Histogram, labels []LabelPair) Metric {
+	m := Metric{Name: name, Kind: "histogram", Help: help,
+		Value: float64(h.count.Load()), Sum: h.Sum(), Labels: labels}
+	cum := int64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := infLE
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		m.Buckets = append(m.Buckets, Bucket{LE: le, Count: cum})
+	}
+	return m
+}
+
 // Snapshot returns every touched metric in a deterministic order:
-// sorted by name, ties (the same name registered as different kinds)
-// broken by kind. Manifest and history diffs rely on this ordering
-// being stable across runs and processes. Metrics that were never
-// incremented, set or observed are skipped so manifests only carry the
-// signals the run actually produced.
+// sorted by name, ties broken by kind, then by the canonical sorted
+// label-pair key, so labeled children of one family appear in a stable
+// sequence across runs and processes. Manifest and history diffs rely
+// on this ordering. Metrics that were never incremented, set or
+// observed are skipped so manifests only carry the signals the run
+// actually produced.
 func (r *Registry) Snapshot() []Metric {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -321,27 +347,48 @@ func (r *Registry) Snapshot() []Metric {
 		}
 	}
 	for name, h := range r.hists {
-		n := h.count.Load()
-		if n == 0 {
+		if h.count.Load() == 0 {
 			continue
 		}
-		m := Metric{Name: name, Kind: "histogram", Help: h.help, Value: float64(n), Sum: h.Sum()}
-		cum := int64(0)
-		for i := range h.counts {
-			cum += h.counts[i].Load()
-			le := infLE
-			if i < len(h.bounds) {
-				le = h.bounds[i]
+		out = append(out, histMetric(name, h.help, h, nil))
+	}
+	for _, v := range r.counterVecs {
+		v.set.mu.Lock()
+		for _, k := range v.set.keys {
+			if c := v.children[k]; c.v.Load() != 0 {
+				out = append(out, Metric{Name: v.name, Kind: "counter", Help: v.help,
+					Value: float64(c.v.Load()), Labels: v.set.pairs(v.set.values[k])})
 			}
-			m.Buckets = append(m.Buckets, Bucket{LE: le, Count: cum})
 		}
-		out = append(out, m)
+		v.set.mu.Unlock()
+	}
+	for _, v := range r.gaugeVecs {
+		v.set.mu.Lock()
+		for _, k := range v.set.keys {
+			if g := v.children[k]; g.bits.Load() != 0 {
+				out = append(out, Metric{Name: v.name, Kind: "gauge", Help: v.help,
+					Value: math.Float64frombits(g.bits.Load()), Labels: v.set.pairs(v.set.values[k])})
+			}
+		}
+		v.set.mu.Unlock()
+	}
+	for _, v := range r.histVecs {
+		v.set.mu.Lock()
+		for _, k := range v.set.keys {
+			if h := v.children[k]; h.count.Load() != 0 {
+				out = append(out, histMetric(v.name, v.help, h, v.set.pairs(v.set.values[k])))
+			}
+		}
+		v.set.mu.Unlock()
 	}
 	sort.Slice(out, func(a, b int) bool {
 		if out[a].Name != out[b].Name {
 			return out[a].Name < out[b].Name
 		}
-		return out[a].Kind < out[b].Kind
+		if out[a].Kind != out[b].Kind {
+			return out[a].Kind < out[b].Kind
+		}
+		return out[a].LabelsKey() < out[b].LabelsKey()
 	})
 	return out
 }
@@ -357,10 +404,35 @@ func (r *Registry) Reset() {
 		g.bits.Store(0)
 	}
 	for _, h := range r.hists {
-		for i := range h.counts {
-			h.counts[i].Store(0)
-		}
-		h.count.Store(0)
-		h.sumBits.Store(0)
+		resetHist(h)
 	}
+	for _, v := range r.counterVecs {
+		v.set.mu.Lock()
+		for _, c := range v.children {
+			c.v.Store(0)
+		}
+		v.set.mu.Unlock()
+	}
+	for _, v := range r.gaugeVecs {
+		v.set.mu.Lock()
+		for _, g := range v.children {
+			g.bits.Store(0)
+		}
+		v.set.mu.Unlock()
+	}
+	for _, v := range r.histVecs {
+		v.set.mu.Lock()
+		for _, h := range v.children {
+			resetHist(h)
+		}
+		v.set.mu.Unlock()
+	}
+}
+
+func resetHist(h *Histogram) {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sumBits.Store(0)
 }

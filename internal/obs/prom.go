@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4), hand-rolled over a
+// metric snapshot — no client library dependency. The encoder maps the
+// registry's dotted names onto the Prometheus grammar
+// ([a-zA-Z_:][a-zA-Z0-9_:]*), escapes help strings and label values per
+// the format spec, and renders histograms as the conventional
+// `_bucket`/`_sum`/`_count` triplet with cumulative `le` buckets ending
+// in `+Inf`. Families (one # HELP / # TYPE header, then every child)
+// fall out of the snapshot's deterministic ordering: children of a
+// labeled family are adjacent and label-sorted, so the emitted text is
+// byte-stable for a given snapshot — which is what the metrics-golden
+// CI stage pins.
+
+// promName maps an obs metric name onto the Prometheus metric-name
+// grammar: every byte outside [a-zA-Z0-9_:] becomes '_', and a leading
+// digit gets a '_' prefix.
+func promName(name string) string {
+	var sb strings.Builder
+	sb.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			sb.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				sb.WriteByte('_')
+			}
+			sb.WriteByte(c)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// promLabelName maps a label name onto [a-zA-Z_][a-zA-Z0-9_]*.
+func promLabelName(name string) string {
+	n := promName(name)
+	return strings.ReplaceAll(n, ":", "_")
+}
+
+// promEscapeHelp escapes a HELP line: backslash and newline.
+func promEscapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// promEscapeLabel escapes a label value: backslash, double quote and
+// newline.
+func promEscapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// promFloat renders a sample value: shortest round-trip float, with the
+// IEEE specials spelled the way Prometheus expects.
+func promFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promLE renders a bucket bound; the snapshot's MaxFloat64 stand-in for
+// the overflow bucket becomes +Inf.
+func promLE(le float64) string {
+	if le >= infLE {
+		return "+Inf"
+	}
+	return promFloat(le)
+}
+
+// writeLabels renders `{k="v",...}` (or nothing for an unlabeled
+// metric). extra appends one synthetic pair (the histogram le label).
+func writeLabels(w *bufio.Writer, labels []LabelPair, extraName, extraValue string) {
+	if len(labels) == 0 && extraName == "" {
+		return
+	}
+	w.WriteByte('{')
+	for i, p := range labels {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(promLabelName(p.Name))
+		w.WriteString(`="`)
+		w.WriteString(promEscapeLabel(p.Value))
+		w.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(labels) > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(extraName)
+		w.WriteString(`="`)
+		w.WriteString(promEscapeLabel(extraValue))
+		w.WriteByte('"')
+	}
+	w.WriteByte('}')
+}
+
+// WritePrometheus encodes a metric snapshot (as produced by
+// Registry.Snapshot) in the Prometheus text exposition format. Metrics
+// sharing a name and kind form one family: HELP and TYPE are emitted
+// once, then every child in snapshot order.
+func WritePrometheus(w io.Writer, metrics []Metric) error {
+	bw := bufio.NewWriter(w)
+	prevFamily := ""
+	for _, m := range metrics {
+		name := promName(m.Name)
+		family := name + "\x00" + m.Kind
+		if family != prevFamily {
+			prevFamily = family
+			bw.WriteString("# HELP ")
+			bw.WriteString(name)
+			if m.Help != "" {
+				bw.WriteByte(' ')
+				bw.WriteString(promEscapeHelp(m.Help))
+			}
+			bw.WriteByte('\n')
+			bw.WriteString("# TYPE ")
+			bw.WriteString(name)
+			bw.WriteByte(' ')
+			switch m.Kind {
+			case "counter", "gauge", "histogram":
+				bw.WriteString(m.Kind)
+			default:
+				bw.WriteString("untyped")
+			}
+			bw.WriteByte('\n')
+		}
+		switch m.Kind {
+		case "histogram":
+			for _, b := range m.Buckets {
+				bw.WriteString(name)
+				bw.WriteString("_bucket")
+				writeLabels(bw, m.Labels, "le", promLE(b.LE))
+				bw.WriteByte(' ')
+				bw.WriteString(strconv.FormatInt(b.Count, 10))
+				bw.WriteByte('\n')
+			}
+			bw.WriteString(name)
+			bw.WriteString("_sum")
+			writeLabels(bw, m.Labels, "", "")
+			bw.WriteByte(' ')
+			bw.WriteString(promFloat(m.Sum))
+			bw.WriteByte('\n')
+			bw.WriteString(name)
+			bw.WriteString("_count")
+			writeLabels(bw, m.Labels, "", "")
+			bw.WriteByte(' ')
+			bw.WriteString(promFloat(m.Value))
+			bw.WriteByte('\n')
+		default:
+			bw.WriteString(name)
+			writeLabels(bw, m.Labels, "", "")
+			bw.WriteByte(' ')
+			bw.WriteString(promFloat(m.Value))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}

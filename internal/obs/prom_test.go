@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goldenSnapshot builds the fixed snapshot behind testdata/metrics.prom:
+// a counter, a gauge, a plain histogram, a labeled counter family and a
+// labeled histogram family, with hostile help strings and label values
+// that exercise every escape rule.
+func goldenSnapshot() []Metric {
+	Enable()
+	defer Disable()
+	r := NewRegistry()
+	r.Counter("pipeline.profiles_total",
+		"profiles computed with \\ backslash\nand newline").Add(42)
+	r.Gauge("server.queue_depth", "requests waiting for a worker").Set(3)
+	h := r.Histogram("server.request_seconds", "request latency", 0.1, 0.5, 1)
+	h.Observe(0.05)
+	h.Observe(0.3)
+	h.Observe(2)
+	cv := r.CounterVec("server.errors_by_class", "errors by resilience class", "class", "route")
+	cv.With("overload", "/v1/profile").Add(7)
+	cv.With("bad \"input\"", "/v1/pro\\file\nx").Inc()
+	hv := r.HistogramVec("server.route_seconds", "per-route latency", []string{"route"}, 0.1, 1)
+	hv.With("/v1/profile").Observe(0.07)
+	hv.With("/v1/profile").Observe(0.7)
+	hv.With("/v1/history").Observe(0.01)
+	return r.Snapshot()
+}
+
+// TestWritePrometheusGolden pins the exposition byte-for-byte. Run with
+// UPDATE_GOLDEN=1 to regenerate after an intentional format change.
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, goldenSnapshot()); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	golden := filepath.Join("testdata", "metrics.prom")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %s (%d bytes)", golden, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestWritePrometheusDeterministic: two encodes of equivalent snapshots
+// built in different orders produce identical bytes.
+func TestWritePrometheusDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WritePrometheus(&a, goldenSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&b, goldenSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two encodes of the same logical snapshot differ")
+	}
+}
+
+// TestPromEscaping covers the three escape rules and name sanitization.
+func TestPromEscaping(t *testing.T) {
+	cases := []struct{ in, help, label string }{
+		{`plain`, `plain`, `plain`},
+		{"a\nb", `a\nb`, `a\nb`},
+		{`a\b`, `a\\b`, `a\\b`},
+		{`a"b`, `a"b`, `a\"b`}, // quotes escape only in label values
+	}
+	for _, c := range cases {
+		if got := promEscapeHelp(c.in); got != c.help {
+			t.Errorf("promEscapeHelp(%q) = %q, want %q", c.in, got, c.help)
+		}
+		if got := promEscapeLabel(c.in); got != c.label {
+			t.Errorf("promEscapeLabel(%q) = %q, want %q", c.in, got, c.label)
+		}
+	}
+	names := []struct{ in, want string }{
+		{"pipeline.profiles_total", "pipeline_profiles_total"},
+		{"9lives", "_9lives"},
+		{"a-b c", "a_b_c"},
+		{"ns:sub", "ns:sub"},
+	}
+	for _, n := range names {
+		if got := promName(n.in); got != n.want {
+			t.Errorf("promName(%q) = %q, want %q", n.in, got, n.want)
+		}
+	}
+	if got := promLabelName("a:b.c"); got != "a_b_c" {
+		t.Errorf("promLabelName = %q, want a_b_c", got)
+	}
+}
+
+// TestPromHistogramShape: buckets end at +Inf and the _count equals the
+// last cumulative bucket.
+func TestPromHistogramShape(t *testing.T) {
+	Enable()
+	defer Disable()
+	r := NewRegistry()
+	h := r.Histogram("lat", "", 1, 10)
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`lat_bucket{le="1"} 1`,
+		`lat_bucket{le="10"} 2`,
+		`lat_bucket{le="+Inf"} 3`,
+		`lat_sum 55.5`,
+		`lat_count 3`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// FuzzPromLabelValue: any label value must encode to exactly one sample
+// line (escapes keep newlines out of the payload) and round-trip
+// through unescaping.
+func FuzzPromLabelValue(f *testing.F) {
+	f.Add("plain")
+	f.Add("with\nnewline")
+	f.Add(`back\slash`)
+	f.Add(`quo"te`)
+	f.Add("\\\"\n\\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, value string) {
+		m := Metric{
+			Name: "fuzz.metric", Kind: "counter", Value: 1,
+			Labels: []LabelPair{{Name: "l", Value: value}},
+		}
+		var buf bytes.Buffer
+		if err := WritePrometheus(&buf, []Metric{m}); err != nil {
+			t.Fatalf("WritePrometheus: %v", err)
+		}
+		out := buf.String()
+		lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+		if len(lines) != 3 { // HELP, TYPE, sample
+			t.Fatalf("value %q produced %d lines, want 3:\n%s", value, len(lines), out)
+		}
+		sample := lines[2]
+		// The escaped value must round-trip: unescape in reverse order.
+		start := strings.Index(sample, `l="`)
+		end := strings.LastIndex(sample, `"`)
+		if start < 0 || end <= start+3-1 {
+			t.Fatalf("sample line has no label value: %q", sample)
+		}
+		esc := sample[start+3 : end]
+		var sb strings.Builder
+		for i := 0; i < len(esc); i++ {
+			if esc[i] == '\\' && i+1 < len(esc) {
+				switch esc[i+1] {
+				case 'n':
+					sb.WriteByte('\n')
+				case '\\', '"':
+					sb.WriteByte(esc[i+1])
+				default:
+					sb.WriteByte(esc[i])
+					sb.WriteByte(esc[i+1])
+				}
+				i++
+				continue
+			}
+			sb.WriteByte(esc[i])
+		}
+		if sb.String() != value {
+			t.Fatalf("label value %q did not round-trip: escaped %q, unescaped %q",
+				value, esc, sb.String())
+		}
+	})
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// Runtime collector: a ticker-driven goroutine sampling the Go runtime
+// into gauges, so a scrape of /metrics sees heap pressure, GC pauses,
+// goroutine counts and scheduler latency next to the request metrics.
+// Sampling uses runtime/metrics (cheap, no stop-the-world) and the
+// usual obs discipline applies: gauges only record while telemetry is
+// enabled, and the collector's goroutine shuts down cleanly — the
+// chaos harness's leak check covers it.
+
+var (
+	rtGoroutines = NewGauge("runtime.goroutines",
+		"live goroutines at the last runtime sample")
+	rtHeapBytes = NewGauge("runtime.heap_bytes",
+		"bytes of live heap objects at the last runtime sample")
+	rtGCCycles = NewGauge("runtime.gc_cycles",
+		"completed GC cycles since process start")
+	rtGCPauseP99 = NewGauge("runtime.gc_pause_p99_seconds",
+		"p99 GC stop-the-world pause since process start")
+	rtSchedLatP99 = NewGauge("runtime.sched_latency_p99_seconds",
+		"p99 goroutine scheduling latency since process start")
+)
+
+// runtimeSampleNames is the fixed sample set read each tick.
+var runtimeSampleNames = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+}
+
+// SampleRuntime reads the runtime metric set once into the gauges. The
+// collector calls it on every tick; tests and one-shot tools may call
+// it directly.
+func SampleRuntime() {
+	samples := make([]metrics.Sample, len(runtimeSampleNames))
+	for i, n := range runtimeSampleNames {
+		samples[i].Name = n
+	}
+	metrics.Read(samples)
+	for _, s := range samples {
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			v := float64(s.Value.Uint64())
+			switch s.Name {
+			case "/sched/goroutines:goroutines":
+				rtGoroutines.Set(v)
+			case "/memory/classes/heap/objects:bytes":
+				rtHeapBytes.Set(v)
+			case "/gc/cycles/total:gc-cycles":
+				rtGCCycles.Set(v)
+			}
+		case metrics.KindFloat64Histogram:
+			p99 := runtimeHistQuantile(s.Value.Float64Histogram(), 0.99)
+			switch s.Name {
+			case "/gc/pauses:seconds":
+				rtGCPauseP99.Set(p99)
+			case "/sched/latencies:seconds":
+				rtSchedLatP99.Set(p99)
+			}
+		}
+	}
+}
+
+// runtimeHistQuantile estimates a quantile of a runtime
+// Float64Histogram by scanning its bucket counts; the answer is the
+// upper edge of the containing bucket (0 for an empty histogram, the
+// last finite edge for ranks landing in a +Inf bucket).
+func runtimeHistQuantile(h *metrics.Float64Histogram, p float64) float64 {
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(p * float64(total)))
+	var cum uint64
+	lastFinite := 0.0
+	for i, c := range h.Counts {
+		cum += c
+		hi := h.Buckets[i+1]
+		if !math.IsInf(hi, 1) {
+			lastFinite = hi
+		}
+		if cum >= rank {
+			if math.IsInf(hi, 1) {
+				return lastFinite
+			}
+			return hi
+		}
+	}
+	return lastFinite
+}
+
+// StartRuntimeCollector samples the runtime every interval until the
+// returned stop function is called. Stop blocks until the collector
+// goroutine has exited (so goroutine-leak checks see a clean shutdown)
+// and is safe to call more than once. A non-positive interval disables
+// collection and returns a no-op stop.
+func StartRuntimeCollector(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		SampleRuntime()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				SampleRuntime()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-exited
+		})
+	}
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"testing"
+	"time"
+)
+
+// TestSampleRuntime: one sample populates the gauges with sane values.
+func TestSampleRuntime(t *testing.T) {
+	Enable()
+	defer func() {
+		Default().Reset()
+		Disable()
+	}()
+	SampleRuntime()
+	if g := rtGoroutines.Value(); g < 1 {
+		t.Fatalf("runtime.goroutines = %v, want >= 1", g)
+	}
+	if b := rtHeapBytes.Value(); b <= 0 {
+		t.Fatalf("runtime.heap_bytes = %v, want > 0", b)
+	}
+}
+
+// TestRuntimeCollectorLifecycle: the collector samples on its ticker and
+// stop blocks until the goroutine is gone (no leak), idempotently.
+func TestRuntimeCollectorLifecycle(t *testing.T) {
+	Enable()
+	defer func() {
+		Default().Reset()
+		Disable()
+	}()
+	before := runtime.NumGoroutine()
+	stop := StartRuntimeCollector(time.Millisecond)
+	time.Sleep(10 * time.Millisecond)
+	stop()
+	stop() // second call must not panic or block
+	deadline := time.Now().Add(time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("collector leaked goroutines: %d > %d", n, before)
+	}
+	if g := rtGoroutines.Value(); g < 1 {
+		t.Fatalf("collector never sampled: goroutines gauge = %v", g)
+	}
+	// Disabled or zero interval: no goroutine at all.
+	noop := StartRuntimeCollector(0)
+	noop()
+}
+
+// TestRuntimeHistQuantile: bucket-edge quantiles over a synthetic
+// runtime histogram.
+func TestRuntimeHistQuantile(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{90, 9, 1},
+		Buckets: []float64{0, 0.001, 0.01, 0.1},
+	}
+	if got := runtimeHistQuantile(h, 0.5); got != 0.001 {
+		t.Fatalf("p50 = %v, want 0.001", got)
+	}
+	if got := runtimeHistQuantile(h, 0.99); got != 0.01 {
+		t.Fatalf("p99 = %v, want 0.01", got)
+	}
+	if got := runtimeHistQuantile(h, 1); got != 0.1 {
+		t.Fatalf("p100 = %v, want 0.1", got)
+	}
+	// +Inf top bucket falls back to the last finite edge.
+	inf := &metrics.Float64Histogram{
+		Counts:  []uint64{1, 1},
+		Buckets: []float64{0, 1, math.Inf(1)},
+	}
+	if got := runtimeHistQuantile(inf, 1); got != 1 {
+		t.Fatalf("+Inf bucket quantile = %v, want 1 (last finite edge)", got)
+	}
+	if got := runtimeHistQuantile(&metrics.Float64Histogram{}, 0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	if got := runtimeHistQuantile(nil, 0.5); got != 0 {
+		t.Fatalf("nil histogram quantile = %v, want 0", got)
+	}
+}

@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Sliding-window metrics: a ring of fixed-width time windows, merged on
+// read, so a quantile or a rate can answer "over the last two minutes"
+// instead of "since boot". A WindowedHistogram with 12 windows of 10s
+// each resolves tail latency over the trailing two minutes; the SLO
+// tracker builds its 5m/1h burn-rate windows from WindowedCounters the
+// same way.
+//
+// The ring rotates lazily: both writes and reads first expire windows
+// the clock has moved past, so a window's contents decay even when no
+// new observations arrive — which is exactly the property a live p99
+// needs (a cumulative histogram's p99 never forgets a load spike; the
+// windowed one does, n·width later).
+//
+// Windowed metrics are standalone values, not registry entries: a
+// server owns its own rings (with an injectable clock for tests) and
+// exposes merged views through its own endpoints, while the cumulative
+// twins it also feeds live in the registry as ordinary metrics.
+
+// WindowedHistogram is a ring of n fixed-bucket windows of equal width.
+// Safe for concurrent use. Observations respect the global telemetry
+// switch like every other obs metric.
+type WindowedHistogram struct {
+	bounds []float64
+	width  time.Duration
+	now    func() time.Time
+
+	mu       sync.Mutex
+	cells    []winCell
+	cur      int
+	curStart time.Time // start of cells[cur]; zero until first touch
+}
+
+type winCell struct {
+	counts []int64 // per-bucket (non-cumulative), len(bounds)+1
+	count  int64
+	sum    float64
+}
+
+// NewWindowedHistogram builds a ring of n windows of the given width.
+// bounds must be sorted ascending (the last implicit bucket is +Inf).
+// A nil now uses the wall clock; tests inject a stepped clock.
+func NewWindowedHistogram(width time.Duration, n int, now func() time.Time, bounds ...float64) *WindowedHistogram {
+	if width <= 0 {
+		width = 10 * time.Second
+	}
+	if n <= 0 {
+		n = 12
+	}
+	if now == nil {
+		now = time.Now
+	}
+	h := &WindowedHistogram{
+		bounds: append([]float64(nil), bounds...),
+		width:  width,
+		now:    now,
+		cells:  make([]winCell, n),
+	}
+	for i := range h.cells {
+		h.cells[i].counts = make([]int64, len(bounds)+1)
+	}
+	return h
+}
+
+// Span returns the total time the ring covers (width × windows).
+func (h *WindowedHistogram) Span() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return h.width * time.Duration(len(h.cells))
+}
+
+// rotate expires windows the clock has moved past. Callers hold h.mu.
+func (h *WindowedHistogram) rotate(now time.Time) {
+	if h.curStart.IsZero() {
+		h.curStart = now
+		return
+	}
+	steps := int64(now.Sub(h.curStart) / h.width)
+	if steps <= 0 {
+		return
+	}
+	n := int64(len(h.cells))
+	if steps >= n {
+		for i := range h.cells {
+			h.cells[i].reset()
+		}
+		h.cur = 0
+		h.curStart = now
+		return
+	}
+	for i := int64(0); i < steps; i++ {
+		h.cur = (h.cur + 1) % len(h.cells)
+		h.cells[h.cur].reset()
+	}
+	h.curStart = h.curStart.Add(time.Duration(steps) * h.width)
+}
+
+func (c *winCell) reset() {
+	for i := range c.counts {
+		c.counts[i] = 0
+	}
+	c.count = 0
+	c.sum = 0
+}
+
+// Observe records v into the current window. A nil receiver or disabled
+// telemetry is a no-op.
+func (h *WindowedHistogram) Observe(v float64) {
+	if h == nil || !enabled.Load() {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.rotate(h.now())
+	c := &h.cells[h.cur]
+	c.counts[i]++
+	c.count++
+	c.sum += v
+	h.mu.Unlock()
+}
+
+// merged sums the most recent windows covering the trailing duration
+// `over` (clamped to [width, Span]) into a cumulative bucket snapshot.
+func (h *WindowedHistogram) merged(over time.Duration) ([]Bucket, int64, float64) {
+	k := int((over + h.width - 1) / h.width)
+	if k < 1 {
+		k = 1
+	}
+	if k > len(h.cells) {
+		k = len(h.cells)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.rotate(h.now())
+	sums := make([]int64, len(h.bounds)+1)
+	var count int64
+	var sum float64
+	for i := 0; i < k; i++ {
+		c := &h.cells[(h.cur-i+len(h.cells))%len(h.cells)]
+		for j, v := range c.counts {
+			sums[j] += v
+		}
+		count += c.count
+		sum += c.sum
+	}
+	bs := make([]Bucket, len(sums))
+	cum := int64(0)
+	for i, v := range sums {
+		cum += v
+		le := infLE
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		bs[i] = Bucket{LE: le, Count: cum}
+	}
+	return bs, count, sum
+}
+
+// Quantile estimates the p-quantile over the trailing duration `over`
+// (rounded up to whole windows, clamped to the ring's span), with the
+// same interpolation semantics as Histogram.Quantile. Returns NaN when
+// the merged windows hold no observations — the signal has decayed.
+func (h *WindowedHistogram) Quantile(p float64, over time.Duration) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	bs, _, _ := h.merged(over)
+	return quantileFromBuckets(bs, p)
+}
+
+// Count returns the observation count over the trailing duration.
+func (h *WindowedHistogram) Count(over time.Duration) int64 {
+	if h == nil {
+		return 0
+	}
+	_, n, _ := h.merged(over)
+	return n
+}
+
+// Sum returns the observation sum over the trailing duration.
+func (h *WindowedHistogram) Sum(over time.Duration) float64 {
+	if h == nil {
+		return 0
+	}
+	_, _, s := h.merged(over)
+	return s
+}
+
+// CountLE returns how many observations over the trailing duration were
+// ≤ le, which must be one of the ring's bounds (an unknown bound
+// returns 0). SLO latency burn rates read the threshold bucket this
+// way.
+func (h *WindowedHistogram) CountLE(le float64, over time.Duration) int64 {
+	if h == nil {
+		return 0
+	}
+	bs, _, _ := h.merged(over)
+	for _, b := range bs {
+		if b.LE == le {
+			return b.Count
+		}
+	}
+	return 0
+}
+
+// WindowedCounter is a ring of n equal-width count windows; Sum reads
+// the trailing total over any duration up to the ring's span.
+type WindowedCounter struct {
+	width time.Duration
+	now   func() time.Time
+
+	mu       sync.Mutex
+	cells    []int64
+	cur      int
+	curStart time.Time
+}
+
+// NewWindowedCounter builds a ring of n windows of the given width.
+func NewWindowedCounter(width time.Duration, n int, now func() time.Time) *WindowedCounter {
+	if width <= 0 {
+		width = 10 * time.Second
+	}
+	if n <= 0 {
+		n = 12
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &WindowedCounter{width: width, now: now, cells: make([]int64, n)}
+}
+
+// rotate expires windows the clock has moved past. Callers hold c.mu.
+func (c *WindowedCounter) rotate(now time.Time) {
+	if c.curStart.IsZero() {
+		c.curStart = now
+		return
+	}
+	steps := int64(now.Sub(c.curStart) / c.width)
+	if steps <= 0 {
+		return
+	}
+	if steps >= int64(len(c.cells)) {
+		for i := range c.cells {
+			c.cells[i] = 0
+		}
+		c.cur = 0
+		c.curStart = now
+		return
+	}
+	for i := int64(0); i < steps; i++ {
+		c.cur = (c.cur + 1) % len(c.cells)
+		c.cells[c.cur] = 0
+	}
+	c.curStart = c.curStart.Add(time.Duration(steps) * c.width)
+}
+
+// Add records n events in the current window. A nil receiver or
+// disabled telemetry is a no-op.
+func (c *WindowedCounter) Add(n int64) {
+	if c == nil || !enabled.Load() {
+		return
+	}
+	c.mu.Lock()
+	c.rotate(c.now())
+	c.cells[c.cur] += n
+	c.mu.Unlock()
+}
+
+// Inc is Add(1).
+func (c *WindowedCounter) Inc() { c.Add(1) }
+
+// Sum returns the event total over the trailing duration (rounded up to
+// whole windows, clamped to the ring's span).
+func (c *WindowedCounter) Sum(over time.Duration) int64 {
+	if c == nil {
+		return 0
+	}
+	k := int((over + c.width - 1) / c.width)
+	if k < 1 {
+		k = 1
+	}
+	if k > len(c.cells) {
+		k = len(c.cells)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rotate(c.now())
+	var total int64
+	for i := 0; i < k; i++ {
+		total += c.cells[(c.cur-i+len(c.cells))%len(c.cells)]
+	}
+	return total
+}

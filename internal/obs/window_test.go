@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually stepped clock for window tests.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// TestWindowedHistogramQuantile: observations land in the current
+// window and the merged quantile matches the cumulative estimator.
+func TestWindowedHistogramQuantile(t *testing.T) {
+	Enable()
+	defer Disable()
+	clk := newFakeClock()
+	h := NewWindowedHistogram(10*time.Second, 12, clk.now, 1, 10, 100)
+	for i := 0; i < 90; i++ {
+		h.Observe(0.5)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(50)
+	}
+	if got := h.Count(2 * time.Minute); got != 100 {
+		t.Fatalf("count = %d, want 100", got)
+	}
+	p50 := h.Quantile(0.5, 2*time.Minute)
+	if p50 > 1 {
+		t.Fatalf("p50 = %v, want <= 1", p50)
+	}
+	p99 := h.Quantile(0.99, 2*time.Minute)
+	if p99 <= 10 || p99 > 100 {
+		t.Fatalf("p99 = %v, want in (10,100]", p99)
+	}
+}
+
+// TestWindowedHistogramDecay: after the clock moves past the ring's
+// span without traffic, the merged view is empty and the quantile NaN —
+// unlike a cumulative histogram, which never forgets.
+func TestWindowedHistogramDecay(t *testing.T) {
+	Enable()
+	defer Disable()
+	clk := newFakeClock()
+	h := NewWindowedHistogram(10*time.Second, 12, clk.now, 1, 10)
+	cum := NewRegistry().Histogram("cum", "", 1, 10)
+	for i := 0; i < 20; i++ {
+		h.Observe(5)
+		cum.Observe(5)
+	}
+	if got := h.Count(h.Span()); got != 20 {
+		t.Fatalf("pre-decay count = %d, want 20", got)
+	}
+	// Partial decay: step just past half the ring; the old window is
+	// still inside the trailing span, so the merged view keeps it.
+	clk.advance(70 * time.Second)
+	if got := h.Count(h.Span()); got != 20 {
+		t.Fatalf("mid-span count = %d, want 20", got)
+	}
+	// Narrower window: the trailing 30s holds nothing.
+	if got := h.Count(30 * time.Second); got != 0 {
+		t.Fatalf("trailing-30s count = %d, want 0", got)
+	}
+	// Full decay: step past the whole span. Reads alone must expire the
+	// data (lazy rotation on read, no writes needed).
+	clk.advance(2 * time.Minute)
+	if got := h.Count(h.Span()); got != 0 {
+		t.Fatalf("post-decay count = %d, want 0", got)
+	}
+	if q := h.Quantile(0.99, h.Span()); !math.IsNaN(q) {
+		t.Fatalf("post-decay p99 = %v, want NaN", q)
+	}
+	// The cumulative twin still remembers.
+	if q := cum.Quantile(0.99); math.IsNaN(q) || q <= 0 {
+		t.Fatalf("cumulative p99 = %v, want > 0", q)
+	}
+}
+
+// TestWindowedHistogramRotation: windows outside the trailing duration
+// drop out one width at a time.
+func TestWindowedHistogramRotation(t *testing.T) {
+	Enable()
+	defer Disable()
+	clk := newFakeClock()
+	h := NewWindowedHistogram(10*time.Second, 6, clk.now, 1)
+	for w := 0; w < 6; w++ {
+		h.Observe(0.5)
+		clk.advance(10 * time.Second)
+	}
+	// Six windows were filled with one observation each; the ring has
+	// since rotated once more (the advance after the last observe), so
+	// the oldest is one step from expiring.
+	if got := h.Count(h.Span()); got != 5 {
+		t.Fatalf("span count = %d, want 5 (oldest window expired)", got)
+	}
+	// The trailing 30s spans the current (empty) partial window plus
+	// the two newest full windows.
+	if got := h.Count(30 * time.Second); got != 2 {
+		t.Fatalf("trailing-30s count = %d, want 2", got)
+	}
+	clk.advance(30 * time.Second)
+	if got := h.Count(h.Span()); got != 2 {
+		t.Fatalf("after +30s span count = %d, want 2", got)
+	}
+}
+
+// TestWindowedHistogramCountLE: the threshold bucket reads back the
+// at-or-under count the SLO latency burn rate needs.
+func TestWindowedHistogramCountLE(t *testing.T) {
+	Enable()
+	defer Disable()
+	clk := newFakeClock()
+	h := NewWindowedHistogram(10*time.Second, 12, clk.now, 0.5, 1, 5)
+	for i := 0; i < 8; i++ {
+		h.Observe(0.2) // ≤ 0.5
+	}
+	h.Observe(3) // ≤ 5
+	h.Observe(9) // overflow
+	if got := h.CountLE(0.5, time.Minute); got != 8 {
+		t.Fatalf("CountLE(0.5) = %d, want 8", got)
+	}
+	if got := h.CountLE(5, time.Minute); got != 9 {
+		t.Fatalf("CountLE(5) = %d, want 9", got)
+	}
+	if got := h.CountLE(2, time.Minute); got != 0 {
+		t.Fatalf("CountLE(unknown bound) = %d, want 0", got)
+	}
+}
+
+// TestWindowedDisabled: disabled telemetry and nil receivers no-op.
+func TestWindowedDisabled(t *testing.T) {
+	Disable()
+	clk := newFakeClock()
+	h := NewWindowedHistogram(10*time.Second, 4, clk.now, 1)
+	h.Observe(0.5)
+	var nilH *WindowedHistogram
+	nilH.Observe(1)
+	if got := nilH.Count(time.Minute); got != 0 {
+		t.Fatalf("nil Count = %d", got)
+	}
+	if q := nilH.Quantile(0.5, time.Minute); !math.IsNaN(q) {
+		t.Fatalf("nil Quantile = %v, want NaN", q)
+	}
+	c := NewWindowedCounter(10*time.Second, 4, clk.now)
+	c.Inc()
+	var nilC *WindowedCounter
+	nilC.Inc()
+	Enable()
+	defer Disable()
+	if got := h.Count(time.Minute); got != 0 {
+		t.Fatalf("disabled Observe leaked: %d", got)
+	}
+	if got := c.Sum(time.Minute); got != 0 {
+		t.Fatalf("disabled Inc leaked: %d", got)
+	}
+}
+
+// TestWindowedCounter: trailing sums honor the window boundaries and
+// decay without writes.
+func TestWindowedCounter(t *testing.T) {
+	Enable()
+	defer Disable()
+	clk := newFakeClock()
+	c := NewWindowedCounter(10*time.Second, 30, clk.now)
+	c.Add(5)
+	clk.advance(10 * time.Second)
+	c.Add(3)
+	if got := c.Sum(10 * time.Second); got != 3 {
+		t.Fatalf("trailing-10s = %d, want 3", got)
+	}
+	if got := c.Sum(5 * time.Minute); got != 8 {
+		t.Fatalf("trailing-5m = %d, want 8", got)
+	}
+	clk.advance(6 * time.Minute)
+	if got := c.Sum(5 * time.Minute); got != 0 {
+		t.Fatalf("post-decay = %d, want 0", got)
+	}
+}

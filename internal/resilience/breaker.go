@@ -15,6 +15,9 @@ var (
 		"calls refused by an open circuit breaker")
 	obsBreakerCloses = obs.NewCounter("resilience.breaker_closes",
 		"circuit breaker recoveries back to closed")
+	obsBreakerVerdicts = obs.NewCounterVec("resilience.breaker_verdicts",
+		"outcomes fed to the breaker, by verdict and the state receiving it",
+		"verdict", "state")
 )
 
 // BreakerState is the classic three-state circuit.
@@ -145,6 +148,11 @@ func (b *Breaker) Record(failure bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.advance()
+	verdict := "success"
+	if failure {
+		verdict = "failure"
+	}
+	obsBreakerVerdicts.With(verdict, b.state.String()).Inc()
 	switch b.state {
 	case BreakerClosed:
 		if !failure {

@@ -86,6 +86,9 @@ var (
 	ErrDraining = errors.New("resilience: draining for shutdown")
 	// ErrBadInput marks caller-at-fault errors; wrap with BadInput.
 	ErrBadInput = errors.New("resilience: bad input")
+	// ErrUnavailable marks a dependency that cannot be reached at all
+	// (connection refused, DNS failure); wrap with Unavailable.
+	ErrUnavailable = errors.New("resilience: unavailable")
 )
 
 // BadInput marks err as caller-at-fault: Classify returns ClassBadInput
@@ -95,6 +98,15 @@ func BadInput(err error) error {
 		return nil
 	}
 	return fmt.Errorf("%w: %w", ErrBadInput, err)
+}
+
+// Unavailable marks err as a dependency being unreachable: Classify
+// returns ClassUnavailable. A nil err stays nil.
+func Unavailable(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %w", ErrUnavailable, err)
 }
 
 // Classify maps any error to its taxonomy class. Wrapped sentinels are
@@ -109,7 +121,8 @@ func Classify(err error) Class {
 		return ClassBadInput
 	case errors.Is(err, ErrOverload):
 		return ClassOverload
-	case errors.Is(err, ErrBreakerOpen), errors.Is(err, ErrDraining):
+	case errors.Is(err, ErrBreakerOpen), errors.Is(err, ErrDraining),
+		errors.Is(err, ErrUnavailable):
 		return ClassUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return ClassTimeout

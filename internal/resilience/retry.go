@@ -14,6 +14,8 @@ var (
 		"operation attempts re-run after a transient failure")
 	obsRetryExhausted = obs.NewCounter("resilience.retry_exhausted",
 		"operations that failed every allowed attempt")
+	obsRetryOutcomes = obs.NewCounterVec("resilience.retry_outcomes",
+		"terminal Retry.Do outcomes by resilience class", "class")
 )
 
 // Retry is an exponential-backoff retry policy with seeded jitter.
@@ -114,7 +116,8 @@ func (r Retry) Delays() []time.Duration {
 // immediately — during a backoff sleep too — and the context error
 // wraps the last attempt's error so both classification (timeout /
 // canceled) and the root cause survive.
-func (r Retry) Do(ctx context.Context, retryable func(error) bool, fn func(ctx context.Context) error) error {
+func (r Retry) Do(ctx context.Context, retryable func(error) bool, fn func(ctx context.Context) error) (err error) {
+	defer func() { obsRetryOutcomes.With(Classify(err).String()).Inc() }()
 	p := r.withDefaults()
 	if retryable == nil {
 		retryable = Retryable

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+
+	"simprof/internal/obs"
+)
+
+var (
+	obsAccessLogDropped = obs.NewCounter("server.accesslog_dropped",
+		"access-log lines dropped because the log queue was full")
+	obsAccessLogLines = obs.NewCounter("server.accesslog_lines",
+		"access-log lines written")
+)
+
+// accessEntry is one structured access-log line: who asked for what,
+// how it was classified, and where the time went. Durations are split
+// the way an operator debugs tail latency: enqueue (admission-queue
+// wait), flush (history persist, retries included) and handle (whole
+// request). All are milliseconds.
+type accessEntry struct {
+	ID        string  `json:"id"`
+	Route     string  `json:"route"`
+	Tenant    string  `json:"tenant"`
+	Status    int     `json:"status"`
+	Class     string  `json:"class"`
+	Bytes     int64   `json:"bytes"`
+	EnqueueMS float64 `json:"enqueue_ms"`
+	FlushMS   float64 `json:"flush_ms"`
+	HandleMS  float64 `json:"handle_ms"`
+}
+
+// shutdownEntry is the final line an access log emits on Close, so a
+// log consumer can tell a clean drain from a truncated file.
+type shutdownEntry struct {
+	Event    string `json:"event"` // always "shutdown"
+	Requests int64  `json:"requests"`
+	Dropped  int64  `json:"dropped"`
+}
+
+// accessLogger writes one JSON line per request to an io.Writer,
+// asynchronously: the handler path enqueues onto a bounded channel and
+// never blocks on the log sink (a slow disk must not add tail latency).
+// When the queue is full the line is dropped and counted. Close drains
+// the queue, appends a shutdown line, and waits for the writer
+// goroutine to exit — the chaos harness's goroutine-leak check covers
+// the lifecycle.
+type accessLogger struct {
+	ch     chan accessEntry
+	done   chan struct{}
+	closed sync.Once
+
+	mu      sync.Mutex // serializes writes with the final shutdown line
+	w       io.Writer
+	written int64
+	dropped int64
+}
+
+// newAccessLogger starts the writer goroutine over w. A nil writer
+// returns a nil logger, whose methods no-op.
+func newAccessLogger(w io.Writer) *accessLogger {
+	if w == nil {
+		return nil
+	}
+	l := &accessLogger{
+		ch:   make(chan accessEntry, 1024),
+		done: make(chan struct{}),
+		w:    w,
+	}
+	go l.run()
+	return l
+}
+
+func (l *accessLogger) run() {
+	defer close(l.done)
+	for e := range l.ch {
+		l.write(e)
+	}
+}
+
+func (l *accessLogger) write(e accessEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	if _, err := l.w.Write(b); err == nil {
+		l.written++
+		obsAccessLogLines.Inc()
+	}
+}
+
+// Log enqueues one entry; it never blocks. A full queue drops the line
+// (counted in server.accesslog_dropped).
+func (l *accessLogger) Log(e accessEntry) {
+	if l == nil {
+		return
+	}
+	select {
+	case l.ch <- e:
+	default:
+		l.mu.Lock()
+		l.dropped++
+		l.mu.Unlock()
+		obsAccessLogDropped.Inc()
+	}
+}
+
+// Close stops the logger: the queue is drained, a final shutdown line
+// is written, and the writer goroutine is gone when Close returns.
+// Safe to call more than once.
+func (l *accessLogger) Close() {
+	if l == nil {
+		return
+	}
+	l.closed.Do(func() {
+		close(l.ch)
+		<-l.done
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		b, err := json.Marshal(shutdownEntry{
+			Event:    "shutdown",
+			Requests: l.written,
+			Dropped:  l.dropped,
+		})
+		if err != nil {
+			return
+		}
+		l.w.Write(append(b, '\n'))
+	})
+}

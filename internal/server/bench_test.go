@@ -63,3 +63,31 @@ func BenchmarkSimprofdP99(b *testing.B) {
 	p99 := lat[int(0.99*float64(len(lat)-1))]
 	b.ReportMetric(p99, "ns/op")
 }
+
+// BenchmarkAccessLog measures what the access log adds to the request
+// path. "enqueue" is the handler-side cost with a live logger (a
+// non-blocking channel send; the JSON encode happens on the writer
+// goroutine); "disabled" is the nil-logger no-op every request pays
+// when -access-log is off.
+func BenchmarkAccessLog(b *testing.B) {
+	entry := accessEntry{
+		ID: "0123456789abcdef", Route: "/v1/profile", Tenant: "default",
+		Status: 200, Class: "ok", Bytes: 1 << 20,
+		EnqueueMS: 0.21, FlushMS: 1.73, HandleMS: 42.5,
+	}
+	b.Run("enqueue", func(b *testing.B) {
+		l := newAccessLogger(io.Discard)
+		defer l.Close()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			l.Log(entry)
+		}
+	})
+	b.Run("disabled", func(b *testing.B) {
+		var l *accessLogger
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			l.Log(entry)
+		}
+	})
+}

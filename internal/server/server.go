@@ -28,7 +28,9 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"simprof/internal/history"
@@ -36,6 +38,7 @@ import (
 	"simprof/internal/phase"
 	"simprof/internal/resilience"
 	"simprof/internal/sampling"
+	"simprof/internal/stats"
 	"simprof/internal/trace"
 )
 
@@ -48,6 +51,17 @@ var (
 		"profile requests that ended in any typed error")
 	obsBodyBytes = obs.NewCounter("server.body_bytes",
 		"trace upload bytes read")
+
+	obsRequestsByRoute = obs.NewCounterVec("server.requests_by_route",
+		"HTTP requests by normalized route and status", "route", "status")
+	obsRequestsByTenant = obs.NewCounterVec("server.requests_by_tenant",
+		"HTTP requests by tenant header", "tenant")
+	obsErrorsByClass = obs.NewCounterVec("server.errors_by_class",
+		"typed errors by resilience class and route", "class", "route")
+	obsRequestSeconds = obs.NewHistogramVec("server.request_seconds",
+		"request latency by route (cumulative since boot)",
+		[]string{"route"},
+		0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10)
 )
 
 // Config tunes a Server. The zero value selects the noted defaults.
@@ -73,6 +87,20 @@ type Config struct {
 	Retry resilience.Retry
 	// MaxBodyBytes caps trace uploads (default 64 MiB).
 	MaxBodyBytes int64
+	// AccessLog receives one structured JSON line per finished request
+	// (nil disables access logging). Writes happen on a dedicated
+	// goroutine; a slow sink drops lines instead of adding tail latency.
+	AccessLog io.Writer
+	// SLO is the objective set tracked live and served at /v1/slo.
+	// nil selects DefaultSLOConfig.
+	SLO *SLOConfig
+	// RuntimeInterval is the period of the runtime-metrics collector
+	// (goroutines, heap, GC pauses). 0 disables the collector.
+	RuntimeInterval time.Duration
+	// RequestIDSeed seeds generated request IDs for requests that carry
+	// no X-Request-Id header; IDs are deterministic per (seed, arrival
+	// index).
+	RequestIDSeed uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -114,6 +142,11 @@ type Server struct {
 	drain *resilience.Drain
 	mux   *http.ServeMux
 
+	slo         *sloTracker
+	accessLog   *accessLogger
+	stopRuntime func()
+	reqSeq      atomic.Uint64 // arrival index for generated request IDs
+
 	storeMu sync.Mutex // serializes Append's read-max-seq/write cycle
 
 	// Test seams: the chaos harness swaps these to inject pipeline and
@@ -127,11 +160,17 @@ type Server struct {
 // any) before accepting writes.
 func New(cfg Config) (*Server, error) {
 	c := cfg.withDefaults()
+	if c.SLO != nil {
+		if err := c.SLO.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	s := &Server{
 		cfg:   c,
 		brk:   resilience.NewBreaker(c.Breaker),
 		adm:   resilience.NewAdmission(c.Concurrency, c.Queue),
 		drain: resilience.NewDrain(),
+		slo:   newSLOTracker(c.SLO, nil),
 	}
 	if c.HistoryPath != "" {
 		s.store = history.OpenDurable(c.HistoryPath)
@@ -139,22 +178,169 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: history recovery: %w", err)
 		}
 	}
+	// Background goroutines start only after every fallible step, so a
+	// failed New never leaks them.
+	s.accessLog = newAccessLogger(c.AccessLog)
+	s.stopRuntime = obs.StartRuntimeCollector(c.RuntimeInterval)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/profile", s.handleProfile)
 	s.mux.HandleFunc("GET /v1/history", s.handleHistory)
 	s.mux.HandleFunc("GET /v1/history/{seq}", s.handleHistoryOne)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics", s.handlePromMetrics)
+	s.mux.HandleFunc("GET /v1/slo", s.handleSLO)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return s, nil
 }
 
-// Handler returns the service's HTTP handler.
+// Close stops the server's background goroutines: the runtime-metrics
+// collector and the access logger (which drains its queue and writes a
+// final shutdown line). Call after Drain. Safe to call more than once.
+func (s *Server) Close() {
+	if s.stopRuntime != nil {
+		s.stopRuntime()
+	}
+	s.accessLog.Close()
+}
+
+// reqStats carries one request's identity and timing breakdown through
+// the context: handlers fill in the pieces (class on error, body bytes,
+// admission wait, persist time) and the Handler middleware emits them
+// as labeled metrics, SLO window samples and one access-log line.
+type reqStats struct {
+	id     string
+	tenant string
+	route  string
+	class  resilience.Class
+	bytes  int64
+
+	enqueue time.Duration // admission-queue wait
+	flush   time.Duration // history persist, retries included
+}
+
+type ctxKey int
+
+const reqStatsKey ctxKey = iota
+
+// statsFrom returns the request's stats sink (nil when the middleware
+// did not run, e.g. a handler invoked directly in a test).
+func statsFrom(ctx context.Context) *reqStats {
+	st, _ := ctx.Value(reqStatsKey).(*reqStats)
+	return st
+}
+
+// RequestIDFrom returns the request ID the middleware assigned (empty
+// outside a request).
+func RequestIDFrom(ctx context.Context) string {
+	if st := statsFrom(ctx); st != nil {
+		return st.id
+	}
+	return ""
+}
+
+// routeOf normalizes a request path to a bounded route label, so path
+// parameters (history seq) and unknown paths cannot explode metric
+// cardinality.
+func routeOf(path string) string {
+	switch {
+	case path == "/v1/profile":
+		return "/v1/profile"
+	case path == "/v1/history":
+		return "/v1/history"
+	case strings.HasPrefix(path, "/v1/history/"):
+		return "/v1/history/{seq}"
+	case path == "/v1/metrics":
+		return "/v1/metrics"
+	case path == "/v1/slo":
+		return "/v1/slo"
+	case path == "/metrics":
+		return "/metrics"
+	case path == "/healthz":
+		return "/healthz"
+	case path == "/readyz":
+		return "/readyz"
+	}
+	return "other"
+}
+
+// statusRecorder captures the response status for the middleware.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	return sr.ResponseWriter.Write(b)
+}
+
+// requestID returns the caller-provided X-Request-Id, or generates a
+// deterministic one from the configured seed and the arrival index.
+func (s *Server) requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-Id"); id != "" {
+		if len(id) > 128 {
+			id = id[:128]
+		}
+		return id
+	}
+	return fmt.Sprintf("%016x", stats.SplitSeed(s.cfg.RequestIDSeed, s.reqSeq.Add(1)))
+}
+
+// Handler returns the service's HTTP handler: the observability
+// middleware (request ID, labeled metrics, SLO windows, access log)
+// wrapping the route mux.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
 		obsRequests.Inc()
-		s.mux.ServeHTTP(w, r)
+		tenant := r.Header.Get("X-Simprof-Tenant")
+		if tenant == "" {
+			tenant = "default"
+		}
+		st := &reqStats{
+			id:     s.requestID(r),
+			tenant: tenant,
+			route:  routeOf(r.URL.Path),
+		}
+		w.Header().Set("X-Request-Id", st.id)
+		sr := &statusRecorder{ResponseWriter: w}
+		s.mux.ServeHTTP(sr, r.WithContext(context.WithValue(r.Context(), reqStatsKey, st)))
+		if sr.status == 0 {
+			sr.status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+
+		obsRequestsByRoute.With(st.route, strconv.Itoa(sr.status)).Inc()
+		obsRequestsByTenant.With(st.tenant).Inc()
+		obsRequestSeconds.With(st.route).Observe(elapsed.Seconds())
+		s.slo.observe(st.route, st.class, elapsed)
+		s.accessLog.Log(accessEntry{
+			ID:        st.id,
+			Route:     st.route,
+			Tenant:    st.tenant,
+			Status:    sr.status,
+			Class:     st.class.String(),
+			Bytes:     st.bytes,
+			EnqueueMS: durMS(st.enqueue),
+			FlushMS:   durMS(st.flush),
+			HandleMS:  durMS(elapsed),
+		})
 	})
+}
+
+// durMS renders a duration in float milliseconds.
+func durMS(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
 }
 
 // BeginDrain flips the server to draining: profile requests are
@@ -172,9 +358,16 @@ type errorBody struct {
 }
 
 // writeError maps err through the resilience taxonomy onto status,
-// Retry-After and the JSON envelope.
-func (s *Server) writeError(w http.ResponseWriter, err error) {
+// Retry-After and the JSON envelope, and records the class on the
+// request's stats (feeding the class-labeled error counter, the SLO
+// windows and the access log).
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 	class := resilience.Classify(err)
+	route := routeOf(r.URL.Path)
+	if st := statsFrom(r.Context()); st != nil {
+		st.class = class
+	}
+	obsErrorsByClass.With(class.String(), route).Inc()
 	if ra := s.retryAfter(err); ra > 0 {
 		w.Header().Set("Retry-After", strconv.Itoa(int(ra.Seconds()+1)))
 	}
@@ -228,25 +421,30 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	exit, err := s.drain.Enter()
 	if err != nil {
 		obsProfilesErr.Inc()
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	defer exit()
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
+	st := statsFrom(ctx)
 
+	enqStart := time.Now()
 	release, err := s.adm.Acquire(ctx)
+	if st != nil {
+		st.enqueue = time.Since(enqStart)
+	}
 	if err != nil {
 		obsProfilesErr.Inc()
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	defer release()
 
 	if err := s.brk.Allow(); err != nil {
 		obsProfilesErr.Inc()
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 
@@ -254,7 +452,7 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.brk.Record(false) // client error: not the pipeline's fault
 		obsProfilesErr.Inc()
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 
@@ -264,10 +462,13 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		// pipeline's; don't feed it to the breaker.
 		s.brk.Record(false)
 		obsProfilesErr.Inc()
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	obsBodyBytes.Add(int64(len(data)))
+	if st != nil {
+		st.bytes = int64(len(data))
+	}
 
 	out, err := s.runProfile(ctx, data, n, seed)
 	if err != nil {
@@ -278,7 +479,7 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		// well-behaved clients too).
 		s.brk.Record(class == resilience.ClassInternal || class == resilience.ClassTimeout)
 		obsProfilesErr.Inc()
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	s.brk.Record(false)
@@ -294,11 +495,17 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		CIHi:       out.Sp.CI(0.997).Hi(),
 		Alloc:      out.Sp.Alloc,
 	}
-	if rec, err := s.persist(ctx, out, n, seed); err != nil {
+	flushStart := time.Now()
+	rec, err := s.persist(ctx, out, n, seed)
+	if st != nil {
+		st.flush = time.Since(flushStart)
+	}
+	if err != nil {
 		obsProfilesErr.Inc()
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
-	} else if rec != nil {
+	}
+	if rec != nil {
 		resp.Seq, resp.Key = rec.Seq, rec.Key
 	}
 	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
@@ -457,7 +664,7 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 	}
 	recs, skipped, err := s.store.Records()
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	type row struct {
@@ -480,25 +687,39 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 // handleHistoryOne returns one full record (manifest included).
 func (s *Server) handleHistoryOne(w http.ResponseWriter, r *http.Request) {
 	if s.store == nil {
-		s.writeError(w, resilience.BadInput(errors.New("history persistence is disabled")))
+		s.writeError(w, r, resilience.BadInput(errors.New("history persistence is disabled")))
 		return
 	}
 	seq, err := strconv.Atoi(r.PathValue("seq"))
 	if err != nil {
-		s.writeError(w, resilience.BadInput(fmt.Errorf("bad seq %q", r.PathValue("seq"))))
+		s.writeError(w, r, resilience.BadInput(fmt.Errorf("bad seq %q", r.PathValue("seq"))))
 		return
 	}
 	rec, err := s.store.Get(seq)
 	if err != nil {
-		s.writeError(w, resilience.BadInput(err))
+		s.writeError(w, r, resilience.BadInput(err))
 		return
 	}
 	writeJSON(w, http.StatusOK, rec)
 }
 
-// handleMetrics dumps the obs registry snapshot.
+// handleMetrics dumps the obs registry snapshot as JSON (the snapshot
+// order is deterministic: name, kind, then sorted label pairs).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, obs.Default().Snapshot())
+}
+
+// handlePromMetrics serves the same snapshot in the Prometheus text
+// exposition format for scrapers.
+func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WritePrometheus(w, obs.Default().Snapshot())
+}
+
+// handleSLO serves the live burn-rate view of the configured
+// objectives.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.slo.status())
 }
 
 // handleHealthz: liveness — the process is up.

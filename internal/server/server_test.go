@@ -44,6 +44,7 @@ func newTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
 	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
+	t.Cleanup(srv.Close) // idempotent; stops the access logger and runtime collector
 	return srv, ts
 }
 

@@ -1,0 +1,303 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"simprof/internal/obs"
+	"simprof/internal/resilience"
+)
+
+// SLO tracking: per-route availability and latency objectives, with
+// multi-window burn rates computed live from sliding-window metrics.
+//
+// The burn rate is the standard error-budget consumption speed:
+//
+//	availability burn = errRate(window) / (1 - availability)
+//	latency burn      = slowRate(window) / (1 - latencyP)
+//
+// where errRate is bad/total over the window and slowRate the fraction
+// of requests over the latency threshold. A burn rate of 1 consumes
+// the budget exactly at the rate the objective allows; 14.4 (the
+// default alert threshold, from the fast-burn page in the SRE
+// workbook) exhausts a 30-day budget in 50 hours. Alerts require BOTH
+// a fast window (5m, catches the spike quickly) and a slow window (1h,
+// filters blips) over the threshold.
+//
+// "Bad" is server-caused failure only: internal, timeout, overload and
+// unavailable. Client faults (bad_input, canceled) spend no budget —
+// a flood of malformed uploads must not page anyone.
+
+// RouteObjective is one route's SLO: a fraction of requests that must
+// succeed, and a latency quantile that must stay under a threshold.
+type RouteObjective struct {
+	// Availability is the success-fraction objective in (0,1),
+	// e.g. 0.999.
+	Availability float64 `json:"availability"`
+	// LatencyP is the latency objective's quantile in (0,1), e.g. 0.99:
+	// "LatencyP of requests finish within LatencyMS".
+	LatencyP float64 `json:"latency_p"`
+	// LatencyMS is the latency threshold in milliseconds.
+	LatencyMS float64 `json:"latency_threshold_ms"`
+}
+
+// SLOConfig maps routes to objectives.
+type SLOConfig struct {
+	Routes map[string]RouteObjective `json:"routes"`
+	// BurnAlert is the burn-rate threshold both windows must exceed to
+	// alert (default 14.4).
+	BurnAlert float64 `json:"burn_alert,omitempty"`
+}
+
+// DefaultSLOConfig is the objective set simprofd serves with unless a
+// -slo-config file overrides it.
+func DefaultSLOConfig() *SLOConfig {
+	return &SLOConfig{
+		Routes: map[string]RouteObjective{
+			"/v1/profile": {Availability: 0.999, LatencyP: 0.99, LatencyMS: 500},
+		},
+		BurnAlert: 14.4,
+	}
+}
+
+// Validate checks objective ranges.
+func (c *SLOConfig) Validate() error {
+	if len(c.Routes) == 0 {
+		return fmt.Errorf("slo config: no routes")
+	}
+	for route, o := range c.Routes {
+		if !(o.Availability > 0 && o.Availability < 1) {
+			return fmt.Errorf("slo config: route %s: availability %v outside (0,1)", route, o.Availability)
+		}
+		if !(o.LatencyP > 0 && o.LatencyP < 1) {
+			return fmt.Errorf("slo config: route %s: latency_p %v outside (0,1)", route, o.LatencyP)
+		}
+		if o.LatencyMS <= 0 {
+			return fmt.Errorf("slo config: route %s: latency_threshold_ms %v must be positive", route, o.LatencyMS)
+		}
+	}
+	if c.BurnAlert < 0 {
+		return fmt.Errorf("slo config: burn_alert %v must not be negative", c.BurnAlert)
+	}
+	if c.BurnAlert == 0 {
+		c.BurnAlert = 14.4
+	}
+	return nil
+}
+
+// LoadSLOConfig reads and validates a JSON objective file.
+func LoadSLOConfig(path string) (*SLOConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("slo config: %w", err)
+	}
+	var c SLOConfig
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("slo config %s: %w", path, err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// Burn-rate windows: fast catches spikes, slow filters blips. The ring
+// spans the slow window.
+const (
+	sloWindowWidth = 10 * time.Second
+	sloFastWindow  = 5 * time.Minute
+	sloSlowWindow  = time.Hour
+	sloRingCells   = int(sloSlowWindow / sloWindowWidth)
+)
+
+// sloRoute is the live state for one tracked route.
+type sloRoute struct {
+	objective RouteObjective
+	total     *obs.WindowedCounter
+	bad       *obs.WindowedCounter
+	latency   *obs.WindowedHistogram // seconds; bounds include the threshold
+}
+
+// sloTracker feeds per-request outcomes into sliding windows and
+// computes burn rates on demand.
+type sloTracker struct {
+	cfg *SLOConfig
+	now func() time.Time
+
+	mu     sync.Mutex
+	routes map[string]*sloRoute
+}
+
+// newSLOTracker builds a tracker for the configured routes. A nil now
+// uses the wall clock; tests inject a stepped clock.
+func newSLOTracker(cfg *SLOConfig, now func() time.Time) *sloTracker {
+	if cfg == nil {
+		cfg = DefaultSLOConfig()
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &sloTracker{cfg: cfg, now: now, routes: map[string]*sloRoute{}}
+}
+
+// route returns the live state for a tracked route (nil when the route
+// has no objective).
+func (t *sloTracker) route(name string) *sloRoute {
+	if t == nil {
+		return nil
+	}
+	o, ok := t.cfg.Routes[name]
+	if !ok {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if rt, ok := t.routes[name]; ok {
+		return rt
+	}
+	// Latency bounds: a coarse log-ish ladder with the objective's
+	// threshold spliced in, so CountLE can read the threshold bucket
+	// exactly.
+	thresh := o.LatencyMS / 1e3
+	base := []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+	bounds := base[:0:0]
+	seen := false
+	for _, b := range base {
+		if b == thresh {
+			seen = true
+		}
+		bounds = append(bounds, b)
+	}
+	if !seen {
+		bounds = append(bounds, thresh)
+		sort.Float64s(bounds)
+	}
+	rt := &sloRoute{
+		objective: o,
+		total:     obs.NewWindowedCounter(sloWindowWidth, sloRingCells, t.now),
+		bad:       obs.NewWindowedCounter(sloWindowWidth, sloRingCells, t.now),
+		latency:   obs.NewWindowedHistogram(sloWindowWidth, sloRingCells, t.now, bounds...),
+	}
+	t.routes[name] = rt
+	return rt
+}
+
+// badClass reports whether a resilience class spends error budget:
+// server-caused failure only.
+func badClass(c resilience.Class) bool {
+	switch c {
+	case resilience.ClassInternal, resilience.ClassTimeout,
+		resilience.ClassOverload, resilience.ClassUnavailable:
+		return true
+	}
+	return false
+}
+
+// observe records one finished request for its route.
+func (t *sloTracker) observe(routeName string, class resilience.Class, latency time.Duration) {
+	rt := t.route(routeName)
+	if rt == nil {
+		return
+	}
+	rt.total.Inc()
+	if badClass(class) {
+		rt.bad.Inc()
+	}
+	rt.latency.Observe(latency.Seconds())
+}
+
+// burnRate is errRate/budget over one window; 0 when the window holds
+// no traffic.
+func burnRate(bad, total int64, budget float64) float64 {
+	if total == 0 || budget <= 0 {
+		return 0
+	}
+	return (float64(bad) / float64(total)) / budget
+}
+
+// RouteSLO is one route's status in the /v1/slo response.
+type RouteSLO struct {
+	Route     string         `json:"route"`
+	Objective RouteObjective `json:"objective"`
+
+	// Availability burn rates (fast 5m / slow 1h windows).
+	FastBurn float64 `json:"fast_burn"`
+	SlowBurn float64 `json:"slow_burn"`
+	// Latency burn rates over the same windows.
+	FastLatencyBurn float64 `json:"fast_latency_burn"`
+	SlowLatencyBurn float64 `json:"slow_latency_burn"`
+
+	// Alerting state: both windows of either burn over the threshold.
+	Alert bool `json:"alert"`
+
+	// Window observability: traffic and live quantile over the fast
+	// window. WindowP99MS is 0 when the window holds no samples (the
+	// signal has decayed); WindowSamples disambiguates "fast" from
+	// "idle".
+	FastTotal     int64   `json:"fast_total"`
+	FastBad       int64   `json:"fast_bad"`
+	SlowTotal     int64   `json:"slow_total"`
+	SlowBad       int64   `json:"slow_bad"`
+	WindowP99MS   float64 `json:"window_p99_ms"`
+	WindowSamples int64   `json:"window_samples"`
+}
+
+// SLOStatus is the /v1/slo response body.
+type SLOStatus struct {
+	BurnAlert float64    `json:"burn_alert"`
+	Routes    []RouteSLO `json:"routes"`
+}
+
+// status computes the live SLO view, routes sorted by name.
+func (t *sloTracker) status() SLOStatus {
+	if t == nil {
+		return SLOStatus{}
+	}
+	out := SLOStatus{BurnAlert: t.cfg.BurnAlert}
+	names := make([]string, 0, len(t.cfg.Routes))
+	for name := range t.cfg.Routes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rt := t.route(name)
+		o := rt.objective
+		availBudget := 1 - o.Availability
+		latBudget := 1 - o.LatencyP
+		thresh := o.LatencyMS / 1e3
+
+		r := RouteSLO{Route: name, Objective: o}
+		r.FastTotal = rt.total.Sum(sloFastWindow)
+		r.FastBad = rt.bad.Sum(sloFastWindow)
+		r.SlowTotal = rt.total.Sum(sloSlowWindow)
+		r.SlowBad = rt.bad.Sum(sloSlowWindow)
+		r.FastBurn = burnRate(r.FastBad, r.FastTotal, availBudget)
+		r.SlowBurn = burnRate(r.SlowBad, r.SlowTotal, availBudget)
+
+		fastN := rt.latency.Count(sloFastWindow)
+		if fastN > 0 {
+			slow := fastN - rt.latency.CountLE(thresh, sloFastWindow)
+			r.FastLatencyBurn = burnRate(slow, fastN, latBudget)
+		}
+		slowN := rt.latency.Count(sloSlowWindow)
+		if slowN > 0 {
+			slowCnt := slowN - rt.latency.CountLE(thresh, sloSlowWindow)
+			r.SlowLatencyBurn = burnRate(slowCnt, slowN, latBudget)
+		}
+
+		if p99 := rt.latency.Quantile(0.99, sloFastWindow); !math.IsNaN(p99) {
+			r.WindowP99MS = p99 * 1e3
+		}
+		r.WindowSamples = fastN
+
+		r.Alert = (r.FastBurn > t.cfg.BurnAlert && r.SlowBurn > t.cfg.BurnAlert) ||
+			(r.FastLatencyBurn > t.cfg.BurnAlert && r.SlowLatencyBurn > t.cfg.BurnAlert)
+		out.Routes = append(out.Routes, r)
+	}
+	return out
+}

@@ -4,7 +4,10 @@
 # worker sweep), the naive-vs-pruned Lloyd kernel pair (KMeansDense),
 # sparse vectorization, SimProf's stratified selection, the telemetry
 # fast paths (disabled must stay at 0 allocs/op, enabled is the
-# instrumented cost), and the columnar trace format (DecodeBin vs the
+# instrumented cost — the labeled families and sliding windows in
+# ObsDisabledLabeled carry the same contract), the access-log request
+# path (AccessLog: enqueue with a live logger vs the nil no-op), and
+# the columnar trace format (DecodeBin vs the
 # legacy DecodeGob on the same 100k-unit trace, plus EndToEnd100k —
 # the decode → Form → allocate → estimate pipeline whose <100ms budget
 # the gate enforces), and the simprofd service under concurrent load
@@ -21,7 +24,7 @@ BENCHTIME="${BENCHTIME:-1x}"
 BENCHCOUNT="${BENCHCOUNT:-1}"
 
 go test -run '^$' \
-	-bench '^(BenchmarkChooseK|BenchmarkForm$|BenchmarkFormPhases|BenchmarkKMeansDense|BenchmarkVectorizeSparse$|BenchmarkSimProfSelection$|BenchmarkTelemetry|BenchmarkDecodeBin$|BenchmarkDecodeGob$|BenchmarkEndToEnd100k$|BenchmarkSimprofdP99$)' \
+	-bench '^(BenchmarkChooseK|BenchmarkForm$|BenchmarkFormPhases|BenchmarkKMeansDense|BenchmarkVectorizeSparse$|BenchmarkSimProfSelection$|BenchmarkTelemetry|BenchmarkObsDisabledLabeled$|BenchmarkDecodeBin$|BenchmarkDecodeGob$|BenchmarkEndToEnd100k$|BenchmarkSimprofdP99$|BenchmarkAccessLog$)' \
 	-benchtime "$BENCHTIME" -count "$BENCHCOUNT" -benchmem -json \
 	./internal/cluster ./internal/phase ./internal/sampling ./internal/obs ./internal/tracebin ./internal/server \
 	>"$OUT"

@@ -17,6 +17,9 @@
 #   tracebin-golden  columnar trace format  (byte-exact encode golden +
 #                                            decode of a hand-mangled
 #                                            worst-case header)
+#   metrics-golden  Prometheus exposition   (golden-pinned /metrics text
+#                                            format, escaping tables, and
+#                                            the label-value fuzz seeds)
 #   kernel-equivalence  pruned vs naive     (bound-pruned k-means must be
 #                                            bit-for-bit the naive kernel,
 #                                            run twice to shake out
@@ -75,17 +78,28 @@ run_race() {
 }
 
 run_bench_smoke() {
-	out=$(go test -run '^$' -bench '^BenchmarkTelemetryDisabled$' -benchtime 100x -benchmem ./internal/obs) || fail bench-smoke
+	out=$(go test -run '^$' -bench '^Benchmark(TelemetryDisabled|ObsDisabledLabeled)$' -benchtime 100x -benchmem ./internal/obs) || fail bench-smoke
 	echo "$out"
 	# Every disabled-path sub-benchmark must report exactly 0 allocs/op:
-	# the no-op sink is contractually allocation-free on hot paths.
+	# the no-op sink is contractually allocation-free on hot paths. The
+	# labeled families (CounterVec/GaugeVec/HistogramVec) and the sliding
+	# windows carry the same contract as the scalar metrics: With(...)
+	# must bail on the enabled check before any map or slice touches.
 	echo "$out" | awk '
-		/^BenchmarkTelemetryDisabled/ {
+		/^Benchmark(TelemetryDisabled|ObsDisabledLabeled)/ {
 			for (i = 1; i <= NF; i++)
 				if ($i == "allocs/op" && $(i-1) + 0 != 0) bad = 1
 		}
 		END { exit bad }
 	' || fail bench-smoke
+}
+
+run_metrics_golden() {
+	# The Prometheus text exposition is pinned by a golden file
+	# (regenerate with UPDATE_GOLDEN=1) plus escaping tables, and the
+	# label-value escaper must round-trip any byte sequence — the fuzz
+	# target's committed seeds run as plain tests here.
+	go test -run 'TestWritePrometheus|TestProm|FuzzPromLabelValue' ./internal/obs || fail metrics-golden
 }
 
 run_trace_golden() {
@@ -128,8 +142,12 @@ run_bench_gate() {
 	# construction — so it gets the widest band: it is there to catch a
 	# structural tail regression (a lock on the hot path, a lost
 	# fast-path), not scheduler jitter.
+	# The single-digit-ns observability paths (disabled labeled metrics,
+	# the access-log enqueue) sit at the timer's resolution floor, so
+	# they get the wide microbenchmark band — their real contract (0
+	# allocs/op) is enforced by bench-smoke, not by wall time.
 	go run ./cmd/simprof history gate -baseline "$baseline" -bench "$cur" \
-		-per-bench "BenchmarkVectorizeSparse=0.60,BenchmarkKMeansDense/Naive=0.50,BenchmarkKMeansDense/Pruned=0.50,BenchmarkEndToEnd100k=0.40,BenchmarkDecodeBin=0.35,BenchmarkDecodeGob=0.35,BenchmarkSimprofdP99=0.75" \
+		-per-bench "BenchmarkVectorizeSparse=0.60,BenchmarkKMeansDense/Naive=0.50,BenchmarkKMeansDense/Pruned=0.50,BenchmarkEndToEnd100k=0.40,BenchmarkDecodeBin=0.35,BenchmarkDecodeGob=0.35,BenchmarkSimprofdP99=0.75,BenchmarkObsDisabledLabeled/countervec=0.60,BenchmarkObsDisabledLabeled/gaugevec=0.60,BenchmarkObsDisabledLabeled/histogramvec=0.60,BenchmarkObsDisabledLabeled/windowedhist=0.60,BenchmarkObsDisabledLabeled/windowedcounter=0.60,BenchmarkAccessLog/enqueue=0.60,BenchmarkAccessLog/disabled=0.60" \
 		|| fail bench-gate
 }
 
@@ -174,7 +192,7 @@ run_fuzz_smoke() {
 	done
 }
 
-stages="${*:-tier1-build tier1-test vet gofmt race bench-smoke kernel-equivalence chaos-smoke fuzz-smoke trace-golden tracebin-golden}"
+stages="${*:-tier1-build tier1-test vet gofmt race bench-smoke kernel-equivalence chaos-smoke fuzz-smoke trace-golden tracebin-golden metrics-golden}"
 for stage in $stages; do
 	echo "==> $stage"
 	case "$stage" in
@@ -187,6 +205,7 @@ for stage in $stages; do
 	fuzz-smoke) run_fuzz_smoke ;;
 	trace-golden) run_trace_golden ;;
 	tracebin-golden) run_tracebin_golden ;;
+	metrics-golden) run_metrics_golden ;;
 	kernel-equivalence) run_kernel_equivalence ;;
 	chaos-smoke) run_chaos_smoke ;;
 	bench-gate) run_bench_gate ;;
