@@ -66,6 +66,24 @@ func renderManifest(w io.Writer, m *obs.Manifest, note string, withMetrics bool)
 		fmt.Fprintln(w)
 	}
 
+	if ri := m.Request; ri != nil {
+		fmt.Fprintf(w, "\nrequest: %s %s status=%d (%s)", ri.ID, ri.Route, ri.Status, ri.Class)
+		if ri.Tenant != "" {
+			fmt.Fprintf(w, " tenant=%s", ri.Tenant)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "  latency %.2fms, %d bytes", ri.Latency, ri.Bytes)
+		if ri.Start != "" {
+			fmt.Fprintf(w, ", started %s", ri.Start)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "  stratum %s", ri.Stratum)
+		if ri.Forced {
+			fmt.Fprint(w, " (forced keep)")
+		}
+		fmt.Fprintf(w, ", π=%.4g, weight=%.4g\n", ri.InclusionP, ri.Weight)
+	}
+
 	if wl := m.Workload; wl != nil {
 		fmt.Fprintf(w, "\nworkload: %s on %s (input %q, seed %d, workers %d)\n",
 			wl.Benchmark, wl.Framework, wl.Input, wl.Seed, wl.Workers)
@@ -153,21 +171,30 @@ func renderManifest(w io.Writer, m *obs.Manifest, note string, withMetrics bool)
 
 	if withMetrics && len(m.Metrics) > 0 {
 		fmt.Fprintln(w, "\nmetrics:")
-		for _, mt := range m.Metrics {
-			name := mt.Name
+		// Pad to the widest name{labels} so labeled children (which can
+		// far exceed the bare-name width) keep the value columns aligned.
+		width := 32
+		names := make([]string, len(m.Metrics))
+		for i, mt := range m.Metrics {
+			names[i] = mt.Name
 			if lk := mt.LabelsKey(); lk != "" {
-				name += "{" + lk + "}"
+				names[i] += "{" + lk + "}"
 			}
+			if len(names[i]) > width {
+				width = len(names[i])
+			}
+		}
+		for i, mt := range m.Metrics {
 			switch mt.Kind {
 			case "histogram":
 				mean := 0.0
 				if mt.Value > 0 {
 					mean = mt.Sum / mt.Value
 				}
-				fmt.Fprintf(w, "  %-32s count=%.0f sum=%.4g mean=%.4g%s\n",
-					name, mt.Value, mt.Sum, mean, quantileSuffix(mt))
+				fmt.Fprintf(w, "  %-*s count=%.0f sum=%.4g mean=%.4g%s\n",
+					width, names[i], mt.Value, mt.Sum, mean, quantileSuffix(mt))
 			default:
-				fmt.Fprintf(w, "  %-32s %v\n", name, mt.Value)
+				fmt.Fprintf(w, "  %-*s %v\n", width, names[i], mt.Value)
 			}
 		}
 	}

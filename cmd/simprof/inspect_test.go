@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"simprof/internal/obs"
+)
+
+// reqtraceManifest builds the fixed manifest behind
+// testdata/inspect_reqtrace.golden: a retained request trace with a
+// span tree and a metric snapshot whose labeled histogram children are
+// wider than any bare metric name — pinning both the request section
+// and the name{labels} column alignment.
+func reqtraceManifest(t *testing.T) *obs.Manifest {
+	t.Helper()
+	obs.Enable()
+	t.Cleanup(obs.Disable)
+	r := obs.NewRegistry()
+	r.Counter("server.requests", "requests").Add(128)
+	hv := r.HistogramVec("server.request_seconds", "request latency by route",
+		[]string{"route"}, 0.001, 0.005, 0.01, 0.05, 0.1)
+	for i := 0; i < 100; i++ {
+		hv.With("/v1/profile").Observe(0.001 + float64(i)*0.001)
+	}
+	hv.With("/v1/history").Observe(0.002)
+	cv := r.CounterVec("reqtrace.retained", "retained", "route", "status_class", "latency_bucket")
+	cv.With("/v1/profile", "2xx", "25-100ms").Add(17)
+	cv.With("/v1/profile", "5xx", ">=500ms").Add(3)
+
+	return &obs.Manifest{
+		Version: obs.ManifestVersion,
+		Tool:    "simprofd reqtrace",
+		Build:   obs.BuildInfo{GoVersion: "go1.0test", Revision: "deadbeefcafe0123"},
+		Request: &obs.RequestInfo{
+			ID:      "req-42",
+			Route:   "/v1/profile",
+			Tenant:  "tenant-a",
+			Status:  504,
+			Class:   "timeout",
+			Bytes:   4096,
+			Start:   "2026-01-02T03:04:05.000000006Z",
+			Latency: 612.25,
+
+			Stratum:    "/v1/profile|5xx|>=500ms",
+			Forced:     true,
+			InclusionP: 1,
+			Weight:     1,
+		},
+		Metrics: r.Snapshot(),
+		Spans: &obs.Span{
+			Name: "request req-42", StartNS: 0, DurNS: 612_250_000, GID: 1,
+			Children: []*obs.Span{
+				{Name: "phase.form", StartNS: 1_000_000, DurNS: 420_000_000, GID: 1},
+				{Name: "sampling.simprof", StartNS: 421_000_000, DurNS: 150_000_000, GID: 1},
+			},
+		},
+	}
+}
+
+// TestInspectReqTraceGolden pins the rendered inspect output for a
+// retained-trace manifest byte-for-byte (request section, aligned
+// labeled-vec rows with p50/p90/p99, span tree). Regenerate with
+// UPDATE_GOLDEN=1 after an intentional format change.
+func TestInspectReqTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	renderManifest(&buf, reqtraceManifest(t), "", true)
+
+	golden := filepath.Join("testdata", "inspect_reqtrace.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %s (%d bytes)", golden, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("inspect output drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestInspectLabeledVecAlignment: every metric row's value column
+// starts at the same offset even when labeled children are far wider
+// than the bare names, and labeled histograms carry quantiles.
+func TestInspectLabeledVecAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	renderManifest(&buf, reqtraceManifest(t), "", true)
+	out := buf.String()
+
+	if !strings.Contains(out, "p50=") || !strings.Contains(out, "p99=") {
+		t.Fatalf("labeled histogram rows lack quantiles:\n%s", out)
+	}
+	var inMetrics bool
+	col := -1
+	for _, line := range strings.Split(out, "\n") {
+		if line == "metrics:" {
+			inMetrics = true
+			continue
+		}
+		if !inMetrics || !strings.HasPrefix(line, "  ") {
+			continue
+		}
+		name := strings.TrimLeft(line, " ")
+		valueCol := len(line) - len(name) + strings.IndexAny(name, " ")
+		rest := line[valueCol:]
+		pad := len(rest) - len(strings.TrimLeft(rest, " "))
+		start := valueCol + pad
+		if col == -1 {
+			col = start
+		} else if start != col {
+			t.Fatalf("value column drifts: %d then %d on %q\n%s", col, start, line, out)
+		}
+	}
+	if col == -1 {
+		t.Fatalf("no metric rows rendered:\n%s", out)
+	}
+}

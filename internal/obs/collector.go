@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Collector captures a request-scoped span tree. The CLI's span
+// machinery (StartRun/SpanTree) is process-global — one tree per run —
+// which is the wrong shape for a server handling concurrent requests.
+// A Collector is the per-request counterpart: the handler attaches one
+// to its goroutine, the pipeline stages underneath keep calling the
+// ordinary StartSpan/End, and those spans land in the request's own
+// tree instead of the global one. Detach returns the finished tree.
+//
+// Routing is by goroutine id: StartSpan looks up a collector for the
+// calling goroutine before falling back to the global run. Spans opened
+// by other goroutines (the parallel worker pools) are not captured —
+// same contract as the global tree, where concurrent work rides timer
+// samples instead.
+type Collector struct {
+	gid int64
+	t0  time.Time
+
+	mu   sync.Mutex
+	root *Span
+	cur  *Span
+}
+
+// collectors is the goroutine-id → Collector registry. The count is
+// kept separately in an atomic so the common no-collector case (every
+// CLI span, and every server span while request tracing is off) pays
+// one atomic load and no lock.
+var collectors struct {
+	n  atomic.Int64
+	mu sync.RWMutex
+	m  map[int64]*Collector
+}
+
+// AttachCollector registers a new collector for the calling goroutine
+// and opens its root span. It returns nil while telemetry is disabled;
+// nil collectors no-op on Detach, so call sites need no guards. If the
+// goroutine already has a collector the new one replaces it (last
+// wins) — callers are expected to Detach before re-attaching.
+func AttachCollector(rootName string) *Collector {
+	if !enabled.Load() {
+		return nil
+	}
+	gid := curGID()
+	now := time.Now()
+	c := &Collector{gid: gid, t0: now}
+	c.root = &Span{Name: rootName, GID: gid, start: now, col: c}
+	c.cur = c.root
+	collectors.mu.Lock()
+	if collectors.m == nil {
+		collectors.m = make(map[int64]*Collector)
+	}
+	if collectors.m[gid] == nil {
+		collectors.n.Add(1)
+	}
+	collectors.m[gid] = c
+	collectors.mu.Unlock()
+	return c
+}
+
+// Detach unregisters the collector and returns its finished span tree.
+// Any spans still open (including the root) are closed at the detach
+// time, so a handler that panicked mid-stage still yields a coherent
+// tree. Safe to call from any goroutine, and idempotent.
+func (c *Collector) Detach() *Span {
+	if c == nil {
+		return nil
+	}
+	collectors.mu.Lock()
+	if collectors.m[c.gid] == c {
+		delete(collectors.m, c.gid)
+		collectors.n.Add(-1)
+	}
+	collectors.mu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	for s := c.cur; s != nil; s = s.parent {
+		if s.DurNS == 0 {
+			s.DurNS = now.Sub(s.start).Nanoseconds()
+		}
+	}
+	c.cur = nil
+	return c.root
+}
+
+// collectorFor returns the calling goroutine's collector, if any.
+func collectorFor(gid int64) *Collector {
+	collectors.mu.RLock()
+	c := collectors.m[gid]
+	collectors.mu.RUnlock()
+	return c
+}
+
+// startSpan opens a child of the collector's current span.
+func (c *Collector) startSpan(name string, gid int64) *Span {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cur == nil { // detached concurrently
+		return nil
+	}
+	now := time.Now()
+	s := &Span{
+		Name:    name,
+		StartNS: now.Sub(c.t0).Nanoseconds(),
+		GID:     gid,
+		parent:  c.cur,
+		start:   now,
+		col:     c,
+	}
+	c.cur.Children = append(c.cur.Children, s)
+	c.cur = s
+	return s
+}
+
+// end closes a collector-owned span, popping the cursor if it is
+// current (mirrors the global End semantics).
+func (c *Collector) end(s *Span) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s.DurNS = time.Since(s.start).Nanoseconds()
+	if c.cur == s {
+		c.cur = s.parent
+	}
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCollectorDisabledReturnsNil(t *testing.T) {
+	Disable()
+	defer Disable()
+	if c := AttachCollector("req"); c != nil {
+		t.Fatalf("AttachCollector while disabled = %v, want nil", c)
+	}
+	var c *Collector
+	if got := c.Detach(); got != nil {
+		t.Fatalf("nil Collector.Detach() = %v, want nil", got)
+	}
+}
+
+func TestCollectorCapturesSpanTree(t *testing.T) {
+	Enable()
+	defer Disable()
+
+	c := AttachCollector("req-1")
+	if c == nil {
+		t.Fatal("AttachCollector returned nil while enabled")
+	}
+	a := StartSpan("stage.a")
+	aa := StartSpan("stage.a.inner")
+	aa.End()
+	a.End()
+	b := StartSpan("stage.b")
+	b.End()
+	root := c.Detach()
+
+	if root == nil || root.Name != "req-1" {
+		t.Fatalf("root = %+v, want name req-1", root)
+	}
+	if len(root.Children) != 2 {
+		t.Fatalf("root children = %d, want 2", len(root.Children))
+	}
+	if root.Children[0].Name != "stage.a" || root.Children[1].Name != "stage.b" {
+		t.Fatalf("children = %q, %q", root.Children[0].Name, root.Children[1].Name)
+	}
+	if len(root.Children[0].Children) != 1 || root.Children[0].Children[0].Name != "stage.a.inner" {
+		t.Fatalf("nested child missing: %+v", root.Children[0].Children)
+	}
+	if root.DurNS <= 0 {
+		t.Fatalf("root DurNS = %d, want > 0 (closed at detach)", root.DurNS)
+	}
+	// Spans after detach must not resurrect the collector's tree.
+	s := StartSpan("stage.after")
+	if s != nil {
+		t.Fatalf("StartSpan after detach (no run, no collector) = %+v, want nil", s)
+	}
+}
+
+func TestCollectorDoesNotTouchGlobalRun(t *testing.T) {
+	Enable()
+	defer Disable()
+
+	run := StartRun("global-run")
+	c := AttachCollector("req")
+	StartSpan("req.stage").End()
+	c.Detach()
+	StartSpan("global.stage").End()
+	run.End()
+
+	tree := SpanTree()
+	if tree == nil || tree.Name != "global-run" {
+		t.Fatalf("global tree = %+v", tree)
+	}
+	if len(tree.Children) != 1 || tree.Children[0].Name != "global.stage" {
+		t.Fatalf("global children = %+v, want only global.stage", tree.Children)
+	}
+}
+
+func TestCollectorConcurrentIsolation(t *testing.T) {
+	Enable()
+	defer Disable()
+
+	const goroutines = 16
+	roots := make([]*Span, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := AttachCollector("req")
+			for j := 0; j < 8; j++ {
+				s := StartSpan("stage")
+				inner := StartSpan("inner")
+				inner.End()
+				s.End()
+			}
+			roots[i] = c.Detach()
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range roots {
+		if r == nil {
+			t.Fatalf("goroutine %d: nil root", i)
+		}
+		if len(r.Children) != 8 {
+			t.Fatalf("goroutine %d: %d children, want 8 (cross-goroutine leak?)", i, len(r.Children))
+		}
+	}
+	if n := collectors.n.Load(); n != 0 {
+		t.Fatalf("collector count after all detached = %d, want 0", n)
+	}
+}
+
+func TestCollectorDetachIdempotent(t *testing.T) {
+	Enable()
+	defer Disable()
+
+	c := AttachCollector("req")
+	StartSpan("stage").End()
+	first := c.Detach()
+	second := c.Detach()
+	if first == nil || second != first {
+		t.Fatalf("Detach not idempotent: first=%p second=%p", first, second)
+	}
+	if n := collectors.n.Load(); n != 0 {
+		t.Fatalf("collector count = %d, want 0", n)
+	}
+}

@@ -31,6 +31,21 @@ const maxCardinality = 256
 // overflowLabel is the label value of the shared overflow child.
 const overflowLabel = "~overflow"
 
+// cardinalityOverflows tallies, across every vec in the process, each
+// observation whose (previously unseen) label tuple collapsed into the
+// overflow child. The tally feeds both the CardinalityOverflows
+// accessor and the obs.cardinality_overflow self-metric, so a service
+// under label-value abuse shows the damage on /metrics instead of
+// silently coarsening.
+var cardinalityOverflows atomic.Int64
+
+var overflowCounter = NewCounter("obs.cardinality_overflow",
+	"observations collapsed into a vec's ~overflow child because the cardinality bound was hit")
+
+// CardinalityOverflows returns the process-wide count of observations
+// that collapsed into an overflow child.
+func CardinalityOverflows() int64 { return cardinalityOverflows.Load() }
+
 // LabelPair is one name=value label on a snapshotted metric.
 type LabelPair struct {
 	Name  string `json:"name"`
@@ -65,6 +80,8 @@ func (ls *labelSet) resolve(values []string) (string, bool) {
 		return k, false
 	}
 	if len(ls.keys) >= maxCardinality {
+		cardinalityOverflows.Add(1)
+		overflowCounter.Add(1)
 		ov := make([]string, len(ls.labels))
 		for i := range ov {
 			ov[i] = overflowLabel

@@ -160,6 +160,18 @@ func (c *Counter) Add(n int64) {
 // Inc is Add(1).
 func (c *Counter) Inc() { c.Add(1) }
 
+// Sync stores an absolute value mirrored from an externally maintained
+// tally (the access-log line/drop counts, say). Unlike Add it does not
+// gate on the enabled flag: the mirrored tally is already the source of
+// truth and Sync only makes it visible to Snapshot and the Prometheus
+// exposition. Scrape handlers call it just before snapshotting.
+func (c *Counter) Sync(v int64) {
+	if c == nil {
+		return
+	}
+	c.v.Store(v)
+}
+
 // Value returns the current count.
 func (c *Counter) Value() int64 {
 	if c == nil {

@@ -1,0 +1,235 @@
+package reqtrace
+
+import (
+	"math"
+	"sort"
+)
+
+// latHist is the engine's own cumulative latency histogram over every
+// completion — the unsampled ground truth the weighted estimates are
+// checked against. It is deliberately independent of the obs registry
+// (always on, never reset) so the estimate-vs-histogram comparison is
+// self-contained.
+type latHist struct {
+	boundsMS []float64
+	counts   []int64 // len(bounds)+1, last is overflow
+	total    int64
+	sum      float64
+}
+
+// latHistBoundsMS is a fixed ms ladder dense enough that interpolated
+// quantiles are meaningful from microseconds to tens of seconds.
+var latHistBoundsMS = []float64{
+	0.5, 1, 2, 5, 10, 20, 50, 75, 100, 150, 200, 300, 400, 500,
+	750, 1000, 1500, 2000, 3000, 5000, 10000,
+}
+
+func newLatHist() latHist {
+	return latHist{boundsMS: latHistBoundsMS, counts: make([]int64, len(latHistBoundsMS)+1)}
+}
+
+func (h *latHist) observe(ms float64) {
+	i := sort.SearchFloat64s(h.boundsMS, ms)
+	if i < len(h.boundsMS) && ms == h.boundsMS[i] {
+		i++ // bucket i holds values ≤ bound i: move to the next le
+	}
+	h.counts[i]++
+	h.total++
+	h.sum += ms
+}
+
+// quantile interpolates linearly inside the containing bucket, the same
+// convention as the obs histograms; the overflow bucket answers with
+// the last finite bound.
+func (h *latHist) quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	rank := q * float64(h.total)
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if float64(cum) >= rank {
+			if i >= len(h.boundsMS) {
+				return h.boundsMS[len(h.boundsMS)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.boundsMS[i-1]
+			}
+			hi := h.boundsMS[i]
+			frac := (rank - float64(cum-c)) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+	}
+	return h.boundsMS[len(h.boundsMS)-1]
+}
+
+// bucketWidth returns the width of the bucket containing the q-th
+// quantile — the histogram's own resolution there, which bounds how
+// closely any estimate can be expected to agree with it.
+func (h *latHist) bucketWidth(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	rank := q * float64(h.total)
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if float64(cum) >= rank {
+			if i >= len(h.boundsMS) {
+				return h.boundsMS[len(h.boundsMS)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.boundsMS[i-1]
+			}
+			return h.boundsMS[i] - lo
+		}
+	}
+	return 0
+}
+
+// QuantileEstimate is one weighted order statistic with its standard
+// error (Woodruff interval halved: the weighted quantile is re-read at
+// q ± sqrt(q(1-q)/n_eff)).
+type QuantileEstimate struct {
+	Q       float64 `json:"q"`
+	ValueMS float64 `json:"value_ms"`
+	SEMS    float64 `json:"se_ms"`
+}
+
+// Estimate is the engine's weighted view of the full population,
+// reconstructed from the retained sample via inclusion-probability
+// weights, alongside the cumulative histogram's direct answer.
+type Estimate struct {
+	// N is the population (every completion); Kept the retained sample
+	// size backing the estimate; CoveredN the population share of strata
+	// that still hold at least one trace.
+	N        int64 `json:"n"`
+	Kept     int   `json:"kept"`
+	CoveredN int64 `json:"covered_n"`
+	// EffN is the Kish effective sample size (Σw)²/Σw² — unequal weights
+	// cost precision, and the SEs below charge for it.
+	EffN float64 `json:"eff_n"`
+
+	MeanMS   float64 `json:"mean_ms"`
+	MeanSEMS float64 `json:"mean_se_ms"`
+
+	Quantiles []QuantileEstimate `json:"quantiles"`
+
+	// The cumulative histogram's direct quantiles over every completion
+	// (the ground truth the weighted quantiles should agree with), plus
+	// its bucket resolution at p99.
+	HistP50MS           float64 `json:"hist_p50_ms"`
+	HistP90MS           float64 `json:"hist_p90_ms"`
+	HistP99MS           float64 `json:"hist_p99_ms"`
+	HistP99ResolutionMS float64 `json:"hist_p99_resolution_ms"`
+}
+
+// weightedPoint is one retained trace with its estimation weight 1/π.
+type weightedPoint struct {
+	ms float64
+	w  float64
+}
+
+// estimateLocked builds the weighted estimate. Parts (a stratum's
+// sampled reservoir, a stratum's forced list) contribute their seen
+// count as population weight and their kept traces as the sample; a
+// part whose every trace was evicted drops out of coverage and the
+// estimator renormalizes over what remains.
+func (e *Engine) estimateLocked() *Estimate {
+	var (
+		points   []weightedPoint
+		coveredN int64
+		totalN   int64
+		varSum   float64 // Σ N_p²·(1-n_p/N_p)·s_p²/n_p over covered parts
+		meanSum  float64 // Σ N_p·ȳ_p over covered parts
+	)
+	part := func(seen int64, kept []*Trace) {
+		totalN += seen
+		if seen == 0 || len(kept) == 0 {
+			return
+		}
+		coveredN += seen
+		w := float64(seen) / float64(len(kept))
+		var sum float64
+		for _, t := range kept {
+			points = append(points, weightedPoint{ms: t.LatencyMS(), w: w})
+			sum += t.LatencyMS()
+		}
+		n := float64(len(kept))
+		mean := sum / n
+		meanSum += float64(seen) * mean
+		if len(kept) > 1 {
+			var s2 float64
+			for _, t := range kept {
+				d := t.LatencyMS() - mean
+				s2 += d * d
+			}
+			s2 /= n - 1
+			fpc := 1 - n/float64(seen)
+			if fpc < 0 {
+				fpc = 0
+			}
+			varSum += float64(seen) * float64(seen) * fpc * s2 / n
+		}
+	}
+	for _, st := range e.sortedStrata() {
+		part(st.sampledSeen, st.kept)
+		part(st.forcedSeen, st.forced)
+	}
+	if coveredN == 0 || len(points) == 0 {
+		return nil
+	}
+
+	est := &Estimate{
+		N:        totalN,
+		Kept:     len(points),
+		CoveredN: coveredN,
+		MeanMS:   meanSum / float64(coveredN),
+		MeanSEMS: math.Sqrt(varSum) / float64(coveredN),
+
+		HistP50MS:           e.hist.quantile(0.50),
+		HistP90MS:           e.hist.quantile(0.90),
+		HistP99MS:           e.hist.quantile(0.99),
+		HistP99ResolutionMS: e.hist.bucketWidth(0.99),
+	}
+
+	sort.Slice(points, func(a, b int) bool { return points[a].ms < points[b].ms })
+	var W, W2 float64
+	for _, p := range points {
+		W += p.w
+		W2 += p.w * p.w
+	}
+	est.EffN = W * W / W2
+
+	quantile := func(q float64) float64 {
+		rank := q * W
+		var cum float64
+		for _, p := range points {
+			cum += p.w
+			if cum >= rank {
+				return p.ms
+			}
+		}
+		return points[len(points)-1].ms
+	}
+	for _, q := range []float64{0.50, 0.90, 0.99} {
+		v := quantile(q)
+		// Woodruff: the sampling noise of the estimated CDF at q is
+		// ~sqrt(q(1-q)/n_eff); reading the quantile curve at q ± that
+		// noise brackets the estimate.
+		delta := math.Sqrt(q * (1 - q) / est.EffN)
+		lo, hi := q-delta, q+delta
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > 1 {
+			hi = 1
+		}
+		se := (quantile(hi) - quantile(lo)) / 2
+		est.Quantiles = append(est.Quantiles, QuantileEstimate{Q: q, ValueMS: v, SEMS: se})
+	}
+	return est
+}

@@ -1,0 +1,80 @@
+package reqtrace
+
+import (
+	"fmt"
+	"time"
+
+	"simprof/internal/history"
+	"simprof/internal/obs"
+)
+
+// Persistence: every admission is offered to the durable history store
+// through a bounded async queue, the access-log idiom — the retention
+// path must never block on an fsync. The store is an admission log:
+// traces later evicted from the in-memory set stay on disk, and each
+// record carries the inclusion probability at admission time (the live
+// π keeps moving as the stratum sees more traffic; the Status endpoint
+// reports the current value).
+
+// persistLocked enqueues one admitted trace for durable persistence.
+// Callers hold e.mu.
+func (e *Engine) persistLocked(t *Trace, st *stratum) {
+	if e.persistCh == nil {
+		return
+	}
+	pi := 1.0
+	if t.Forced {
+		if st.forcedSeen > 0 {
+			pi = float64(len(st.forced)) / float64(st.forcedSeen)
+		}
+	} else if st.sampledSeen > 0 {
+		pi = float64(len(st.kept)) / float64(st.sampledSeen)
+	}
+	select {
+	case e.persistCh <- e.record(t, st.key, pi):
+	default:
+		e.persistDropped++
+		obsPersistDropped.Inc()
+	}
+}
+
+// record converts a trace to a manifest-carrying history record, so the
+// existing tooling (simprof history show, simprof inspect) renders
+// retained traces with no new decoder.
+func (e *Engine) record(t *Trace, key stratumKey, pi float64) *history.Record {
+	m := obs.NewManifest("simprofd reqtrace", nil)
+	weight := 0.0
+	if pi > 0 {
+		weight = 1 / pi
+	}
+	m.Request = &obs.RequestInfo{
+		ID:      t.ID,
+		Route:   t.Route,
+		Tenant:  t.Tenant,
+		Status:  t.Status,
+		Class:   t.Class,
+		Bytes:   t.Bytes,
+		Start:   t.Start.UTC().Format(time.RFC3339Nano),
+		Latency: t.LatencyMS(),
+
+		Stratum:    key.String(),
+		Forced:     t.Forced,
+		InclusionP: pi,
+		Weight:     weight,
+	}
+	m.Spans = t.Spans
+	rec := history.FromManifest(m)
+	rec.Note = fmt.Sprintf("trace %s %s status=%d %.2fms", t.ID, t.Route, t.Status, t.LatencyMS())
+	return rec
+}
+
+// persistLoop drains the queue into the store. Append errors are
+// swallowed deliberately: persistence is best-effort telemetry, and the
+// request path that produced the trace already succeeded or failed on
+// its own terms.
+func (e *Engine) persistLoop() {
+	defer close(e.persistDone)
+	for rec := range e.persistCh {
+		e.cfg.Store.Append(rec)
+	}
+}

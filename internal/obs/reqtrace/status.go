@@ -1,0 +1,214 @@
+package reqtrace
+
+import (
+	"sort"
+)
+
+// StratumStatus is one row of the retention table: the stratum's
+// population counts, what is retained, and the resulting inclusion
+// probabilities.
+type StratumStatus struct {
+	Route         string `json:"route"`
+	StatusClass   string `json:"status_class"`
+	LatencyBucket string `json:"latency_bucket"`
+
+	Seen       int64 `json:"seen"` // total completions, forced included
+	ForcedSeen int64 `json:"forced_seen"`
+	Kept       int   `json:"kept"` // reservoir size
+	ForcedKept int   `json:"forced_kept"`
+	Target     int   `json:"target"` // current Neyman allocation
+
+	MeanMS  float64 `json:"mean_ms"`  // sampled sub-population
+	SigmaMS float64 `json:"sigma_ms"` // sampled sub-population spread
+
+	// InclusionP is the reservoir's empirical π = kept/seen over the
+	// sampled sub-population; ForcedInclusionP the forced list's (1.0
+	// until budget pressure evicts forced traces).
+	InclusionP       float64 `json:"inclusion_p"`
+	ForcedInclusionP float64 `json:"forced_inclusion_p"`
+}
+
+// Status is the engine's full self-description: configuration, global
+// tallies, the per-stratum retention table, and the weighted estimate.
+type Status struct {
+	Budget            int     `json:"budget"`
+	Retained          int     `json:"retained"`
+	ForcedRetained    int     `json:"forced_retained"`
+	BudgetUtilization float64 `json:"budget_utilization"`
+
+	Completed      int64 `json:"completed"`
+	Evicted        int64 `json:"evicted"`
+	PersistDropped int64 `json:"persist_dropped"`
+
+	Strata   []StratumStatus `json:"strata"`
+	Estimate *Estimate       `json:"estimate,omitempty"`
+}
+
+// Status reports the engine's current state. Safe on a nil engine
+// (returns a zero Status).
+func (e *Engine) Status() Status {
+	if e == nil {
+		return Status{}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := Status{
+		Budget:            e.cfg.Budget,
+		Retained:          e.retained,
+		ForcedRetained:    e.forcedKept,
+		BudgetUtilization: float64(e.retained) / float64(e.cfg.Budget),
+		Completed:         e.completions,
+		Evicted:           e.evicted,
+		PersistDropped:    e.persistDropped,
+		Estimate:          e.estimateLocked(),
+	}
+	for _, st := range e.sortedStrata() {
+		row := StratumStatus{
+			Route:         st.key.route,
+			StatusClass:   st.key.statusClass,
+			LatencyBucket: st.key.bucket,
+			Seen:          st.sampledSeen + st.forcedSeen,
+			ForcedSeen:    st.forcedSeen,
+			Kept:          len(st.kept),
+			ForcedKept:    len(st.forced),
+			Target:        st.target,
+			MeanMS:        st.mean,
+			SigmaMS:       st.sigma(),
+		}
+		if st.sampledSeen > 0 {
+			row.InclusionP = float64(len(st.kept)) / float64(st.sampledSeen)
+		}
+		if st.forcedSeen > 0 {
+			row.ForcedInclusionP = float64(len(st.forced)) / float64(st.forcedSeen)
+		}
+		s.Strata = append(s.Strata, row)
+	}
+	return s
+}
+
+// Summary is one trace row in a listing: identity, outcome, and its
+// retention bookkeeping (stratum, forced flag, current weight 1/π).
+type Summary struct {
+	Seq       uint64  `json:"seq"`
+	ID        string  `json:"id"`
+	Route     string  `json:"route"`
+	Tenant    string  `json:"tenant,omitempty"`
+	Status    int     `json:"status"`
+	Class     string  `json:"class"`
+	LatencyMS float64 `json:"latency_ms"`
+
+	StatusClass   string  `json:"status_class"`
+	LatencyBucket string  `json:"latency_bucket"`
+	Forced        bool    `json:"forced,omitempty"`
+	Weight        float64 `json:"weight"`
+	HasSpans      bool    `json:"has_spans,omitempty"`
+}
+
+// ListOptions filter a trace listing. Zero-valued fields match
+// everything; Recent switches from the retained set to the
+// most-recent-completions ring.
+type ListOptions struct {
+	Route         string
+	StatusClass   string
+	LatencyBucket string
+	Recent        bool
+	Limit         int
+}
+
+// List returns trace summaries (ascending Seq) from the retained set —
+// or the recent ring — applying the filters. Safe on a nil engine.
+func (e *Engine) List(opts ListOptions) []Summary {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	var out []Summary
+	add := func(t *Trace, weight float64) {
+		bucket, _ := e.bucketOf(t.Latency)
+		sc := statusClassOf(t.Status)
+		if opts.Route != "" && opts.Route != t.Route {
+			return
+		}
+		if opts.StatusClass != "" && opts.StatusClass != sc {
+			return
+		}
+		if opts.LatencyBucket != "" && opts.LatencyBucket != bucket {
+			return
+		}
+		out = append(out, Summary{
+			Seq: t.Seq, ID: t.ID, Route: t.Route, Tenant: t.Tenant,
+			Status: t.Status, Class: t.Class, LatencyMS: t.LatencyMS(),
+			StatusClass: sc, LatencyBucket: bucket,
+			Forced: t.Forced, Weight: weight, HasSpans: t.Spans != nil,
+		})
+	}
+	if opts.Recent {
+		for _, t := range e.recent {
+			add(t, e.weightLocked(t))
+		}
+	} else {
+		for _, st := range e.sortedStrata() {
+			for _, t := range st.kept {
+				add(t, e.weightLocked(t))
+			}
+			for _, t := range st.forced {
+				add(t, e.weightLocked(t))
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	if opts.Limit > 0 && len(out) > opts.Limit {
+		out = out[len(out)-opts.Limit:] // newest wins a bounded listing
+	}
+	return out
+}
+
+// weightLocked returns the trace's current estimation weight 1/π from
+// its stratum's live counts (0 when the part has nothing kept).
+func (e *Engine) weightLocked(t *Trace) float64 {
+	bucket, _ := e.bucketOf(t.Latency)
+	st := e.strata[stratumKey{route: t.Route, statusClass: statusClassOf(t.Status), bucket: bucket}]
+	if st == nil {
+		return 0
+	}
+	if t.Forced {
+		if len(st.forced) == 0 {
+			return 0
+		}
+		return float64(st.forcedSeen) / float64(len(st.forced))
+	}
+	if len(st.kept) == 0 {
+		return 0
+	}
+	return float64(st.sampledSeen) / float64(len(st.kept))
+}
+
+// Get returns the retained (or ring-held) trace with the given request
+// ID, newest first on duplicates. Safe on a nil engine.
+func (e *Engine) Get(id string) *Trace {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var best *Trace
+	consider := func(t *Trace) {
+		if t.ID == id && (best == nil || t.Seq > best.Seq) {
+			best = t
+		}
+	}
+	for _, st := range e.strata {
+		for _, t := range st.kept {
+			consider(t)
+		}
+		for _, t := range st.forced {
+			consider(t)
+		}
+	}
+	for _, t := range e.recent {
+		consider(t)
+	}
+	return best
+}

@@ -26,6 +26,9 @@ type Span struct {
 
 	parent *Span
 	start  time.Time
+	// col is set when the span belongs to a request-scoped Collector
+	// instead of the global run tree; End routes accordingly.
+	col *Collector
 }
 
 // curGID returns the running goroutine's id by parsing the
@@ -119,12 +122,19 @@ func StartRun(name string) *Span {
 
 // StartSpan opens a child of the current span and makes it current.
 // Disabled telemetry (or no active run) returns nil; nil spans no-op on
-// End, so call sites need no guards.
+// End, so call sites need no guards. If the calling goroutine has a
+// request-scoped Collector attached, the span lands in that tree
+// instead of the global run.
 func StartSpan(name string) *Span {
 	if !enabled.Load() {
 		return nil
 	}
 	gid := curGID()
+	if collectors.n.Load() != 0 {
+		if c := collectorFor(gid); c != nil {
+			return c.startSpan(name, gid)
+		}
+	}
 	spanState.mu.Lock()
 	defer spanState.mu.Unlock()
 	if spanState.current == nil {
@@ -148,6 +158,10 @@ func StartSpan(name string) *Span {
 // order just records the duration.
 func (s *Span) End() {
 	if s == nil {
+		return
+	}
+	if s.col != nil {
+		s.col.end(s)
 		return
 	}
 	spanState.mu.Lock()

@@ -385,3 +385,47 @@ func TestStratifiedBootstrapCIAgreesWithCLT(t *testing.T) {
 		t.Fatal("both intervals miss the oracle")
 	}
 }
+
+// TestNeymanAllocationCapacityExported: the exported capacity-aware
+// entry point matches the uncapped allocator when capacities equal the
+// populations, honors tighter caps, and validates its inputs.
+func TestNeymanAllocationCapacityExported(t *testing.T) {
+	Nh := []int{100, 50, 10}
+	sigma := []float64{2, 1, 0.5}
+
+	uncapped, err := NeymanAllocation(Nh, sigma, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := NeymanAllocationCapacity(Nh, Nh, sigma, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := range uncapped {
+		if same[h] != uncapped[h] {
+			t.Fatalf("capacity=Nh alloc %v != uncapped %v", same, uncapped)
+		}
+	}
+
+	capped, err := NeymanAllocationCapacity(Nh, []int{5, 50, 10}, sigma, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped[0] > 5 {
+		t.Fatalf("stratum 0 alloc %d exceeds capacity 5 (%v)", capped[0], capped)
+	}
+	sum := 0
+	for _, a := range capped {
+		sum += a
+	}
+	if sum != 30 {
+		t.Fatalf("capped alloc sums to %d, want 30: %v", sum, capped)
+	}
+
+	if _, err := NeymanAllocationCapacity(Nh, []int{5, 50}, sigma, 30); err == nil {
+		t.Fatal("mismatched capacity length must error")
+	}
+	if _, err := NeymanAllocationCapacity(Nh, []int{500, 50, 10}, sigma, 30); err == nil {
+		t.Fatal("capacity above stratum size must error")
+	}
+}

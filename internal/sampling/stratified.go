@@ -34,6 +34,19 @@ func NeymanAllocation(Nh []int, sigma []float64, n int) ([]int, error) {
 	return neymanAllocation(Nh, Nh, sigma, n)
 }
 
+// NeymanAllocationCapacity is NeymanAllocation with a separate
+// per-stratum capacity bound: allocation shares stay proportional to
+// the population N_h·σ_h, but no stratum is given more than capacity[h]
+// units. Beyond degraded-trace sampling (stratum importance from all
+// executed units, the drawable frame only from the measured ones), this
+// is the entry point for reusing the allocator on other stratified
+// budgets — the trace-retention engine splits its keep budget across
+// (route, status, latency) strata with it, capped by what each stratum
+// has actually seen.
+func NeymanAllocationCapacity(Nh, capacity []int, sigma []float64, n int) ([]int, error) {
+	return neymanAllocation(Nh, capacity, sigma, n)
+}
+
 // neymanAllocation is NeymanAllocation with a separate per-stratum
 // capacity: allocation shares stay proportional to the population
 // N_h·σ_h, but no stratum is given more than capacity[h] units. This is

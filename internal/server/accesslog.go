@@ -4,10 +4,16 @@ import (
 	"encoding/json"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"simprof/internal/obs"
 )
 
+// The access-log counters mirror the logger's internal tallies. The
+// logger is the source of truth (it counts whether or not telemetry is
+// enabled, and its shutdown line must match); the obs counters are
+// synced from the tallies at scrape time so /metrics and /v1/metrics
+// always expose the current values instead of a racing duplicate count.
 var (
 	obsAccessLogDropped = obs.NewCounter("server.accesslog_dropped",
 		"access-log lines dropped because the log queue was full")
@@ -52,10 +58,13 @@ type accessLogger struct {
 	done   chan struct{}
 	closed sync.Once
 
-	mu      sync.Mutex // serializes writes with the final shutdown line
-	w       io.Writer
-	written int64
-	dropped int64
+	mu sync.Mutex // serializes writes with the final shutdown line
+	w  io.Writer
+	// written and dropped are atomics, not mu-guarded: the scrape path
+	// reads them while the writer goroutine may be blocked inside a slow
+	// sink's Write with mu held.
+	written atomic.Int64
+	dropped atomic.Int64
 }
 
 // newAccessLogger starts the writer goroutine over w. A nil writer
@@ -89,8 +98,7 @@ func (l *accessLogger) write(e accessEntry) {
 	}
 	b = append(b, '\n')
 	if _, err := l.w.Write(b); err == nil {
-		l.written++
-		obsAccessLogLines.Inc()
+		l.written.Add(1)
 	}
 }
 
@@ -103,11 +111,24 @@ func (l *accessLogger) Log(e accessEntry) {
 	select {
 	case l.ch <- e:
 	default:
-		l.mu.Lock()
-		l.dropped++
-		l.mu.Unlock()
-		obsAccessLogDropped.Inc()
+		l.dropped.Add(1)
 	}
+}
+
+// Written returns the number of lines successfully written so far.
+func (l *accessLogger) Written() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.written.Load()
+}
+
+// Dropped returns the number of lines dropped to the full queue.
+func (l *accessLogger) Dropped() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.dropped.Load()
 }
 
 // Close stops the logger: the queue is drained, a final shutdown line
@@ -124,8 +145,8 @@ func (l *accessLogger) Close() {
 		defer l.mu.Unlock()
 		b, err := json.Marshal(shutdownEntry{
 			Event:    "shutdown",
-			Requests: l.written,
-			Dropped:  l.dropped,
+			Requests: l.written.Load(),
+			Dropped:  l.dropped.Load(),
 		})
 		if err != nil {
 			return

@@ -453,3 +453,76 @@ func TestObsGoroutineLifecycle(t *testing.T) {
 		t.Fatalf("drain did not flush the shutdown line:\n%s", buf.String())
 	}
 }
+
+// gatedWriter blocks every Write until the gate channel is closed,
+// pinning the access-log writer goroutine so the test can fill the
+// queue deterministically.
+type gatedWriter struct{ gate chan struct{} }
+
+func (g *gatedWriter) Write(p []byte) (int, error) {
+	<-g.gate
+	return len(p), nil
+}
+
+// TestMetricsExposesInternalTallies: the access-log drop counter and
+// the labeled-metric cardinality-overflow count are tracked internally;
+// both must surface on the Prometheus exposition (and the JSON
+// snapshot) once nonzero.
+func TestMetricsExposesInternalTallies(t *testing.T) {
+	withObs(t)
+	gw := &gatedWriter{gate: make(chan struct{})}
+	srv, ts := newTestServer(t, Config{AccessLog: gw})
+	// Registered after newTestServer so it runs first (LIFO): the gate
+	// must open before the server's Close drains the queue.
+	t.Cleanup(func() { close(gw.gate) })
+
+	// The writer goroutine blocks on the first entry; the queue holds
+	// the next 1024; everything past that is dropped and counted.
+	for i := 0; i < 1100; i++ {
+		srv.accessLog.Log(accessEntry{ID: fmt.Sprintf("fill-%d", i)})
+	}
+	if srv.accessLog.Dropped() == 0 {
+		t.Fatal("expected dropped access-log lines after overfilling the queue")
+	}
+
+	// Blow past a vec's cardinality bound: observations beyond
+	// maxCardinality distinct tuples collapse into ~overflow and count.
+	probe := obs.NewCounterVec("test.overflow_probe", "cardinality probe", "k")
+	for i := 0; i < 300; i++ {
+		probe.With(fmt.Sprintf("v%03d", i)).Inc()
+	}
+	if obs.CardinalityOverflows() == 0 {
+		t.Fatal("expected cardinality overflows after 300 distinct tuples")
+	}
+
+	_, promBody := getBody(t, ts.URL+"/metrics")
+	text := string(promBody)
+	for _, want := range []string{
+		"# TYPE server_accesslog_dropped counter",
+		"server_accesslog_dropped ",
+		"# TYPE obs_cardinality_overflow counter",
+		"obs_cardinality_overflow ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics output missing %q:\n%s", want, text)
+		}
+	}
+	for _, line := range strings.Split(text, "\n") {
+		var v float64
+		if n, _ := fmt.Sscanf(line, "server_accesslog_dropped %g", &v); n == 1 && v < 1 {
+			t.Fatalf("server_accesslog_dropped = %g, want >= 1", v)
+		}
+		if n, _ := fmt.Sscanf(line, "obs_cardinality_overflow %g", &v); n == 1 && v < 1 {
+			t.Fatalf("obs_cardinality_overflow = %g, want >= 1", v)
+		}
+	}
+
+	// The JSON snapshot carries the same counters.
+	_, ms := getMetrics(t, ts.URL)
+	if m := findMetric(ms, "server.accesslog_dropped", ""); m == nil || m.Value < 1 {
+		t.Fatalf("server.accesslog_dropped missing from JSON snapshot: %+v", m)
+	}
+	if m := findMetric(ms, "obs.cardinality_overflow", ""); m == nil || m.Value < 1 {
+		t.Fatalf("obs.cardinality_overflow missing from JSON snapshot: %+v", m)
+	}
+}

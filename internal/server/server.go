@@ -35,6 +35,7 @@ import (
 
 	"simprof/internal/history"
 	"simprof/internal/obs"
+	"simprof/internal/obs/reqtrace"
 	"simprof/internal/phase"
 	"simprof/internal/resilience"
 	"simprof/internal/sampling"
@@ -101,6 +102,15 @@ type Config struct {
 	// no X-Request-Id header; IDs are deterministic per (seed, arrival
 	// index).
 	RequestIDSeed uint64
+	// Trace, when non-nil, turns on request tracing with stratified
+	// tail-based retention (see internal/obs/reqtrace). nil disables it
+	// entirely: the per-request cost of the disabled path is two nil
+	// checks and zero allocations.
+	Trace *reqtrace.Config
+	// TraceStorePath persists every admitted trace as a durable history
+	// record. Empty keeps the retained set in memory only. Ignored when
+	// Trace is nil.
+	TraceStorePath string
 }
 
 func (c Config) withDefaults() Config {
@@ -145,7 +155,8 @@ type Server struct {
 	slo         *sloTracker
 	accessLog   *accessLogger
 	stopRuntime func()
-	reqSeq      atomic.Uint64 // arrival index for generated request IDs
+	tracer      *reqtrace.Engine // nil when request tracing is off
+	reqSeq      atomic.Uint64    // arrival index for generated request IDs
 
 	storeMu sync.Mutex // serializes Append's read-max-seq/write cycle
 
@@ -178,8 +189,23 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: history recovery: %w", err)
 		}
 	}
+	var traceCfg *reqtrace.Config
+	if c.Trace != nil {
+		tc := *c.Trace
+		if c.TraceStorePath != "" {
+			tstore := history.OpenDurable(c.TraceStorePath)
+			if _, err := tstore.RecoverTail(); err != nil {
+				return nil, fmt.Errorf("server: trace store recovery: %w", err)
+			}
+			tc.Store = tstore
+		}
+		traceCfg = &tc
+	}
 	// Background goroutines start only after every fallible step, so a
 	// failed New never leaks them.
+	if traceCfg != nil {
+		s.tracer = reqtrace.New(*traceCfg)
+	}
 	s.accessLog = newAccessLogger(c.AccessLog)
 	s.stopRuntime = obs.StartRuntimeCollector(c.RuntimeInterval)
 	s.mux = http.NewServeMux()
@@ -189,18 +215,22 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /metrics", s.handlePromMetrics)
 	s.mux.HandleFunc("GET /v1/slo", s.handleSLO)
+	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceOne)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return s, nil
 }
 
 // Close stops the server's background goroutines: the runtime-metrics
-// collector and the access logger (which drains its queue and writes a
-// final shutdown line). Call after Drain. Safe to call more than once.
+// collector, the trace-retention engine's persister (queue drained)
+// and the access logger (which drains its queue and writes a final
+// shutdown line). Call after Drain. Safe to call more than once.
 func (s *Server) Close() {
 	if s.stopRuntime != nil {
 		s.stopRuntime()
 	}
+	s.tracer.Stop()
 	s.accessLog.Close()
 }
 
@@ -254,6 +284,10 @@ func routeOf(path string) string {
 		return "/v1/metrics"
 	case path == "/v1/slo":
 		return "/v1/slo"
+	case path == "/v1/traces":
+		return "/v1/traces"
+	case strings.HasPrefix(path, "/v1/traces/"):
+		return "/v1/traces/{id}"
 	case path == "/metrics":
 		return "/metrics"
 	case path == "/healthz":
@@ -313,12 +347,20 @@ func (s *Server) Handler() http.Handler {
 			route:  routeOf(r.URL.Path),
 		}
 		w.Header().Set("X-Request-Id", st.id)
+		// Request tracing: the collector attaches to this goroutine, so
+		// the pipeline's ordinary StartSpan calls land in this request's
+		// tree. ServeHTTP runs the handler synchronously on this
+		// goroutine, which is what makes that safe.
+		act := s.tracer.Start(st.id, st.route, st.tenant)
 		sr := &statusRecorder{ResponseWriter: w}
 		s.mux.ServeHTTP(sr, r.WithContext(context.WithValue(r.Context(), reqStatsKey, st)))
 		if sr.status == 0 {
 			sr.status = http.StatusOK
 		}
 		elapsed := time.Since(start)
+		// Finish with the same elapsed the metrics and access log report,
+		// so the retained trace's latency agrees with every other view.
+		s.tracer.Finish(act, sr.status, st.class.String(), st.bytes, elapsed)
 
 		obsRequestsByRoute.With(st.route, strconv.Itoa(sr.status)).Inc()
 		obsRequestsByTenant.With(st.tenant).Inc()
@@ -703,15 +745,26 @@ func (s *Server) handleHistoryOne(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rec)
 }
 
+// syncScrapeCounters mirrors internally tracked tallies — the access
+// logger's written/dropped line counts — onto their obs counters just
+// before a snapshot, so the exposition always reflects the source of
+// truth instead of a racing duplicate count.
+func (s *Server) syncScrapeCounters() {
+	obsAccessLogLines.Sync(s.accessLog.Written())
+	obsAccessLogDropped.Sync(s.accessLog.Dropped())
+}
+
 // handleMetrics dumps the obs registry snapshot as JSON (the snapshot
 // order is deterministic: name, kind, then sorted label pairs).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.syncScrapeCounters()
 	writeJSON(w, http.StatusOK, obs.Default().Snapshot())
 }
 
 // handlePromMetrics serves the same snapshot in the Prometheus text
 // exposition format for scrapers.
 func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
+	s.syncScrapeCounters()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	obs.WritePrometheus(w, obs.Default().Snapshot())
 }

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"simprof/internal/obs/reqtrace"
+	"simprof/internal/obs/traceevent"
+	"simprof/internal/resilience"
+)
+
+// Trace endpoints. GET /v1/traces answers "what is retention doing and
+// what does it hold" — the engine status (per-stratum inclusion
+// probabilities, the weighted latency estimate) plus a filterable
+// trace listing. GET /v1/traces/{id} exports one retained trace as a
+// Chrome trace-event file, loadable in any about:tracing-compatible
+// viewer.
+
+// TracesResponse is the trace listing endpoint's body.
+type TracesResponse struct {
+	Status reqtrace.Status    `json:"status"`
+	Traces []reqtrace.Summary `json:"traces"`
+}
+
+// errTracingDisabled is the uniform refusal when the engine is off.
+var errTracingDisabled = errors.New("request tracing is disabled (start simprofd with -trace)")
+
+// handleTraces lists retained traces with the engine's retention
+// status. Query knobs: route, status_class and latency_bucket filter;
+// set=recent switches to the most-recent-completions ring; limit
+// bounds the listing (newest win), default 100, 0 means unlimited.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		s.writeError(w, r, resilience.BadInput(errTracingDisabled))
+		return
+	}
+	opts, err := listOptions(r)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	traces := s.tracer.List(opts)
+	if traces == nil {
+		traces = []reqtrace.Summary{}
+	}
+	writeJSON(w, http.StatusOK, TracesResponse{Status: s.tracer.Status(), Traces: traces})
+}
+
+// listOptions parses the listing filters.
+func listOptions(r *http.Request) (opts reqtrace.ListOptions, err error) {
+	q := r.URL.Query()
+	opts.Route = q.Get("route")
+	opts.StatusClass = q.Get("status_class")
+	opts.LatencyBucket = q.Get("latency_bucket")
+	opts.Limit = 100
+	switch set := q.Get("set"); set {
+	case "", "retained":
+	case "recent":
+		opts.Recent = true
+	default:
+		return opts, resilience.BadInput(fmt.Errorf("query set=%q must be 'retained' or 'recent'", set))
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return opts, resilience.BadInput(fmt.Errorf("query limit=%q must be a non-negative integer", v))
+		}
+		opts.Limit = n
+	}
+	return opts, nil
+}
+
+// handleTraceOne exports one retained trace in the Chrome trace-event
+// format. The span tree becomes the event lanes; the request's
+// identity and retention bookkeeping ride in the process name.
+func (s *Server) handleTraceOne(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		s.writeError(w, r, resilience.BadInput(errTracingDisabled))
+		return
+	}
+	id := r.PathValue("id")
+	t := s.tracer.Get(id)
+	if t == nil {
+		s.writeError(w, r, resilience.BadInput(fmt.Errorf("no retained trace with id %q", id)))
+		return
+	}
+	process := fmt.Sprintf("simprofd %s %s status=%d %.2fms", t.ID, t.Route, t.Status, t.LatencyMS())
+	f := traceevent.FromSpans(process, t.Spans, nil)
+	if err := f.Validate(); err != nil {
+		s.writeError(w, r, fmt.Errorf("trace export: %w", err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	f.Encode(w)
+}

@@ -10,7 +10,9 @@
 # the columnar trace format (DecodeBin vs the
 # legacy DecodeGob on the same 100k-unit trace, plus EndToEnd100k —
 # the decode → Form → allocate → estimate pipeline whose <100ms budget
-# the gate enforces), and the simprofd service under concurrent load
+# the gate enforces), the request-trace retention engine (ReqTrace:
+# disabled must stay at 0 allocs/op, enabled is the stratify + reservoir
+# + rebalance cost), and the simprofd service under concurrent load
 # (SimprofdP99 reports the p99 request latency as its ns/op metric so
 # the tail rides the same gate). Results stream to
 # BENCH_pipeline.json in `go test -json` (test2json) format so CI can
@@ -24,9 +26,9 @@ BENCHTIME="${BENCHTIME:-1x}"
 BENCHCOUNT="${BENCHCOUNT:-1}"
 
 go test -run '^$' \
-	-bench '^(BenchmarkChooseK|BenchmarkForm$|BenchmarkFormPhases|BenchmarkKMeansDense|BenchmarkVectorizeSparse$|BenchmarkSimProfSelection$|BenchmarkTelemetry|BenchmarkObsDisabledLabeled$|BenchmarkDecodeBin$|BenchmarkDecodeGob$|BenchmarkEndToEnd100k$|BenchmarkSimprofdP99$|BenchmarkAccessLog$)' \
+	-bench '^(BenchmarkChooseK|BenchmarkForm$|BenchmarkFormPhases|BenchmarkKMeansDense|BenchmarkVectorizeSparse$|BenchmarkSimProfSelection$|BenchmarkTelemetry|BenchmarkObsDisabledLabeled$|BenchmarkDecodeBin$|BenchmarkDecodeGob$|BenchmarkEndToEnd100k$|BenchmarkSimprofdP99$|BenchmarkAccessLog$|BenchmarkReqTrace)' \
 	-benchtime "$BENCHTIME" -count "$BENCHCOUNT" -benchmem -json \
-	./internal/cluster ./internal/phase ./internal/sampling ./internal/obs ./internal/tracebin ./internal/server \
+	./internal/cluster ./internal/phase ./internal/sampling ./internal/obs ./internal/obs/reqtrace ./internal/tracebin ./internal/server \
 	>"$OUT"
 
 echo "wrote $OUT"

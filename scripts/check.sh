@@ -8,7 +8,9 @@
 #   race          go test -race ./...       (parallel kernels under the
 #                                            race detector)
 #   bench-smoke   telemetry disabled path   (0 allocs/op or the no-op
-#                                            sink contract is broken)
+#                                            sink contract is broken;
+#                                            covers the obs metrics and
+#                                            the disabled reqtrace path)
 #   fuzz-smoke    trace decoders            (no byte stream may panic
 #                                            the decode path: gob, JSON
 #                                            and the tracebin columns)
@@ -20,6 +22,11 @@
 #   metrics-golden  Prometheus exposition   (golden-pinned /metrics text
 #                                            format, escaping tables, and
 #                                            the label-value fuzz seeds)
+#   reqtrace-golden  retained-trace views   (golden-pinned inspect render
+#                                            of a trace manifest, the
+#                                            /v1/traces endpoints, export
+#                                            validity and the tracing
+#                                            on/off determinism contract)
 #   kernel-equivalence  pruned vs naive     (bound-pruned k-means must be
 #                                            bit-for-bit the naive kernel,
 #                                            run twice to shake out
@@ -92,6 +99,18 @@ run_bench_smoke() {
 		}
 		END { exit bad }
 	' || fail bench-smoke
+	# Request tracing carries the same contract: with tracing off, the
+	# per-request middleware cost (a nil engine's Start/Finish) must be
+	# allocation-free.
+	out=$(go test -run '^$' -bench '^BenchmarkReqTraceDisabled$' -benchtime 100x -benchmem ./internal/obs/reqtrace) || fail bench-smoke
+	echo "$out"
+	echo "$out" | awk '
+		/^BenchmarkReqTraceDisabled/ {
+			for (i = 1; i <= NF; i++)
+				if ($i == "allocs/op" && $(i-1) + 0 != 0) bad = 1
+		}
+		END { exit bad }
+	' || fail bench-smoke
 }
 
 run_metrics_golden() {
@@ -116,6 +135,18 @@ run_tracebin_golden() {
 	# hostile re-layout of its section table (reversed entry order,
 	# poisoned reserved words) identically.
 	go test -run 'TestGolden|TestHostileHeaderLayout' ./internal/tracebin || fail tracebin-golden
+}
+
+run_reqtrace_golden() {
+	# The retained-trace surfaces: the inspect rendering of a trace
+	# manifest is golden-pinned (regenerate with UPDATE_GOLDEN=1), the
+	# /v1/traces endpoints list/filter/export with a schema-valid
+	# trace-event file, and the pipeline output must be bit-identical
+	# with tracing on and off.
+	go test -run 'TestInspectReqTraceGolden|TestInspectLabeledVecAlignment' ./cmd/simprof || fail reqtrace-golden
+	go test -run 'TestTraces|TestTraceExportEndpoint|TestTracingOnOffDeterminism|TestTracedProfilePersistsSpans' \
+		./internal/server || fail reqtrace-golden
+	go test -run 'TestTracesRender|TestServeTraceFlags' ./cmd/simprofd || fail reqtrace-golden
 }
 
 run_bench_gate() {
@@ -143,11 +174,14 @@ run_bench_gate() {
 	# structural tail regression (a lock on the hot path, a lost
 	# fast-path), not scheduler jitter.
 	# The single-digit-ns observability paths (disabled labeled metrics,
-	# the access-log enqueue) sit at the timer's resolution floor, so
-	# they get the wide microbenchmark band — their real contract (0
-	# allocs/op) is enforced by bench-smoke, not by wall time.
+	# the access-log enqueue, the disabled reqtrace Start/Finish) sit at
+	# the timer's resolution floor, so they get the wide microbenchmark
+	# band — their real contract (0 allocs/op) is enforced by
+	# bench-smoke, not by wall time. The enabled reqtrace path is a
+	# sub-microsecond map-and-reservoir loop with the same jitter
+	# profile.
 	go run ./cmd/simprof history gate -baseline "$baseline" -bench "$cur" \
-		-per-bench "BenchmarkVectorizeSparse=0.60,BenchmarkKMeansDense/Naive=0.50,BenchmarkKMeansDense/Pruned=0.50,BenchmarkEndToEnd100k=0.40,BenchmarkDecodeBin=0.35,BenchmarkDecodeGob=0.35,BenchmarkSimprofdP99=0.75,BenchmarkObsDisabledLabeled/countervec=0.60,BenchmarkObsDisabledLabeled/gaugevec=0.60,BenchmarkObsDisabledLabeled/histogramvec=0.60,BenchmarkObsDisabledLabeled/windowedhist=0.60,BenchmarkObsDisabledLabeled/windowedcounter=0.60,BenchmarkAccessLog/enqueue=0.60,BenchmarkAccessLog/disabled=0.60" \
+		-per-bench "BenchmarkVectorizeSparse=0.60,BenchmarkKMeansDense/Naive=0.50,BenchmarkKMeansDense/Pruned=0.50,BenchmarkEndToEnd100k=0.40,BenchmarkDecodeBin=0.35,BenchmarkDecodeGob=0.35,BenchmarkSimprofdP99=0.75,BenchmarkObsDisabledLabeled/countervec=0.60,BenchmarkObsDisabledLabeled/gaugevec=0.60,BenchmarkObsDisabledLabeled/histogramvec=0.60,BenchmarkObsDisabledLabeled/windowedhist=0.60,BenchmarkObsDisabledLabeled/windowedcounter=0.60,BenchmarkAccessLog/enqueue=0.60,BenchmarkAccessLog/disabled=0.60,BenchmarkReqTraceDisabled=0.60,BenchmarkReqTraceEnabled=0.60" \
 		|| fail bench-gate
 }
 
@@ -172,6 +206,7 @@ run_chaos_smoke() {
 	# I/O fault channels, and the cancellation tests for the parallel
 	# engine.
 	go test -race -count=1 -run 'TestChaos' ./internal/server || fail chaos-smoke
+	go test -race -count=1 -run 'TestChaos|TestPersist' ./internal/obs/reqtrace || fail chaos-smoke
 	go test -race -count=1 ./internal/resilience ./internal/faults || fail chaos-smoke
 	go test -race -count=1 -run 'TestRecoverTail|TestDurable' ./internal/history || fail chaos-smoke
 	go test -race -count=1 -run 'TestCancel|TestWithContext|TestDeterminismUnchangedByContext' \
@@ -192,7 +227,7 @@ run_fuzz_smoke() {
 	done
 }
 
-stages="${*:-tier1-build tier1-test vet gofmt race bench-smoke kernel-equivalence chaos-smoke fuzz-smoke trace-golden tracebin-golden metrics-golden}"
+stages="${*:-tier1-build tier1-test vet gofmt race bench-smoke kernel-equivalence chaos-smoke fuzz-smoke trace-golden tracebin-golden metrics-golden reqtrace-golden}"
 for stage in $stages; do
 	echo "==> $stage"
 	case "$stage" in
@@ -206,6 +241,7 @@ for stage in $stages; do
 	trace-golden) run_trace_golden ;;
 	tracebin-golden) run_tracebin_golden ;;
 	metrics-golden) run_metrics_golden ;;
+	reqtrace-golden) run_reqtrace_golden ;;
 	kernel-equivalence) run_kernel_equivalence ;;
 	chaos-smoke) run_chaos_smoke ;;
 	bench-gate) run_bench_gate ;;
