@@ -30,6 +30,16 @@ func TestServeFlagValidation(t *testing.T) {
 		{"neg-drain", []string{"-drain", "-5s"}, "-drain must be positive"},
 		{"zero-concurrency", []string{"-concurrency", "0"}, "-concurrency must be at least 1"},
 		{"neg-runtime-interval", []string{"-runtime-interval", "-10s"}, "-runtime-interval must not be negative"},
+		{"neg-workers", []string{"-workers", "-3"}, "-workers must not be negative"},
+		{"zero-max-body", []string{"-max-body", "0"}, "-max-body must be at least 1"},
+		{"neg-max-body", []string{"-max-body", "-5"}, "-max-body must be at least 1"},
+		{"zero-cache-entries", []string{"-cache-entries", "0"}, "-cache-entries must be at least 1"},
+		{"bad-neg-cache-entries", []string{"-cache-entries", "-2"}, "-cache-entries must be at least 1"},
+		{"zero-cache-bytes", []string{"-cache-bytes", "0"}, "-cache-bytes must be at least 1"},
+		{"zero-batch-size", []string{"-batch-size", "0"}, "-batch-size must be at least 1"},
+		{"bad-neg-batch-size", []string{"-batch-size", "-8"}, "-batch-size must be at least 1"},
+		{"zero-batch-wait", []string{"-batch-wait", "0"}, "-batch-wait must be positive"},
+		{"neg-batch-wait", []string{"-batch-wait", "-1ms"}, "-batch-wait must be positive"},
 		{"missing-slo-config", []string{"-slo-config", "/nonexistent/slo.json"}, "-slo-config"},
 		{"bad-access-log-dir", []string{"-access-log", "/nonexistent/dir/access.log"}, "-access-log"},
 	}
@@ -101,6 +111,43 @@ func TestServeGoodFlags(t *testing.T) {
 	}
 	if o.cfg.RuntimeInterval != 0 {
 		t.Fatalf("runtime interval = %v, want 0", o.cfg.RuntimeInterval)
+	}
+}
+
+// TestServeBatchFlags: the cache/batch/body knobs land in the server
+// config, including the -1 disable sentinels and the -workers bound.
+func TestServeBatchFlags(t *testing.T) {
+	o, err := buildServeOpts([]string{
+		"-history", "",
+		"-workers", "3",
+		"-max-body", "1048576",
+		"-cache-entries", "64",
+		"-cache-bytes", "8388608",
+		"-batch-size", "16",
+		"-batch-wait", "5ms",
+	})
+	if err != nil {
+		t.Fatalf("buildServeOpts: %v", err)
+	}
+	if o.cfg.Workers != 3 {
+		t.Fatalf("Workers = %d, want 3", o.cfg.Workers)
+	}
+	if o.cfg.MaxBodyBytes != 1<<20 {
+		t.Fatalf("MaxBodyBytes = %d, want %d", o.cfg.MaxBodyBytes, 1<<20)
+	}
+	if o.cfg.CacheEntries != 64 || o.cfg.CacheBytes != 8<<20 {
+		t.Fatalf("cache bounds = (%d, %d), want (64, %d)", o.cfg.CacheEntries, o.cfg.CacheBytes, 8<<20)
+	}
+	if o.cfg.BatchSize != 16 || o.cfg.BatchWait != 5*time.Millisecond {
+		t.Fatalf("batch knobs = (%d, %v), want (16, 5ms)", o.cfg.BatchSize, o.cfg.BatchWait)
+	}
+
+	o, err = buildServeOpts([]string{"-history", "", "-cache-entries", "-1", "-batch-size", "-1"})
+	if err != nil {
+		t.Fatalf("disable sentinels rejected: %v", err)
+	}
+	if o.cfg.CacheEntries != -1 || o.cfg.BatchSize != -1 {
+		t.Fatalf("sentinels = (%d, %d), want (-1, -1)", o.cfg.CacheEntries, o.cfg.BatchSize)
 	}
 }
 

@@ -1,0 +1,126 @@
+package batch
+
+import (
+	"container/list"
+	"sync"
+
+	"simprof/internal/obs"
+)
+
+var (
+	obsCacheEvictions = obs.NewCounter("batch.cache_evictions",
+		"entries evicted from the dedup result cache (entry or byte bound)")
+	obsCacheBytes = obs.NewGauge("batch.cache_bytes",
+		"resident bytes charged to the dedup result cache")
+	obsCacheEntries = obs.NewGauge("batch.cache_entries",
+		"entries resident in the dedup result cache")
+)
+
+// Cache is an LRU result cache bounded two ways at once: at most
+// maxEntries values, charging at most maxBytes of resident size (per
+// Config.Size estimates). Whichever bound trips first evicts from the
+// cold end. Both bounds matter because profile responses vary by
+// orders of magnitude: a byte budget alone admits millions of tiny
+// entries (map overhead unaccounted), an entry budget alone lets a few
+// huge manifests pin the heap.
+type Cache[K comparable, V any] struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+	ll         *list.List // front = most recent
+	m          map[K]*list.Element
+}
+
+// entry is one resident value with its charged size.
+type entry[K comparable, V any] struct {
+	key  K
+	v    V
+	size int64
+}
+
+// NewCache builds a cache holding at most maxEntries values and
+// maxBytes of charged size. maxEntries < 1 behaves as 512; maxBytes
+// < 1 as 64 MiB.
+func NewCache[K comparable, V any](maxEntries int, maxBytes int64) *Cache[K, V] {
+	if maxEntries < 1 {
+		maxEntries = 512
+	}
+	if maxBytes < 1 {
+		maxBytes = 64 << 20
+	}
+	return &Cache[K, V]{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		m:          make(map[K]*list.Element),
+	}
+}
+
+// Get returns the cached value for key, refreshing its recency.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*entry[K, V]).v, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts or refreshes key with the given charged size. size < 1
+// charges 1 (every entry costs something); a value bigger than the
+// whole byte budget is not admitted at all — caching it would evict
+// everything else for a single entry with near-zero reuse odds.
+func (c *Cache[K, V]) Put(key K, v V, size int64) {
+	if size < 1 {
+		size = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if size > c.maxBytes {
+		return
+	}
+	if el, ok := c.m[key]; ok {
+		e := el.Value.(*entry[K, V])
+		c.bytes += size - e.size
+		e.v, e.size = v, size
+		c.ll.MoveToFront(el)
+	} else {
+		c.m[key] = c.ll.PushFront(&entry[K, V]{key: key, v: v, size: size})
+		c.bytes += size
+	}
+	for c.ll.Len() > c.maxEntries || c.bytes > c.maxBytes {
+		c.evictOldestLocked()
+	}
+	obsCacheBytes.Set(float64(c.bytes))
+	obsCacheEntries.Set(float64(c.ll.Len()))
+}
+
+// evictOldestLocked drops the least recently used entry.
+func (c *Cache[K, V]) evictOldestLocked() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*entry[K, V])
+	c.ll.Remove(el)
+	delete(c.m, e.key)
+	c.bytes -= e.size
+	obsCacheEvictions.Inc()
+}
+
+// Len reports the resident entry count.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes reports the charged resident size.
+func (c *Cache[K, V]) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}

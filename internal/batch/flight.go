@@ -1,0 +1,28 @@
+package batch
+
+import "context"
+
+// flight is one deduplicated execution: the first request for a key
+// creates it, identical concurrent requests join it, and everyone
+// shares the committed result. refs counts the waiters (guarded by the
+// group lock); the flight context cancels only when refs hits zero, so
+// a canceled leader hands the work off to its followers instead of
+// killing it, and a canceled follower takes nothing down with it.
+type flight[V any] struct {
+	done   chan struct{}
+	ctx    context.Context
+	cancel context.CancelFunc
+	refs   int
+
+	// Set by commit before done closes; immutable afterwards.
+	v   V
+	err error
+	res Result
+}
+
+// commit publishes the result and releases the flight's context.
+func (f *flight[V]) commit(v V, err error, res Result) {
+	f.v, f.err, f.res = v, err, res
+	close(f.done)
+	f.cancel()
+}

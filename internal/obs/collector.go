@@ -90,6 +90,59 @@ func (c *Collector) Detach() *Span {
 	return c.root
 }
 
+// CurrentCollector returns the collector attached to the calling
+// goroutine, or nil. Handlers capture it before handing work to
+// another goroutine (a batch flush pass, say) so the executor can
+// Adopt it and keep the request's span tree whole.
+func CurrentCollector() *Collector {
+	if collectors.n.Load() == 0 {
+		return nil
+	}
+	return collectorFor(curGID())
+}
+
+// Adopt registers the collector for the calling goroutine as well, so
+// spans this goroutine opens land in the same request tree the
+// original handler goroutine owns. It returns a release function that
+// MUST be called (on the same goroutine) when the borrowed work ends;
+// release restores whatever collector the goroutine had before. A nil
+// collector returns a no-op release, so the disabled-telemetry path
+// needs no guards.
+//
+// The intended shape is strictly sequential hand-off: the owning
+// goroutine blocks while the adopter executes (a coalesced flight's
+// leader waiting on its batch item). If both race anyway, the
+// collector's internal lock keeps the tree structurally sound — only
+// the parent/child placement of the racing spans is unspecified.
+func (c *Collector) Adopt() (release func()) {
+	if c == nil {
+		return func() {}
+	}
+	gid := curGID()
+	collectors.mu.Lock()
+	if collectors.m == nil {
+		collectors.m = make(map[int64]*Collector)
+	}
+	prev := collectors.m[gid]
+	if prev == nil {
+		collectors.n.Add(1)
+	}
+	collectors.m[gid] = c
+	collectors.mu.Unlock()
+	return func() {
+		collectors.mu.Lock()
+		if collectors.m[gid] == c {
+			if prev == nil {
+				delete(collectors.m, gid)
+				collectors.n.Add(-1)
+			} else {
+				collectors.m[gid] = prev
+			}
+		}
+		collectors.mu.Unlock()
+	}
+}
+
 // collectorFor returns the calling goroutine's collector, if any.
 func collectorFor(gid int64) *Collector {
 	collectors.mu.RLock()

@@ -125,3 +125,67 @@ func TestCollectorDetachIdempotent(t *testing.T) {
 		t.Fatalf("collector count = %d, want 0", n)
 	}
 }
+
+func TestCurrentCollectorAndAdopt(t *testing.T) {
+	Enable()
+	defer Disable()
+
+	if got := CurrentCollector(); got != nil {
+		t.Fatalf("CurrentCollector with none attached = %v, want nil", got)
+	}
+	c := AttachCollector("req")
+	if got := CurrentCollector(); got != c {
+		t.Fatalf("CurrentCollector = %p, want the attached collector %p", got, c)
+	}
+
+	// Hand the collector to a worker goroutine: its spans must land in
+	// the request tree, and release must restore the worker's state.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		release := c.Adopt()
+		StartSpan("adopted.stage").End()
+		release()
+		if s := StartSpan("after.release"); s != nil {
+			t.Errorf("StartSpan after release = %+v, want nil (no collector, no run)", s)
+		}
+	}()
+	<-done
+
+	root := c.Detach()
+	if len(root.Children) != 1 || root.Children[0].Name != "adopted.stage" {
+		t.Fatalf("adopted span missing from request tree: %+v", root.Children)
+	}
+	if n := collectors.n.Load(); n != 0 {
+		t.Fatalf("collector count = %d, want 0", n)
+	}
+}
+
+func TestAdoptNilCollector(t *testing.T) {
+	var c *Collector
+	release := c.Adopt()
+	release() // must be a safe no-op
+}
+
+func TestAdoptRestoresPreviousCollector(t *testing.T) {
+	Enable()
+	defer Disable()
+
+	mine := AttachCollector("mine")
+	theirs := &Collector{gid: -1} // synthetic collector owned elsewhere
+	theirs.root = &Span{Name: "theirs", col: theirs}
+	theirs.cur = theirs.root
+
+	release := theirs.Adopt()
+	if got := CurrentCollector(); got != theirs {
+		t.Fatalf("CurrentCollector during adoption = %p, want %p", got, theirs)
+	}
+	release()
+	if got := CurrentCollector(); got != mine {
+		t.Fatalf("CurrentCollector after release = %p, want restored %p", got, mine)
+	}
+	mine.Detach()
+	if n := collectors.n.Load(); n != 0 {
+		t.Fatalf("collector count = %d, want 0", n)
+	}
+}

@@ -23,6 +23,10 @@ type Span struct {
 	// GID is the id of the goroutine that opened the span, so trace
 	// viewers can lane spans by executor (0 in pre-v2 manifests).
 	GID int64 `json:"gid,omitempty"`
+	// Attrs are key=value annotations set with SetAttr (batch sizes,
+	// queue waits, cache verdicts). Maps serialize with sorted keys, so
+	// attributed spans stay deterministic in manifests and diffs.
+	Attrs map[string]string `json:"attrs,omitempty"`
 
 	parent *Span
 	start  time.Time
@@ -170,6 +174,28 @@ func (s *Span) End() {
 	if spanState.current == s {
 		spanState.current = s.parent
 	}
+}
+
+// SetAttr annotates the span with a key=value attribute, shown by
+// inspect and carried into manifests and trace exports. Nil spans (the
+// disabled path) no-op. Attributes take the span's owning lock, so
+// SetAttr is safe from the goroutine that opened the span even while
+// other goroutines snapshot the tree.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	if s.col != nil {
+		s.col.mu.Lock()
+		defer s.col.mu.Unlock()
+	} else {
+		spanState.mu.Lock()
+		defer spanState.mu.Unlock()
+	}
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]string)
+	}
+	s.Attrs[key] = value
 }
 
 // SpanTree returns the current run's root span, or nil if no run was

@@ -306,7 +306,10 @@ func TestChaosOverloadBackpressure(t *testing.T) {
 	}()
 	<-entered
 
-	resp, body := postTrace(t, ts.URL+"/v1/profile?n=10", data)
+	// Distinct options so the second request is new work: an identical
+	// request would coalesce onto the in-flight one instead of needing
+	// (and being refused) admission.
+	resp, body := postTrace(t, ts.URL+"/v1/profile?n=10&seed=2", data)
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status %d, want 429; body %s", resp.StatusCode, body)
 	}

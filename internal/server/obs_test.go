@@ -353,7 +353,9 @@ func TestChaosSLOBurnUnderOverload(t *testing.T) {
 	}()
 	<-entered
 
-	if resp, _ := postTrace(t, ts.URL+"/v1/profile?n=10", data); resp.StatusCode != http.StatusTooManyRequests {
+	// Distinct options (seed) so this is new work rather than a
+	// coalesce onto the in-flight identical request.
+	if resp, _ := postTrace(t, ts.URL+"/v1/profile?n=10&seed=2", data); resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("second request status %d, want 429", resp.StatusCode)
 	}
 	r := getSLO(t, ts.URL)

@@ -22,6 +22,7 @@ package server
 
 import (
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -33,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"simprof/internal/batch"
 	"simprof/internal/history"
 	"simprof/internal/obs"
 	"simprof/internal/obs/reqtrace"
@@ -111,6 +113,19 @@ type Config struct {
 	// record. Empty keeps the retained set in memory only. Ignored when
 	// Trace is nil.
 	TraceStorePath string
+	// CacheEntries and CacheBytes bound the content-hash result cache
+	// (0 selects 512 entries / 64 MiB). CacheEntries < 0 disables the
+	// cache: every request coalesces or executes.
+	CacheEntries int
+	CacheBytes   int64
+	// BatchSize and BatchWait tune the request batcher: a batch flushes
+	// at BatchSize distinct requests (0 selects 8) or BatchWait after
+	// its first enqueue (0 selects 2ms); an idle server flushes
+	// immediately. BatchSize < 0 disables the whole batched path —
+	// requests run the pre-batching inline pipeline with no cache and
+	// no coalescing.
+	BatchSize int
+	BatchWait time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -142,6 +157,38 @@ type profileOutcome struct {
 	Sp    sampling.Stratified
 }
 
+// profileKey identifies one profile computation for dedup: the strong
+// hash of the exact upload bytes plus the canonicalized sampling
+// options. Workers is deliberately not part of the key — the pipeline
+// is bit-identical across worker counts, so dedup across that knob is
+// free. Two uploads with the same bytes but different n or seed get
+// different keys and never share a result.
+type profileKey struct {
+	sum  [32]byte // sha256 of the raw trace upload
+	opts string   // canonical "n=<n>,seed=<seed>"
+}
+
+// profilePayload carries one upload into the batcher, including the
+// leader's request-trace collector so pipeline spans executed on a
+// flush goroutine still land in the originating request's tree.
+type profilePayload struct {
+	data []byte
+	n    int
+	seed uint64
+	col  *obs.Collector
+}
+
+// profileResult is the cacheable outcome of one executed profile:
+// the response body (ElapsedMS zeroed; each request stamps its own),
+// with Seq/Key referencing the history record the executing flight
+// persisted — cache hits point at the original record instead of
+// appending duplicates.
+type profileResult struct {
+	resp  ProfileResponse
+	flush time.Duration // history persist time, retries included
+	size  int64         // resident-byte estimate for the cache budget
+}
+
 // Server is the simprofd HTTP service. Construct with New; serve
 // Handler(); stop with BeginDrain + Drain.
 type Server struct {
@@ -151,6 +198,11 @@ type Server struct {
 	adm   *resilience.Admission
 	drain *resilience.Drain
 	mux   *http.ServeMux
+
+	// group is the batched request path: content-hash cache, coalescing
+	// of identical in-flight uploads, bounded batching of distinct ones.
+	// nil (BatchSize < 0) selects the inline pipeline.
+	group *batch.Group[profileKey, profilePayload, profileResult]
 
 	slo         *sloTracker
 	accessLog   *accessLogger
@@ -201,6 +253,26 @@ func New(cfg Config) (*Server, error) {
 		}
 		traceCfg = &tc
 	}
+	if c.BatchSize >= 0 {
+		var cache *batch.Cache[profileKey, profileResult]
+		if c.CacheEntries >= 0 {
+			cache = batch.NewCache[profileKey, profileResult](c.CacheEntries, c.CacheBytes)
+		}
+		s.group = batch.NewGroup(batch.Config[profileKey, profilePayload, profileResult]{
+			MaxBatch: c.BatchSize,
+			MaxWait:  c.BatchWait,
+			Exec:     s.execProfile,
+			Size:     func(v profileResult) int64 { return v.size },
+			Cache:    cache,
+			Admit: func() (batch.Ticket, error) {
+				t, err := s.adm.Enqueue()
+				if err != nil {
+					return nil, err
+				}
+				return t, nil
+			},
+		})
+	}
 	// Background goroutines start only after every fallible step, so a
 	// failed New never leaks them.
 	if traceCfg != nil {
@@ -229,6 +301,9 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Close() {
 	if s.stopRuntime != nil {
 		s.stopRuntime()
+	}
+	if s.group != nil {
+		s.group.Stop()
 	}
 	s.tracer.Stop()
 	s.accessLog.Close()
@@ -456,9 +531,136 @@ type ProfileResponse struct {
 	ElapsedMS  float64 `json:"elapsed_ms"`
 }
 
-// handleProfile is the hot path: admission → breaker → deadline-bound
-// pipeline → retried, fsynced history append.
+// handleProfile is the hot path. With batching on (the default) it is
+// content-hash dedup → coalesce/batch → admission-gated execution:
+// parse, read and hash the upload, then hand the key to the batch
+// group, which answers from the result cache, joins an identical
+// in-flight request, or enqueues a new flight (refusing with 429 at
+// enqueue when the admission queue is full). With BatchSize < 0 the
+// original inline pipeline runs instead.
 func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	if s.group == nil {
+		s.handleProfileInline(w, r)
+		return
+	}
+	start := time.Now()
+	exit, err := s.drain.Enter()
+	if err != nil {
+		obsProfilesErr.Inc()
+		s.writeError(w, r, err)
+		return
+	}
+	defer exit()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	st := statsFrom(ctx)
+
+	n, seed, err := sampleParams(r)
+	if err != nil {
+		obsProfilesErr.Inc()
+		s.writeError(w, r, err)
+		return
+	}
+	data, err := readBody(ctx, r, s.cfg.MaxBodyBytes)
+	if err != nil {
+		obsProfilesErr.Inc()
+		s.writeError(w, r, err)
+		return
+	}
+	obsBodyBytes.Add(int64(len(data)))
+	if st != nil {
+		st.bytes = int64(len(data))
+	}
+
+	key := profileKey{sum: sha256.Sum256(data), opts: fmt.Sprintf("n=%d,seed=%d", n, seed)}
+	payload := profilePayload{data: data, n: n, seed: seed, col: obs.CurrentCollector()}
+	span := obs.StartSpan("batch.do")
+	v, res, err := s.group.Do(ctx, key, payload)
+	if span != nil {
+		span.SetAttr("source", res.Source.String())
+		span.SetAttr("batch_size", strconv.Itoa(res.BatchSize))
+		span.SetAttr("enqueue_wait_ms", strconv.FormatFloat(durMS(res.EnqueueWait), 'f', 3, 64))
+		span.SetAttr("exec_ms", strconv.FormatFloat(durMS(res.Exec), 'f', 3, 64))
+		span.SetAttr("commit_ms", strconv.FormatFloat(durMS(res.Commit), 'f', 3, 64))
+		span.End()
+	}
+	w.Header().Set("X-Simprof-Cache", res.Source.String())
+	if st != nil {
+		st.enqueue = res.EnqueueWait
+		if res.Source == batch.Miss {
+			st.flush = v.flush
+		}
+	}
+	if err != nil {
+		obsProfilesErr.Inc()
+		s.writeError(w, r, err)
+		return
+	}
+	resp := v.resp
+	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	obsProfilesOK.Inc()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// execProfile runs one deduplicated flight on a batch-flush goroutine:
+// breaker gate → pipeline → retried, fsynced history append. ctx is
+// the flight context (alive until the last waiting request leaves).
+// The leader's trace collector is adopted for the duration so the
+// pipeline's spans land in that request's tree.
+func (s *Server) execProfile(ctx context.Context, key profileKey, p profilePayload) (profileResult, error) {
+	release := p.col.Adopt()
+	defer release()
+	span := obs.StartSpan("batch.exec")
+	defer span.End()
+
+	if err := s.brk.Allow(); err != nil {
+		return profileResult{}, err
+	}
+	out, err := s.runProfile(ctx, p.data, p.n, p.seed)
+	if err != nil {
+		class := resilience.Classify(err)
+		// The breaker guards the pipeline: internal faults and pipeline
+		// timeouts count, caller-at-fault classes must not (a flood of
+		// malformed uploads would otherwise take the service down for
+		// well-behaved clients too).
+		s.brk.Record(class == resilience.ClassInternal || class == resilience.ClassTimeout)
+		return profileResult{}, err
+	}
+	s.brk.Record(false)
+
+	resp := ProfileResponse{
+		Units:      len(out.Trace.Units),
+		K:          out.Ph.K,
+		Silhouette: out.Ph.Silhouette,
+		N:          p.n,
+		EstCPI:     out.Sp.EstCPI,
+		SE:         out.Sp.SE,
+		CILo:       out.Sp.CI(0.997).Lo(),
+		CIHi:       out.Sp.CI(0.997).Hi(),
+		Alloc:      out.Sp.Alloc,
+	}
+	flushStart := time.Now()
+	rec, err := s.persist(ctx, out, p.n, p.seed)
+	flush := time.Since(flushStart)
+	if err != nil {
+		return profileResult{}, err
+	}
+	if rec != nil {
+		resp.Seq, resp.Key = rec.Seq, rec.Key
+	}
+	// Resident-size estimate for the cache's byte budget: fixed struct
+	// fields plus the allocation slice and key string.
+	size := int64(224 + 8*len(resp.Alloc) + len(resp.Key) + len(key.opts))
+	return profileResult{resp: resp, flush: flush, size: size}, nil
+}
+
+// handleProfileInline is the pre-batching request path (BatchSize < 0):
+// admission → breaker → deadline-bound pipeline → retried, fsynced
+// history append, all on the handler goroutine. Kept both as the
+// de-risking escape hatch and as the baseline the storm benchmark
+// measures batching against.
+func (s *Server) handleProfileInline(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	exit, err := s.drain.Enter()
 	if err != nil {
@@ -515,10 +717,6 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	out, err := s.runProfile(ctx, data, n, seed)
 	if err != nil {
 		class := resilience.Classify(err)
-		// The breaker guards the pipeline: internal faults and pipeline
-		// timeouts count, caller-at-fault classes must not (a flood of
-		// malformed uploads would otherwise take the service down for
-		// well-behaved clients too).
 		s.brk.Record(class == resilience.ClassInternal || class == resilience.ClassTimeout)
 		obsProfilesErr.Inc()
 		s.writeError(w, r, err)

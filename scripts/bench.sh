@@ -14,7 +14,10 @@
 # disabled must stay at 0 allocs/op, enabled is the stratify + reservoir
 # + rebalance cost), and the simprofd service under concurrent load
 # (SimprofdP99 reports the p99 request latency as its ns/op metric so
-# the tail rides the same gate). Results stream to
+# the tail rides the same gate; SimprofdStorm drives a duplicate-heavy
+# storm through the batched path and the inline baseline, reporting p99
+# as ns/op plus req/s and the measured dedup ratio — the duplicate
+# fraction is tunable with SIMPROF_STORM_DUP). Results stream to
 # BENCH_pipeline.json in `go test -json` (test2json) format so CI can
 # diff runs; the classic benchmark lines echo to stdout for humans.
 set -eu
@@ -26,7 +29,7 @@ BENCHTIME="${BENCHTIME:-1x}"
 BENCHCOUNT="${BENCHCOUNT:-1}"
 
 go test -run '^$' \
-	-bench '^(BenchmarkChooseK|BenchmarkForm$|BenchmarkFormPhases|BenchmarkKMeansDense|BenchmarkVectorizeSparse$|BenchmarkSimProfSelection$|BenchmarkTelemetry|BenchmarkObsDisabledLabeled$|BenchmarkDecodeBin$|BenchmarkDecodeGob$|BenchmarkEndToEnd100k$|BenchmarkSimprofdP99$|BenchmarkAccessLog$|BenchmarkReqTrace)' \
+	-bench '^(BenchmarkChooseK|BenchmarkForm$|BenchmarkFormPhases|BenchmarkKMeansDense|BenchmarkVectorizeSparse$|BenchmarkSimProfSelection$|BenchmarkTelemetry|BenchmarkObsDisabledLabeled$|BenchmarkDecodeBin$|BenchmarkDecodeGob$|BenchmarkEndToEnd100k$|BenchmarkSimprofdP99$|BenchmarkSimprofdStorm$|BenchmarkAccessLog$|BenchmarkReqTrace)' \
 	-benchtime "$BENCHTIME" -count "$BENCHCOUNT" -benchmem -json \
 	./internal/cluster ./internal/phase ./internal/sampling ./internal/obs ./internal/obs/reqtrace ./internal/tracebin ./internal/server \
 	>"$OUT"

@@ -41,6 +41,14 @@
 #                                            runs under -race plus the
 #                                            resilience + crash-recovery
 #                                            unit suites)
+#   batch-smoke   dedup/batch serving       (bit-identical responses
+#                                            batched vs inline and cached
+#                                            vs computed, coalescing and
+#                                            leader-cancel hand-off,
+#                                            cache bounds/eviction, and
+#                                            the batch + two-phase
+#                                            admission unit suites; all
+#                                            under -race)
 #   bench-gate    perf-regression gate      (fresh bench run vs the
 #                                            committed BENCH_pipeline.json
 #                                            baseline, noise-aware medians)
@@ -172,7 +180,10 @@ run_bench_gate() {
 	# concurrent HTTP workload — the noisiest number in the file by
 	# construction — so it gets the widest band: it is there to catch a
 	# structural tail regression (a lock on the hot path, a lost
-	# fast-path), not scheduler jitter.
+	# fast-path), not scheduler jitter. The SimprofdStorm pair are tail
+	# statistics of the same construction — batched is mostly cache-hit
+	# latency, baseline is compute under saturation — and share that
+	# widest band.
 	# The single-digit-ns observability paths (disabled labeled metrics,
 	# the access-log enqueue, the disabled reqtrace Start/Finish) sit at
 	# the timer's resolution floor, so they get the wide microbenchmark
@@ -181,7 +192,7 @@ run_bench_gate() {
 	# sub-microsecond map-and-reservoir loop with the same jitter
 	# profile.
 	go run ./cmd/simprof history gate -baseline "$baseline" -bench "$cur" \
-		-per-bench "BenchmarkVectorizeSparse=0.60,BenchmarkKMeansDense/Naive=0.50,BenchmarkKMeansDense/Pruned=0.50,BenchmarkEndToEnd100k=0.40,BenchmarkDecodeBin=0.35,BenchmarkDecodeGob=0.35,BenchmarkSimprofdP99=0.75,BenchmarkObsDisabledLabeled/countervec=0.60,BenchmarkObsDisabledLabeled/gaugevec=0.60,BenchmarkObsDisabledLabeled/histogramvec=0.60,BenchmarkObsDisabledLabeled/windowedhist=0.60,BenchmarkObsDisabledLabeled/windowedcounter=0.60,BenchmarkAccessLog/enqueue=0.60,BenchmarkAccessLog/disabled=0.60,BenchmarkReqTraceDisabled=0.60,BenchmarkReqTraceEnabled=0.60" \
+		-per-bench "BenchmarkVectorizeSparse=0.60,BenchmarkKMeansDense/Naive=0.50,BenchmarkKMeansDense/Pruned=0.50,BenchmarkEndToEnd100k=0.40,BenchmarkDecodeBin=0.35,BenchmarkDecodeGob=0.35,BenchmarkSimprofdP99=0.75,BenchmarkSimprofdStorm/batched=0.75,BenchmarkSimprofdStorm/baseline=0.75,BenchmarkObsDisabledLabeled/countervec=0.60,BenchmarkObsDisabledLabeled/gaugevec=0.60,BenchmarkObsDisabledLabeled/histogramvec=0.60,BenchmarkObsDisabledLabeled/windowedhist=0.60,BenchmarkObsDisabledLabeled/windowedcounter=0.60,BenchmarkAccessLog/enqueue=0.60,BenchmarkAccessLog/disabled=0.60,BenchmarkReqTraceDisabled=0.60,BenchmarkReqTraceEnabled=0.60" \
 		|| fail bench-gate
 }
 
@@ -213,6 +224,19 @@ run_chaos_smoke() {
 		./internal/parallel || fail chaos-smoke
 }
 
+run_batch_smoke() {
+	# The batched-serving determinism contract under the race detector:
+	# batching/caching may change when and how often the pipeline runs,
+	# never what a request gets back. Covers the batch group + LRU cache
+	# unit suite, the two-phase admission tickets, and the HTTP-level
+	# bit-identity, coalescing, hand-off and eviction tests.
+	go test -race -count=1 ./internal/batch || fail batch-smoke
+	go test -race -count=1 -run 'TestTicket' ./internal/resilience || fail batch-smoke
+	go test -race -count=1 \
+		-run 'TestBatched|TestCached|TestCacheEviction|TestCoalesced|TestLeaderCancel|TestIdenticalBytes|TestMaxBodyLimit|TestChaosDuplicateStorm' \
+		./internal/server || fail batch-smoke
+}
+
 run_fuzz_smoke() {
 	# A small time budget per decoder target. Any crasher the engine
 	# finds is persisted under internal/trace/testdata/fuzz and will fail
@@ -227,7 +251,7 @@ run_fuzz_smoke() {
 	done
 }
 
-stages="${*:-tier1-build tier1-test vet gofmt race bench-smoke kernel-equivalence chaos-smoke fuzz-smoke trace-golden tracebin-golden metrics-golden reqtrace-golden}"
+stages="${*:-tier1-build tier1-test vet gofmt race bench-smoke kernel-equivalence chaos-smoke batch-smoke fuzz-smoke trace-golden tracebin-golden metrics-golden reqtrace-golden}"
 for stage in $stages; do
 	echo "==> $stage"
 	case "$stage" in
@@ -244,6 +268,7 @@ for stage in $stages; do
 	reqtrace-golden) run_reqtrace_golden ;;
 	kernel-equivalence) run_kernel_equivalence ;;
 	chaos-smoke) run_chaos_smoke ;;
+	batch-smoke) run_batch_smoke ;;
 	bench-gate) run_bench_gate ;;
 	*)
 		echo "unknown stage $stage" >&2
